@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers: report capture.
+
+Every experiment benchmark writes the paper-style table/series it
+regenerates to ``benchmarks/out/<name>.txt`` (and echoes it to stdout,
+visible with ``pytest -s``), so a run of
+``pytest benchmarks/ --benchmark-only`` leaves the reproduced figures on
+disk next to the timing data.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(report_dir):
+    def _save(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,109 @@
+"""Figure 5: per-gmetad CPU% in the six-monitor tree (1-level vs N-level).
+
+Paper setup: the Fig. 2 tree, twelve 100-host pseudo-gmond clusters,
+CPU% per gmetad over a long window.  Shape targets asserted here:
+
+- 1-level concentrates load at the top (root > ucsd/sdsc > leaves);
+- N-level pushes processing to the leaves (non-leaf monitors nearly
+  idle) and leaves pay a summarization penalty (higher than their
+  1-level bars);
+- aggregate CPU is lower under N-level (no duplicated archives).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_figure5
+
+HOSTS = 100
+WINDOW = 150.0
+WARMUP = 45.0
+
+
+@pytest.fixture(scope="module")
+def fig5(benchmark_off=None):
+    return run_figure5(
+        hosts_per_cluster=HOSTS, window=WINDOW, warmup=WARMUP,
+        freeze_values=True,
+    )
+
+
+def _assert_figure5_shape(fig5):
+    """All Fig. 5 shape claims, used by both run modes."""
+    one = fig5.cpu_percent["1level"]
+    n = fig5.cpu_percent["nlevel"]
+    assert one["root"] > one["ucsd"] > one["physics"]
+    assert 8.0 < one["root"] < 25.0
+    for aggregator in ("root", "ucsd"):
+        for leaf in ("physics", "math", "attic"):
+            assert n[leaf] > 20 * n[aggregator]
+            assert n[leaf] > one[leaf]
+    assert 1.8 < fig5.aggregate("1level") / fig5.aggregate("nlevel") < 5.0
+
+
+def test_figure5_report(fig5, save_report, benchmark):
+    """Regenerates the Fig. 5 rows and checks every shape claim.
+
+    The benchmarked operation is the report rendering; the experiment
+    itself runs once in the module fixture.
+    """
+    text = benchmark.pedantic(fig5.report, rounds=1, iterations=1)
+    save_report("figure5", text)
+    from repro.bench.export import figure5_csv
+
+    save_report("figure5_csv", figure5_csv(fig5).rstrip())
+    _assert_figure5_shape(fig5)
+
+
+def test_1level_load_concentrated_at_root(fig5):
+    one = fig5.cpu_percent["1level"]
+    assert one["root"] > one["ucsd"] > one["physics"]
+    assert one["root"] > one["sdsc"] > one["attic"]
+    # paper: root ~14%, aggregators ~halfway, leaves low
+    assert 8.0 < one["root"] < 25.0
+    assert one["root"] > 3 * one["physics"]
+
+
+def test_nlevel_root_nearly_idle(fig5):
+    n = fig5.cpu_percent["nlevel"]
+    for aggregator in ("root", "ucsd"):
+        for leaf in ("physics", "math", "attic"):
+            assert n[leaf] > 20 * n[aggregator]
+
+
+def test_leaves_pay_summarization_penalty(fig5):
+    for leaf in ("physics", "math", "attic"):
+        assert fig5.cpu_percent["nlevel"][leaf] > fig5.cpu_percent["1level"][leaf]
+
+
+def test_aggregate_reduction(fig5):
+    ratio = fig5.aggregate("1level") / fig5.aggregate("nlevel")
+    assert 1.8 < ratio < 5.0
+
+
+def test_archive_work_moved_out_of_the_core(fig5):
+    root_1 = fig5.breakdown["1level"]["root"]
+    root_n = fig5.breakdown["nlevel"]["root"]
+    assert root_n["archive"] < root_1["archive"] / 10
+    assert root_n["parse"] < root_1["parse"] / 10
+
+
+def test_benchmark_one_poll_cycle(benchmark):
+    """Wall-clock cost of one full polling cycle of the N-level tree.
+
+    This is the real-machine analogue of what Fig. 5 charges in
+    simulated CPU: all twelve clusters downloaded, parsed, summarized
+    and archived once.
+    """
+    from repro.bench.topology import build_paper_tree
+
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=HOSTS, freeze_values=True
+    )
+    federation.start()
+    federation.engine.run_for(30.0)  # warm caches, first polls done
+
+    def one_cycle():
+        federation.engine.run_for(15.0)
+
+    benchmark.pedantic(one_cycle, rounds=3, iterations=1)
+    federation.stop()

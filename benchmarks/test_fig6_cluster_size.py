@@ -1,0 +1,106 @@
+"""Figure 6: aggregate gmetad CPU% vs cluster size (1-level vs N-level).
+
+Paper setup: the monitoring tree is fixed while all twelve clusters are
+swept through {10, 50, 100, 150, 200, 300, 400, 500} hosts.  Shape
+targets:
+
+- N-level "scales linearly with a low slope";
+- 1-level "exhibits a higher-sloped scaling behavior that appears
+  linear, but actually has a slight upward curve" (root saturation);
+- "In all data points the aggregate CPU usage is less for the N-level
+  monitor" (duplicated archives eliminated).
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_CLUSTER_SIZES, run_figure6
+from repro.bench.reporting import format_table
+
+WINDOW = 45.0
+WARMUP = 30.0
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_figure6(
+        sizes=PAPER_CLUSTER_SIZES, window=WINDOW, warmup=WARMUP,
+        freeze_values=True,
+    )
+
+
+def _slopes(sizes, series):
+    return [
+        (series[i + 1] - series[i]) / (sizes[i + 1] - sizes[i])
+        for i in range(len(sizes) - 1)
+    ]
+
+
+def _assert_figure6_shape(fig6):
+    one = fig6.aggregate["1level"]
+    n = fig6.aggregate["nlevel"]
+    assert all(b < a for a, b in zip(one, n))
+    one_slopes = _slopes(fig6.sizes, one)
+    n_slopes = _slopes(fig6.sizes, n)
+    assert sum(one_slopes) / len(one_slopes) > 1.5 * sum(n_slopes) / len(n_slopes)
+    assert one_slopes[-1] > 1.05 * one_slopes[0]  # the upward curve
+
+
+def test_figure6_report(fig6, save_report, benchmark):
+    rows = [
+        (size, fig6.root_cpu["1level"][i], fig6.root_cpu["nlevel"][i])
+        for i, size in enumerate(fig6.sizes)
+    ]
+    extra = format_table(
+        ["cluster size", "1-level root %CPU", "N-level root %CPU"],
+        rows,
+        title="Root-node saturation detail (not in the paper's plot):",
+    )
+    text = benchmark.pedantic(fig6.report, rounds=1, iterations=1)
+    save_report("figure6", text + "\n\n" + extra)
+    from repro.bench.export import figure6_csv
+
+    save_report("figure6_csv", figure6_csv(fig6).rstrip())
+    _assert_figure6_shape(fig6)
+
+
+def test_nlevel_cheaper_at_every_point(fig6):
+    for one, n in zip(fig6.aggregate["1level"], fig6.aggregate["nlevel"]):
+        assert n < one
+
+
+def test_1level_slope_is_steeper(fig6):
+    one = _slopes(fig6.sizes, fig6.aggregate["1level"])
+    n = _slopes(fig6.sizes, fig6.aggregate["nlevel"])
+    # compare average slopes across the sweep
+    assert sum(one) / len(one) > 1.5 * sum(n) / len(n)
+
+
+def test_nlevel_scales_linearly(fig6):
+    slopes = _slopes(fig6.sizes, fig6.aggregate["nlevel"])
+    assert max(slopes) < 1.5 * min(slopes) + 1e-9
+
+
+def test_1level_has_upward_curve(fig6):
+    """The root saturates: late slopes exceed early slopes."""
+    slopes = _slopes(fig6.sizes, fig6.aggregate["1level"])
+    early = slopes[0]
+    late = slopes[-1]
+    assert late > 1.05 * early
+
+
+def test_root_utilization_drives_the_curve(fig6):
+    """The superlinearity is a root phenomenon, as §3.3 argues."""
+    root = fig6.root_cpu["1level"]
+    assert root[-1] > 40.0  # the root is deep into contention at 500
+    assert fig6.root_cpu["nlevel"][-1] < 5.0
+
+
+def test_benchmark_sweep_point(benchmark):
+    """Wall-clock of one small sweep point (both designs, 50 hosts)."""
+    from repro.bench.experiments import run_figure6 as run
+
+    benchmark.pedantic(
+        lambda: run(sizes=(50,), window=30.0, warmup=30.0),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,91 @@
+"""Ablation: gmond's local-area footprint.
+
+§2.1 cites the companion paper's measurement: "the monitor on a 128-node
+cluster uses less than 56Kbps of network bandwidth, roughly the capacity
+of a dialup modem."  We run the real agent protocol at a smaller size,
+measure multicast bytes/second at steady state, and extrapolate linearly
+in host count (each host's send rate is independent of cluster size --
+sends are threshold/tmax-driven, not per-peer).
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.gmond.cluster import SimulatedCluster
+from repro.net.fabric import Fabric
+from repro.net.tcp import TcpNetwork
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+HOSTS = 32
+MEASURE_SECONDS = 600.0
+PAPER_NODES = 128
+PAPER_LIMIT_BPS = 56_000  # bits/second
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    engine = Engine()
+    fabric = Fabric()
+    tcp = TcpNetwork(engine, fabric)
+    rngs = RngRegistry(21)
+    cluster = SimulatedCluster.build(
+        engine, fabric, tcp, rngs, name="meteor", num_hosts=HOSTS
+    )
+    cluster.start()
+    engine.run_for(120.0)  # past the startup announce burst
+    bytes_before = cluster.channel.bytes_sent
+    sends_before = cluster.channel.datagrams_sent
+    engine.run_for(MEASURE_SECONDS)
+    return {
+        "bytes_per_second": (cluster.channel.bytes_sent - bytes_before)
+        / MEASURE_SECONDS,
+        "datagrams_per_second": (cluster.channel.datagrams_sent - sends_before)
+        / MEASURE_SECONDS,
+    }
+
+
+def test_gmond_traffic_report(traffic, save_report, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    per_host_bps = traffic["bytes_per_second"] * 8.0 / HOSTS
+    extrapolated = per_host_bps * PAPER_NODES
+    assert extrapolated < PAPER_LIMIT_BPS
+    save_report(
+        "gmond_traffic",
+        format_table(
+            ["quantity", "value"],
+            [
+                (f"multicast bytes/s ({HOSTS} hosts)", traffic["bytes_per_second"]),
+                ("datagrams/s", traffic["datagrams_per_second"]),
+                ("bits/s per host", per_host_bps),
+                (f"extrapolated bits/s at {PAPER_NODES} hosts", extrapolated),
+                ("paper bound (bits/s)", float(PAPER_LIMIT_BPS)),
+            ],
+            title="Gmond local-area monitoring traffic",
+        ),
+    )
+
+
+def test_within_paper_bandwidth_envelope(traffic):
+    per_host_bps = traffic["bytes_per_second"] * 8.0 / HOSTS
+    extrapolated_128 = per_host_bps * PAPER_NODES
+    assert extrapolated_128 < PAPER_LIMIT_BPS
+
+
+def test_traffic_is_nontrivial(traffic):
+    """The agents are actually talking (guards against a dead channel)."""
+    assert traffic["datagrams_per_second"] > HOSTS * 0.05
+
+
+def test_benchmark_agent_protocol(benchmark):
+    """Wall-clock cost of simulating 60 s of a 32-host gmond cluster."""
+    engine = Engine()
+    fabric = Fabric()
+    tcp = TcpNetwork(engine, fabric)
+    rngs = RngRegistry(3)
+    cluster = SimulatedCluster.build(
+        engine, fabric, tcp, rngs, name="m", num_hosts=HOSTS
+    )
+    cluster.start()
+    engine.run_for(30.0)
+    benchmark.pedantic(lambda: engine.run_for(60.0), rounds=3, iterations=1)

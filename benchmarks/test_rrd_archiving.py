@@ -1,0 +1,186 @@
+"""Ablation: RRD archiving cost and the §4 batching optimization.
+
+"Our archiving technique makes too many updates to the file-based
+databases ... We believe in future designs gmeta can manipulate its RRD
+databases in a more efficient manner."
+
+Measured here with real wall-clock:
+
+- per-update cost of the straight store (what gmetad pays per metric
+  per poll cycle);
+- the batched store's amortization (one lookup + one bookkeeping pass
+  per key per flush);
+- the long-downtime fill path (hours of zero records must be cheap).
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.rrd.batch import BatchedRrdStore
+from repro.rrd.database import RrdDatabase, compact_rra_specs
+from repro.rrd.store import MetricKey, RrdStore
+
+#: one polling cycle of a 100-host cluster: 100 hosts x 30 metrics
+KEYS = [
+    MetricKey("src", "meteor", f"h{h}", f"m{m}")
+    for h in range(100)
+    for m in range(30)
+]
+CYCLES = 10
+
+
+def run_direct():
+    store = RrdStore(mode="full", rra_specs=compact_rra_specs())
+    for cycle in range(CYCLES):
+        t = cycle * 15.0
+        for key in KEYS:
+            store.update(key, t, 1.0)
+    return store
+
+
+#: the batched store defers this many polling cycles before flushing --
+#: the freshness-for-throughput knob of the paper's future-work section
+FLUSH_EVERY = 5
+
+
+def run_batched():
+    store = BatchedRrdStore(
+        RrdStore(mode="full", rra_specs=compact_rra_specs()),
+        max_pending=10**9,
+    )
+    for cycle in range(CYCLES):
+        t = cycle * 15.0
+        for key in KEYS:
+            store.update(key, t, 1.0)
+        if (cycle + 1) % FLUSH_EVERY == 0:
+            store.flush()
+    store.flush()
+    return store.store
+
+
+@pytest.fixture(scope="module")
+def measured():
+    results = {}
+    for name, runner in (("direct", run_direct), ("batched", run_batched)):
+        times = []
+        for _ in range(3):
+            start = time.perf_counter()
+            store = runner()
+            times.append(time.perf_counter() - start)
+        results[name] = {
+            "seconds": sorted(times)[1],  # median of 3
+            "updates": store.update_count,
+        }
+    return results
+
+
+def test_archiving_report(measured, save_report, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    total = CYCLES * len(KEYS)
+    assert measured["batched"]["seconds"] < 2.0 * measured["direct"]["seconds"]
+    rows = [
+        (
+            name,
+            data["seconds"],
+            total / data["seconds"],
+            1e6 * data["seconds"] / total,
+        )
+        for name, data in measured.items()
+    ]
+    save_report(
+        "rrd_archiving",
+        format_table(
+            ["store", "seconds", "updates/s", "us/update"],
+            rows,
+            title=(
+                f"RRD archiving: {total} updates "
+                f"({len(KEYS)} series x {CYCLES} cycles)"
+            ),
+        ),
+    )
+
+
+def test_both_apply_every_update(measured):
+    assert measured["direct"]["updates"] == CYCLES * len(KEYS)
+    assert measured["batched"]["updates"] == CYCLES * len(KEYS)
+
+
+def test_batching_amortizes_per_update_overhead(measured):
+    """Ablation finding (documented in EXPERIMENTS.md): with archives in
+    memory, write-behind batching is roughly cost-neutral -- queueing
+    overhead eats the lookup amortization.  The paper's bottleneck was
+    per-update *file* I/O ("causing unnecessary disk I/O"), which their
+    own tmpfs setup (and our in-memory store) removes; batching's win
+    therefore lives in the update primitive (next test), not in the
+    queue.  Guard: batching must never blow up to a multiple of the
+    direct cost (2x bound absorbs wall-clock noise when this runs right
+    after the heavy federation sweeps).
+    """
+    assert measured["batched"]["seconds"] < 2.0 * measured["direct"]["seconds"]
+
+
+def test_update_many_primitive_faster_than_update_loop():
+    """The flush primitive itself amortizes per-call bookkeeping."""
+    samples = [(i * 7.0, float(i % 11)) for i in range(30_000)]
+
+    def run_loop():
+        db = RrdDatabase(step=15.0, rra_specs=compact_rra_specs())
+        start = time.perf_counter()
+        for t, v in samples:
+            db.update(t, v)
+        return time.perf_counter() - start
+
+    def run_batch():
+        db = RrdDatabase(step=15.0, rra_specs=compact_rra_specs())
+        start = time.perf_counter()
+        db.update_many(samples)
+        return time.perf_counter() - start
+
+    loop_s = sorted(run_loop() for _ in range(3))[1]
+    batch_s = sorted(run_batch() for _ in range(3))[1]
+    assert batch_s < loop_s
+
+
+def test_benchmark_direct_updates(benchmark):
+    store = RrdStore(mode="full", rra_specs=compact_rra_specs())
+    clock = {"t": 0.0}
+
+    def one_cycle():
+        clock["t"] += 15.0
+        for key in KEYS[:600]:
+            store.update(key, clock["t"], 1.0)
+
+    benchmark(one_cycle)
+
+
+def test_benchmark_batched_updates(benchmark):
+    store = BatchedRrdStore(
+        RrdStore(mode="full", rra_specs=compact_rra_specs()),
+        max_pending=10**9,
+    )
+    clock = {"t": 0.0, "cycle": 0}
+
+    def deferred_cycles():
+        # one flush covering FLUSH_EVERY polling cycles of 600 series
+        for _ in range(FLUSH_EVERY):
+            clock["t"] += 15.0
+            for key in KEYS[:600]:
+                store.update(key, clock["t"], 1.0)
+        store.flush()
+
+    benchmark(deferred_cycles)
+
+
+def test_benchmark_downtime_fill(benchmark):
+    """A day-long outage (5760 steps of zero records) per database."""
+
+    def fill():
+        db = RrdDatabase(step=15.0, rra_specs=compact_rra_specs())
+        db.update(0.0, 1.0)
+        db.update(86_400.0, 1.0)
+        return db
+
+    db = benchmark(fill)
+    assert db.updates == 2

@@ -1,0 +1,102 @@
+"""Table 1: web-frontend time to query and parse XML from the sdsc gmeta.
+
+Paper setup: viewer pointed at the sdsc gmetad, 100-host clusters, each
+value the average of five samples.  Paper values (seconds):
+
+    view      1-level    N-level    speedup
+    meta      2.091      0.0092     227
+    cluster   2.093      0.198      10.5
+    host      2.096      0.003      698
+
+Shape targets: the 1-level viewer pays the same full-tree cost for every
+view; the N-level viewer wins everywhere; the host view shows the
+largest speedup and the cluster view the smallest (it still parses one
+full cluster).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table1
+
+HOSTS = 100
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(hosts_per_cluster=HOSTS, warmup=90.0, samples=5)
+
+
+def _assert_table1_shape(table1):
+    seconds = [table1.seconds("1level", v) for v in ("meta", "cluster", "host")]
+    assert max(seconds) < 1.15 * min(seconds)
+    assert 1.0 < max(seconds) < 4.0
+    assert table1.speedup("host") > table1.speedup("meta") > table1.speedup("cluster")
+    assert table1.speedup("host") > 100
+    assert table1.speedup("meta") > 50
+    assert 3 < table1.speedup("cluster") < 30
+
+
+def test_table1_report(table1, save_report, benchmark):
+    text = benchmark.pedantic(table1.report, rounds=1, iterations=1)
+    save_report("table1", text)
+    from repro.bench.export import table1_csv
+
+    save_report("table1_csv", table1_csv(table1).rstrip())
+    _assert_table1_shape(table1)
+
+
+def test_1level_views_all_cost_the_same(table1):
+    seconds = [table1.seconds("1level", v) for v in ("meta", "cluster", "host")]
+    assert max(seconds) < 1.15 * min(seconds)
+    # and the absolute scale is the paper's couple-of-seconds regime
+    assert 1.0 < max(seconds) < 4.0
+
+
+def test_nlevel_wins_every_view(table1):
+    for view in ("meta", "cluster", "host"):
+        assert table1.speedup(view) > 2.0
+
+
+def test_speedup_ordering_matches_paper(table1):
+    assert table1.speedup("host") > table1.speedup("meta") > table1.speedup("cluster")
+
+
+def test_speedup_magnitudes(table1):
+    assert table1.speedup("host") > 100
+    assert table1.speedup("meta") > 50
+    assert 3 < table1.speedup("cluster") < 30
+
+
+def test_nlevel_absolute_regimes(table1):
+    assert table1.seconds("nlevel", "host") < 0.02     # milliseconds
+    assert table1.seconds("nlevel", "meta") < 0.05
+    assert table1.seconds("nlevel", "cluster") < 0.8   # one full cluster
+
+
+def test_download_dominated_by_parse_not_transfer(table1):
+    """§3.3: '<1MB in all cases ... downloading time is dominated by TCP
+    startup' -- parse time is the story, not the network."""
+    timing = table1.timings["1level"]["meta"]
+    assert timing.parse_seconds > 5 * timing.download_seconds
+
+
+def test_benchmark_viewer_parse_path(benchmark):
+    """Real wall-clock for the viewer's parse of a full cluster dump."""
+    from repro.bench.topology import build_paper_tree
+    from repro.wire.parser import GangliaParser, TreeBuilder
+
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=HOSTS, freeze_values=True
+    )
+    federation.start()
+    federation.engine.run_for(45.0)
+    xml, _ = federation.gmetad("sdsc").serve_query("/sdsc-c0")
+    federation.stop()
+
+    def parse():
+        builder = TreeBuilder()
+        GangliaParser(validate=False).parse(xml, builder)
+        return builder.document
+
+    result = benchmark(parse)
+    assert len(result.clusters["sdsc-c0"].hosts) == HOSTS

@@ -1,0 +1,100 @@
+"""Ablation: gmetad ingest throughput on recorded traces.
+
+The simulation's CPU figures come from a cost model; this benchmark
+measures the *real* ingest pipeline (parse -> summarize -> archive ->
+snapshot install) in wall-clock, fed by XML streams recorded from a live
+federation run -- real payload sizes, real element mixes, real source
+interleaving.  It bounds how fast one Python gmetad process could keep
+up with polls.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.trace import record_federation_trace, replay_trace
+from repro.core.gmetad import Gmetad
+from repro.core.gmetad_1level import OneLevelGmetad
+from repro.core.tree import GmetadConfig
+from repro.net.fabric import Fabric
+from repro.net.tcp import TcpNetwork
+from repro.sim.engine import Engine
+
+HOSTS = 50
+CYCLES = 5
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_federation_trace(hosts_per_cluster=HOSTS, cycles=CYCLES)
+
+
+def fresh(cls=Gmetad):
+    engine = Engine()
+    fabric = Fabric()
+    tcp = TcpNetwork(engine, fabric)
+    config = GmetadConfig(
+        name="replay", host="gmeta-replay", archive_mode="account"
+    )
+    return cls(engine, fabric, tcp, config)
+
+
+def test_replay_report(trace, save_report, benchmark):
+    result = benchmark.pedantic(
+        lambda: replay_trace(trace, fresh()), rounds=3, iterations=1
+    )
+    assert result.parse_errors == 0
+    per_cycle = trace.total_bytes / CYCLES
+    save_report(
+        "trace_replay",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("recorded polls", len(trace.records)),
+                ("trace MB", trace.total_bytes / 1e6),
+                ("replay MB/s (wall clock)", result.megabytes_per_second),
+                ("replay polls/s", result.polls_per_second),
+                ("bytes per 15s polling cycle", per_cycle),
+                (
+                    "headroom vs live rate (x)",
+                    result.megabytes_per_second * 1e6 / (per_cycle / 15.0),
+                ),
+            ],
+            title=(
+                f"Ingest replay: sdsc gmetad trace, {HOSTS}-host clusters, "
+                f"{CYCLES} polling cycles"
+            ),
+        ),
+    )
+
+
+def test_ingest_keeps_up_with_live_polling(trace):
+    """A single replayed pass must run far faster than real time: the
+    daemon that produced the trace had 15 s per cycle of budget."""
+    result = replay_trace(trace, fresh())
+    live_rate = trace.total_bytes / (CYCLES * 15.0)  # bytes/s when live
+    assert result.megabytes_per_second * 1e6 > 5 * live_rate
+
+
+def test_1level_ingest_also_functional(trace):
+    """The baseline daemon ingests the same trace (it flattens the attic
+    grid's summaries away instead of keeping them)."""
+    daemon = fresh(OneLevelGmetad)
+    result = replay_trace(trace, daemon)
+    assert result.parse_errors == 0
+    assert "sdsc-c0" in daemon.datastore.source_names()
+
+
+def test_benchmark_single_poll_ingest(trace, benchmark):
+    """Wall-clock for ingesting one 50-host cluster poll response."""
+    record = max(trace.records, key=lambda r: r.size_bytes)
+    daemon = fresh()
+    clock = {"t": 0.0}
+
+    def ingest_once():
+        clock["t"] += 15.0
+        if clock["t"] > daemon.engine.now:
+            daemon.engine.run_until(clock["t"])
+        daemon._on_data(record.source, record.xml, rtt=0.0)
+
+    benchmark(ingest_once)
+    assert daemon.parse_errors == 0

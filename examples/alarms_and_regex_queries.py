@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""The §4 future-work features: regex queries driving an alarm engine.
+
+"We would like to implement a general alarm mechanism that tracks the
+data and automatically identify situations that should be relayed to a
+human observer. ... A richer query language based on regular
+expressions is planned for next version of Ganglia."
+
+This example watches the paper's federation from the sdsc gmetad:
+
+- a regex query sweeps load_one across every cluster and host;
+- an alarm fires when a host goes silent (TN beyond 60 s) and resolves
+  when it comes back;
+- a second alarm with a hold time guards against one-sample noise.
+
+Run:  python examples/alarms_and_regex_queries.py
+"""
+
+from repro import build_paper_tree
+from repro.core.alarms import AlarmEngine, AlarmRule
+from repro.core.query_regex import RegexQueryEngine
+
+
+def main() -> None:
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=10, archive_mode="account"
+    )
+    federation.start()
+    federation.engine.run_for(60.0)
+    sdsc = federation.gmetad("sdsc")
+
+    # -- regex queries over the datastore -------------------------------------
+    print("=== regex query: load_one on the first two hosts of every "
+          "local cluster ===")
+    queries = RegexQueryEngine(sdsc.datastore)
+    for match in queries.search(r"~/sdsc-c\d/sdsc-c\d-0-[01]/load_one"):
+        print(f"  {match.path_text:38s} = {match.element.val}")
+
+    print("\n=== regex query: whole-grid rollups visible from sdsc ===")
+    for match in queries.search(r"~/attic"):
+        element = match.element
+        print(f"  {match.path_text}: grid with "
+              f"{element.summary.hosts_total if element.summary else '?'} hosts")
+
+    # -- alarms ---------------------------------------------------------------
+    print("\n=== alarm engine ===")
+    notifications = []
+    alarms = AlarmEngine(sdsc, interval=15.0, notify=notifications.append)
+    alarms.add_rule(
+        AlarmRule(
+            name="host-silent",
+            selector=r"~/sdsc-c\d/.*",   # host level: condition on TN
+            op=">",
+            threshold=60.0,
+            severity="critical",
+        )
+    )
+    alarms.add_rule(
+        AlarmRule(
+            name="cluster-wide-high-load",
+            selector=r"~/sdsc-c\d/.*/load_one",
+            op=">",
+            threshold=15.0,          # implausible; stays quiet
+            hold_seconds=30.0,
+        )
+    )
+    alarms.start()
+
+    # kill two hosts in sdsc-c1, let the alarm fire, then revive one
+    pseudo = federation.pseudos["sdsc-c1"]
+    print("  t=+0s: killing sdsc-c1 hosts #2 and #5")
+    pseudo.set_host_down(2)
+    pseudo.set_host_down(5)
+    federation.engine.run_for(150.0)
+    print(f"  firing alarms: {len(alarms.firing())}")
+    print("  t=+150s: reviving host #2")
+    pseudo.set_host_down(2, down=False)
+    federation.engine.run_for(60.0)
+    print(f"  firing alarms after revival: {len(alarms.firing())}")
+
+    print("\nnotification stream (what would page the operator):")
+    for notification in notifications:
+        print("  " + notification.render())
+
+    quiet = [r.name for r in alarms.rules
+             if not any(a.rule.name == r.name for a in alarms.firing())]
+    print(f"\nrules currently quiet: {quiet}")
+
+    alarms.stop()
+    federation.stop()
+
+
+if __name__ == "__main__":
+    main()

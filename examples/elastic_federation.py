@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Self-organizing monitoring tree (the paper's MDS-style future work).
+
+"Children in an MDS tree periodically send join messages to their
+parents, who verify trust via a cryptographic certificate sent with the
+message.  Nodes are automatically pruned from the tree if their join
+messages cease."
+
+The scenario:
+
+1. a root gmetad starts with *zero* configured children;
+2. three site gmetads come online over time and join with certificates
+   issued by the federation CA -- no root reconfiguration;
+3. a rogue gmetad with a forged certificate is rejected;
+4. one site shuts down; its lease expires and the root prunes it.
+
+Run:  python examples/elastic_federation.py
+"""
+
+from repro import (
+    Engine,
+    Fabric,
+    Gmetad,
+    GmetadConfig,
+    PseudoGmond,
+    RngRegistry,
+    TcpNetwork,
+)
+from repro.core.selforg import (
+    CertificateAuthority,
+    JoinAnnouncer,
+    JoinListener,
+)
+
+
+def make_site(engine, fabric, tcp, rngs, name, hosts):
+    """One site: a pseudo cluster plus its local gmetad."""
+    pseudo = PseudoGmond(
+        engine, fabric, tcp, f"{name}-cluster", num_hosts=hosts,
+        rng=rngs.stream(f"pg-{name}"),
+    )
+    config = GmetadConfig(name=name, host=f"gmeta-{name}",
+                          archive_mode="account")
+    config.add_source(f"{name}-cluster", [pseudo.address])
+    gmetad = Gmetad(engine, fabric, tcp, config)
+    gmetad.start()
+    return gmetad
+
+
+def show_tree(root):
+    rollup, _ = root.datastore.root_summary()
+    children = sorted(root.pollers)
+    print(f"  root children: {children or '(none)'}  "
+          f"[{rollup.hosts_total} hosts federated]")
+
+
+def main() -> None:
+    engine = Engine()
+    fabric = Fabric()
+    tcp = TcpNetwork(engine, fabric)
+    rngs = RngRegistry(11)
+
+    ca = CertificateAuthority(realm="WORLDGRID")
+    root = Gmetad(
+        engine, fabric, tcp,
+        GmetadConfig(name="root", host="gmeta-root", archive_mode="account"),
+    )
+    root.start()
+    listener = JoinListener(root, ca, lease_seconds=90.0,
+                            prune_interval=30.0).start()
+
+    print("=== t=0: root has no children ===")
+    show_tree(root)
+
+    # -- sites join over time --------------------------------------------------
+    announcers = {}
+    for delay, (name, hosts) in zip(
+        (10.0, 40.0, 70.0), (("tokyo", 16), ("berlin", 8), ("sandiego", 24))
+    ):
+        engine.run_until(delay)
+        site = make_site(engine, fabric, tcp, rngs, name, hosts)
+        announcers[name] = JoinAnnouncer(
+            engine, tcp, site, "gmeta-root", ca.issue(name), interval=30.0
+        ).start(initial_delay=0.5)
+        engine.run_for(20.0)
+        print(f"\n=== t={engine.now:.0f}: site '{name}' announced ===")
+        show_tree(root)
+
+    # -- a rogue tries to join --------------------------------------------------
+    engine.run_for(10.0)
+    print(f"\n=== t={engine.now:.0f}: rogue site with forged certificate ===")
+    rogue = make_site(engine, fabric, tcp, rngs, "rogue", 50)
+    forged = CertificateAuthority(realm="WORLDGRID",
+                                  secret=b"wrong-key").issue("rogue")
+    rogue_announcer = JoinAnnouncer(
+        engine, tcp, rogue, "gmeta-root", forged, interval=30.0
+    ).start(initial_delay=0.5)
+    engine.run_for(40.0)
+    print(f"  rogue NAKs: {rogue_announcer.naks}, "
+          f"listener rejections: {listener.joins_rejected}")
+    show_tree(root)
+
+    # -- berlin goes dark and is pruned -----------------------------------------
+    print(f"\n=== t={engine.now:.0f}: berlin stops announcing ===")
+    announcers["berlin"].stop()
+    engine.run_for(150.0)
+    print(f"  after lease expiry (pruned: {listener.pruned}):")
+    show_tree(root)
+
+    # -- and can come back, soft-state style ------------------------------------
+    print(f"\n=== t={engine.now:.0f}: berlin returns ===")
+    announcers["berlin2"] = JoinAnnouncer(
+        engine, tcp,
+        make_site(engine, fabric, tcp, rngs, "berlin2", 8),
+        "gmeta-root", ca.issue("berlin2"), interval=30.0,
+    ).start(initial_delay=0.5)
+    engine.run_for(40.0)
+    show_tree(root)
+
+    root.stop()
+
+
+if __name__ == "__main__":
+    main()

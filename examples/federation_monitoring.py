@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Wide-area federation: the paper's six-monitor tree, end to end.
+
+Builds the exact monitoring tree of the paper's Figure 2 (root -> ucsd,
+sdsc; ucsd -> physics, math; sdsc -> attic; twelve clusters at the
+leaves), then demonstrates the multiple-resolution view the N-level
+design exists for:
+
+1. the root's meta view -- two grid summaries, O(m) data;
+2. one level down -- per-cluster summaries at sdsc;
+3. following AUTHORITY pointers to the leaf holding full detail;
+4. the web frontend rendering all three page types with timings.
+
+Run:  python examples/federation_monitoring.py
+"""
+
+from repro import WebFrontend, build_paper_tree
+from repro.core.authority import AuthorityNavigator
+
+
+def main() -> None:
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=20, archive_mode="account"
+    )
+    federation.start()
+    federation.engine.run_for(90.0)
+
+    # -- 1. the root's view: everything, summarized --------------------------
+    root = federation.gmetad("root")
+    rollup, _ = root.datastore.root_summary()
+    print("=== root meta view ===")
+    print(f"federation total: {rollup.hosts_up} hosts up, "
+          f"{rollup.hosts_down} down, "
+          f"{int(rollup.metrics['cpu_num'].total)} CPUs")
+    for source_name in root.datastore.source_names():
+        snapshot = root.datastore.source(source_name)
+        load = snapshot.summary.metrics["load_one"]
+        print(f"  grid {source_name:8s} hosts={snapshot.summary.hosts_total:4d} "
+              f"mean load={load.mean():.2f}  authority={snapshot.authority}")
+
+    # -- 2. one level down: sdsc's per-cluster summaries ----------------------
+    sdsc = federation.gmetad("sdsc")
+    print("\n=== sdsc view (one resolution level down) ===")
+    for source_name in sdsc.datastore.source_names():
+        snapshot = sdsc.datastore.source(source_name)
+        kind = "grid   " if snapshot.kind == "grid" else "cluster"
+        print(f"  {kind} {source_name:10s} hosts={snapshot.summary.hosts_total}")
+
+    # -- 3. drill down by following authority pointers ------------------------
+    print("\n=== authority drill-down: locate math-c1 from the root ===")
+    federation.fabric.add_host("operator-laptop")
+    navigator = AuthorityNavigator(
+        federation.engine, federation.tcp, "operator-laptop"
+    )
+    result = navigator.drill_down(root.address, "math-c1")
+    for step in result.steps:
+        note = f" -> follow {step.authority}" if step.outcome == "follow" else ""
+        print(f"  asked {step.address}  {step.query:20s} [{step.outcome}]{note}")
+    print(f"  full resolution reached: {len(result.cluster.hosts)} hosts, "
+          f"{result.cluster.metric_count} metric values")
+
+    # -- 4. the web frontend's three page types -------------------------------
+    print("\n=== web frontend page timings against sdsc ===")
+    viewer = WebFrontend(
+        federation.engine, federation.fabric, federation.tcp,
+        target=sdsc.address, design="nlevel",
+    )
+    meta_page, timing = viewer.render_view("meta")
+    print(f"  meta view:    {timing.total_seconds*1000:8.2f} ms "
+          f"({timing.bytes_received} bytes) -- {len(meta_page.rows)} rows")
+    cluster_page, timing = viewer.render_view("cluster", cluster="sdsc-c0")
+    print(f"  cluster view: {timing.total_seconds*1000:8.2f} ms "
+          f"({timing.bytes_received} bytes) -- {cluster_page.up_count} hosts up")
+    host_page, timing = viewer.render_view(
+        "host", cluster="sdsc-c0", host="sdsc-c0-0-7"
+    )
+    print(f"  host view:    {timing.total_seconds*1000:8.2f} ms "
+          f"({timing.bytes_received} bytes) -- "
+          f"{len(host_page.metrics)} metrics shown")
+
+    federation.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: monitor one real gmond cluster with an N-level gmetad.
+
+Builds the smallest interesting deployment by hand (no prefab topology):
+
+- an 8-host cluster running real gmond agents on a simulated multicast
+  channel (leaderless, soft-state, any node can serve the full report);
+- one gmetad polling two redundant gmond endpoints every 15 s;
+- a few queries against the gmetad's path query engine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Engine,
+    Fabric,
+    Gmetad,
+    GmetadConfig,
+    RngRegistry,
+    SimulatedCluster,
+    TcpNetwork,
+)
+
+
+def main() -> None:
+    # -- the simulated world ------------------------------------------------
+    engine = Engine()
+    fabric = Fabric()
+    tcp = TcpNetwork(engine, fabric)
+    rngs = RngRegistry(42)
+
+    # -- a cluster of real gmond agents ------------------------------------
+    cluster = SimulatedCluster.build(
+        engine, fabric, tcp, rngs, name="meteor", num_hosts=8
+    )
+    cluster.start()
+
+    # -- a gmetad polling it (with fail-over endpoints) ---------------------
+    config = GmetadConfig(name="sdsc", host="gmeta-sdsc", archive_mode="full")
+    config.add_source("meteor", cluster.gmond_addresses(count=2))
+    gmetad = Gmetad(engine, fabric, tcp, config)
+    gmetad.start()
+
+    # -- let the federation run for two simulated minutes -------------------
+    engine.run_for(120.0)
+
+    # -- query it -----------------------------------------------------------
+    snapshot = gmetad.datastore.source("meteor")
+    print(f"cluster 'meteor' seen by gmetad '{gmetad.config.name}':")
+    print(f"  hosts up={snapshot.summary.hosts_up} "
+          f"down={snapshot.summary.hosts_down}")
+    load = snapshot.summary.metrics["load_one"]
+    print(f"  load_one: sum={load.total:.2f} mean={load.mean():.2f} "
+          f"over {load.num} hosts")
+
+    print("\ncluster summary XML (what a parent gmetad would receive):")
+    xml, _ = gmetad.serve_query("/meteor?filter=summary")
+    print("\n".join(xml.splitlines()[:8]) + "\n  ...")
+
+    host = cluster.host_names[3]
+    print(f"\nsingle-host query /meteor/{host}/load_one:")
+    xml, _ = gmetad.serve_query(f"/meteor/{host}/load_one")
+    print("\n".join(line for line in xml.splitlines() if "METRIC" in line))
+
+    # -- the RRD archives are live too ---------------------------------------
+    from repro.rrd.store import MetricKey
+
+    key = MetricKey("meteor", "meteor", host, "load_one")
+    database = gmetad.rrd_store.database(key)
+    database.flush(engine.now)
+    # ask for the last minute -> the finest (15 s) archive answers
+    times, values, resolution = database.fetch(engine.now - 60.0, engine.now)
+    print(f"\n{host} load_one history ({resolution:.0f}s resolution):")
+    for t, v in list(zip(times, values))[-5:]:
+        print(f"  t={t:6.0f}s  load={v:.2f}")
+
+    gmetad.stop()
+    cluster.stop()
+    print("\ndone: one cluster, one gmetad, full pipeline exercised.")
+
+
+if __name__ == "__main__":
+    main()

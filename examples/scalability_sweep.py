@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Miniature of the paper's evaluation: all three experiments at small
+scale, printed in the paper's format.
+
+This runs in well under a minute; the full-scale versions (100-500 host
+clusters, long windows) live in ``benchmarks/`` and are executed with
+``pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/scalability_sweep.py
+"""
+
+from repro import run_figure5, run_figure6, run_table1
+
+
+def main() -> None:
+    print("Running experiment 1 (Fig. 5) at 20-host scale...\n")
+    fig5 = run_figure5(hosts_per_cluster=20, window=90.0, warmup=30.0)
+    print(fig5.report())
+
+    print("\n\nRunning experiment 2 (Fig. 6) over sizes 5..40...\n")
+    fig6 = run_figure6(sizes=(5, 10, 20, 40), window=45.0, warmup=30.0)
+    print(fig6.report())
+
+    print("\n\nRunning experiment 3 (Table 1) at 20-host scale...\n")
+    table1 = run_table1(hosts_per_cluster=20, warmup=45.0, samples=3)
+    print(table1.report())
+
+    print(
+        "\nShapes to notice (they match the paper at every scale):\n"
+        "  - 1-level stacks CPU at the root; N-level pushes it to leaves\n"
+        "  - the N-level aggregate is lower and grows more slowly\n"
+        "  - the N-level viewer is fastest for host views, slowest for\n"
+        "    full-cluster views, and the 1-level viewer pays the same\n"
+        "    price for everything"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Generate a browsable static snapshot of a whole federation.
+
+Runs the paper's six-gmetad tree, then writes one HTML directory per
+gmetad: meta views with working cross-gmetad links (the AUTHORITY
+pointers of §2.2 become plain hyperlinks), full cluster pages and
+per-host metric pages at the authority level.
+
+Run:  python examples/static_site.py [output-dir]
+"""
+
+import sys
+
+from repro import build_paper_tree
+from repro.frontend.site import generate_federation_site
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "/tmp/ganglia-site"
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=12, archive_mode="account"
+    )
+    federation.start()
+    federation.engine.run_for(90.0)
+
+    pages = generate_federation_site(federation.gmetads, output)
+    federation.stop()
+
+    print(f"wrote {pages} pages under {output}/")
+    print(f"open {output}/index.html and drill down:")
+    print("  federation index -> root meta view -> grid SDSC ->")
+    print("  cluster sdsc-c0 -> any host's 33-metric table")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Virtual-organization views: the Ganglia VO model on our gmetad.
+
+The related work describes Ganglia VO: "fractional access policies on a
+grid of clusters" with "a user/group-centric information hierarchy
+based on virtual organizations".  Here two science VOs share the sdsc
+clusters:
+
+- *atlas* owns 60% of sdsc-c0 and all of sdsc-c1;
+- *cms* owns the other 40% of sdsc-c0 and the gpu-prefixed... well,
+  an explicit host list in sdsc-c2.
+
+Each VO then sees only its slice: filtered cluster views, per-VO
+summaries, and `/vo/...` queries that structurally cannot leak another
+VO's hosts.
+
+Run:  python examples/virtual_organizations.py
+"""
+
+from repro import build_paper_tree
+from repro.vo.policy import ClusterSlice, VirtualOrganization, VoPolicy
+from repro.vo.service import VoDirectory, VoError
+
+
+def main() -> None:
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=10, archive_mode="account"
+    )
+    federation.start()
+    federation.engine.run_for(60.0)
+    sdsc = federation.gmetad("sdsc")
+
+    # -- policy ----------------------------------------------------------
+    policy = VoPolicy()
+    # sdsc-c0 is split 60/40 between the two VOs, exactly and disjointly
+    policy.partition_cluster("sdsc-c0", {"atlas": 0.6, "cms": 0.4})
+    policy.vo("atlas").grant(ClusterSlice(cluster="sdsc-c1", fraction=1.0))
+    policy.vo("cms").grant(
+        ClusterSlice(
+            cluster="sdsc-c2",
+            hosts=frozenset({"sdsc-c2-0-1", "sdsc-c2-0-4", "sdsc-c2-0-7"}),
+        )
+    )
+    directory = VoDirectory(sdsc, policy)
+
+    # -- per-VO summaries -----------------------------------------------------
+    print("=== per-VO rollups (user/group-centric hierarchy) ===")
+    for vo_name in policy.names():
+        summary, clusters = directory.vo_summary(vo_name)
+        load = summary.metrics.get("load_one")
+        print(f"  VO {vo_name:6s}: {summary.hosts_total:3d} hosts across "
+              f"{clusters}, mean load "
+              f"{load.mean() if load else 0.0:.2f}")
+
+    # -- the 60/40 split of sdsc-c0 -----------------------------------------
+    print("\n=== fractional split of sdsc-c0 ===")
+    atlas_hosts = set(directory.filtered_cluster("atlas", "sdsc-c0").hosts)
+    cms_hosts = set(directory.filtered_cluster("cms", "sdsc-c0").hosts)
+    print(f"  atlas: {len(atlas_hosts)} hosts  {sorted(atlas_hosts)[:3]}...")
+    print(f"  cms:   {len(cms_hosts)} hosts  {sorted(cms_hosts)[:3]}...")
+    print(f"  overlap: {len(atlas_hosts & cms_hosts)} "
+          f"(disjoint), coverage: {len(atlas_hosts | cms_hosts)}/10")
+
+    # -- queries with enforcement ------------------------------------------
+    print("\n=== /vo queries ===")
+    xml, _ = directory.serve("/vo/cms/sdsc-c2")
+    lines = [l for l in xml.splitlines() if "HOST NAME" in l]
+    print(f"  /vo/cms/sdsc-c2 -> {len(lines)} hosts "
+          "(the explicit grant, nothing else)")
+    try:
+        directory.serve("/vo/cms/sdsc-c1")
+    except VoError as exc:
+        print(f"  /vo/cms/sdsc-c1 -> denied: {exc}")
+    try:
+        directory.serve("/vo/atlas/sdsc-c2/sdsc-c2-0-1")
+    except VoError as exc:
+        print(f"  /vo/atlas/sdsc-c2/... -> denied: {exc}")
+
+    federation.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro: a full reproduction of *Wide Area Cluster Monitoring with
+Ganglia* (Sacerdoti, Katz, Massie, Culler -- CLUSTER 2003).
+
+The package implements both halves of Ganglia -- the gmond local-area
+monitor and the gmetad wide-area monitor -- plus every substrate the
+paper's evaluation depends on (simulated UDP multicast and TCP, an
+RRD-style time-series database, pseudo-gmond workload emulators, a web
+frontend cost model), all running on a deterministic discrete-event
+simulation.
+
+Quick start::
+
+    from repro import build_paper_tree
+
+    federation = build_paper_tree("nlevel", hosts_per_cluster=50)
+    federation.start()
+    federation.engine.run_for(120.0)
+    xml, _ = federation.gmetad("root").serve_query("/?filter=summary")
+
+Layout:
+
+- :mod:`repro.sim` -- event engine, RNG streams, CPU accounting
+- :mod:`repro.net` -- simulated UDP multicast / TCP / topology faults
+- :mod:`repro.metrics` -- metric catalog and host workload models
+- :mod:`repro.wire` -- the Ganglia XML language (model/writer/parser)
+- :mod:`repro.gmond` -- local-area monitor agents and pseudo-gmond
+- :mod:`repro.rrd` -- round-robin time-series databases
+- :mod:`repro.core` -- gmetad: 1-level baseline, N-level design,
+  query engines, alarms, self-organizing tree
+- :mod:`repro.frontend` -- web-frontend emulation (Table 1)
+- :mod:`repro.faults` -- failure injection
+- :mod:`repro.bench` -- experiment drivers for every figure and table
+"""
+
+from repro.bench.experiments import run_figure5, run_figure6, run_table1
+from repro.bench.topology import Federation, build_paper_tree
+from repro.core.gmetad import Gmetad
+from repro.core.gmetad_1level import OneLevelGmetad
+from repro.core.query import GmetadQuery
+from repro.core.tree import DataSourceConfig, GmetadConfig, MonitorTree
+from repro.frontend.viewer import WebFrontend
+from repro.gmond.cluster import SimulatedCluster
+from repro.gmond.pseudo import PseudoGmond
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.net.tcp import TcpNetwork
+from repro.rrd.database import RrdDatabase
+from repro.sim.engine import Engine
+from repro.sim.resources import CostModel
+from repro.sim.rng import RngRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Engine",
+    "RngRegistry",
+    "CostModel",
+    "Address",
+    "Fabric",
+    "TcpNetwork",
+    "SimulatedCluster",
+    "PseudoGmond",
+    "RrdDatabase",
+    "Gmetad",
+    "OneLevelGmetad",
+    "GmetadQuery",
+    "GmetadConfig",
+    "DataSourceConfig",
+    "MonitorTree",
+    "WebFrontend",
+    "Federation",
+    "build_paper_tree",
+    "run_figure5",
+    "run_figure6",
+    "run_table1",
+]

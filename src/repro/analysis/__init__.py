@@ -1,0 +1,38 @@
+"""Analysis over monitoring data: the paper's motivating use cases.
+
+"Like other production-class resources, we desire to monitor clusters
+for auditing, accounting, performance assessment, and design feedback
+purposes." (§1)  This package turns the raw archives and datastore
+snapshots into those deliverables:
+
+- :mod:`repro.analysis.forensics` -- outage detection and time-of-death
+  estimation from the zero records gmetad keeps during downtime;
+- :mod:`repro.analysis.availability` -- per-host and per-cluster uptime
+  accounting over a window;
+- :mod:`repro.analysis.loadstats` -- load/utilization statistics from
+  summary archives and live snapshots.
+"""
+
+from repro.analysis.availability import (
+    AvailabilityReport,
+    cluster_availability,
+    host_availability,
+)
+from repro.analysis.forensics import Outage, estimate_death_time, find_outages
+from repro.analysis.loadstats import (
+    busiest_hosts,
+    cluster_mean_series,
+    series_statistics,
+)
+
+__all__ = [
+    "Outage",
+    "find_outages",
+    "estimate_death_time",
+    "host_availability",
+    "cluster_availability",
+    "AvailabilityReport",
+    "cluster_mean_series",
+    "series_statistics",
+    "busiest_hosts",
+]

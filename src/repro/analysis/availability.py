@@ -1,0 +1,101 @@
+"""Uptime accounting from archived histories.
+
+Availability of a host over a window = fraction of known archive rows
+that are non-zero on a liveness-correlated metric.  Cluster availability
+aggregates hosts; the report renders the auditing table the paper's
+introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.rrd.store import MetricKey, RrdStore
+
+#: Default liveness-correlated metric for availability accounting.
+LIVENESS_METRIC = "load_one"
+
+
+def host_availability(
+    store: RrdStore,
+    source: str,
+    cluster: str,
+    host: str,
+    start: float,
+    end: float,
+    metric: str = LIVENESS_METRIC,
+) -> Optional[float]:
+    """Fraction of the window the host was reporting, or None if no data."""
+    database = store.database(MetricKey(source, cluster, host, metric))
+    if database is None:
+        return None
+    _, values, _ = database.fetch(start, end)
+    known = values[~np.isnan(values)]
+    if len(known) == 0:
+        return None
+    return float((known != 0.0).sum() / len(known))
+
+
+@dataclass
+class AvailabilityReport:
+    """Per-host availability over one window."""
+
+    source: str
+    cluster: str
+    start: float
+    end: float
+    per_host: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cluster_availability(self) -> float:
+        if not self.per_host:
+            return 0.0
+        return sum(self.per_host.values()) / len(self.per_host)
+
+    def worst_hosts(self, count: int = 5) -> List[tuple]:
+        """The lowest-availability hosts, worst first."""
+        return sorted(self.per_host.items(), key=lambda kv: kv[1])[:count]
+
+    def render(self) -> str:
+        """The report as printable text."""
+        lines = [
+            f"Availability report: {self.source}/{self.cluster} "
+            f"({self.start:.0f}s..{self.end:.0f}s)",
+            f"  cluster availability: {self.cluster_availability:.1%}",
+        ]
+        for host, availability in sorted(self.per_host.items()):
+            flag = "  <-- degraded" if availability < 0.99 else ""
+            lines.append(f"  {host:24s} {availability:8.1%}{flag}")
+        return "\n".join(lines)
+
+
+def cluster_availability(
+    store: RrdStore,
+    source: str,
+    cluster: str,
+    start: float,
+    end: float,
+    metric: str = LIVENESS_METRIC,
+) -> AvailabilityReport:
+    """Availability of every archived host of one cluster."""
+    report = AvailabilityReport(source, cluster, start, end)
+    hosts = sorted(
+        {
+            key.host
+            for key in store.keys()
+            if key.source == source
+            and key.cluster == cluster
+            and key.metric == metric
+            and not key.host.startswith("__")
+        }
+    )
+    for host in hosts:
+        availability = host_availability(
+            store, source, cluster, host, start, end, metric
+        )
+        if availability is not None:
+            report.per_host[host] = availability
+    return report

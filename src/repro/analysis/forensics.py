@@ -1,0 +1,84 @@
+"""Time-of-death forensics over round-robin archives.
+
+"If a monitored node has failed, it keeps a 'zero' record during the
+downtime, aiding time-of-death forensic analysis." (§2.1)
+
+A dead host's archives show a run of exact zeros (gmetad stops
+refreshing the series and the gap fill writes zeros).  These functions
+recover outage intervals and death estimates from that signal.  The
+zero convention is ambiguous for metrics that are legitimately zero;
+callers should run forensics on a liveness-correlated metric
+(``load_one``, ``cpu_user``, or the summary ``.num`` series, which
+counts reporting hosts and is never zero while anything lives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.rrd.database import RrdDatabase
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One contiguous run of zero records."""
+
+    start: float        # time of the first zero row
+    end: float          # time of the last zero row
+    ongoing: bool       # True if the run extends to the newest row
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def find_outages(
+    database: RrdDatabase,
+    start: float,
+    end: float,
+    min_rows: int = 2,
+) -> List[Outage]:
+    """All zero-runs of at least ``min_rows`` rows in ``(start, end]``.
+
+    Unknown (NaN) rows break runs: a gap with no data at all is *not*
+    evidence of a host death, only missing evidence.
+    """
+    times, values, _ = database.fetch(start, end)
+    if len(values) == 0:
+        return []
+    outages: List[Outage] = []
+    run_start: Optional[int] = None
+    for i, value in enumerate(values):
+        is_zero = not np.isnan(value) and value == 0.0
+        if is_zero and run_start is None:
+            run_start = i
+        elif not is_zero and run_start is not None:
+            if i - run_start >= min_rows:
+                outages.append(
+                    Outage(times[run_start], times[i - 1], ongoing=False)
+                )
+            run_start = None
+    if run_start is not None and len(values) - run_start >= min_rows:
+        outages.append(Outage(times[run_start], times[-1], ongoing=True))
+    return outages
+
+
+def estimate_death_time(
+    database: RrdDatabase,
+    start: float,
+    end: float,
+) -> Optional[float]:
+    """When did the host die?  The start of the final ongoing zero-run.
+
+    Returns None if the series does not end in an outage.  The estimate
+    is biased late by up to (heartbeat window + poll interval): the
+    monitor keeps archiving the last-known values until the soft state
+    times the host out, which is when zeros begin.
+    """
+    outages = find_outages(database, start, end)
+    if outages and outages[-1].ongoing:
+        return outages[-1].start
+    return None

@@ -1,0 +1,116 @@
+"""Load and utilization statistics: performance assessment.
+
+Works at both resolutions the system offers, mirroring the paper's
+multiple-resolution view:
+
+- **summary archives** (sum + num series) give cluster-level means over
+  time without per-host data -- what a capacity planner at the root of
+  the tree can compute;
+- **live snapshots** give instantaneous per-host detail -- what someone
+  at the authority gmetad uses to find the hot machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.rrd.store import SUMMARY_HOST, MetricKey, RrdStore
+from repro.wire.model import ClusterElement
+
+
+def cluster_mean_series(
+    store: RrdStore,
+    source: str,
+    cluster: str,
+    metric: str,
+    start: float,
+    end: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(times, mean values) for one cluster metric from summary archives.
+
+    Divides the archived SUM series by the archived NUM series row by
+    row -- exactly the mean the paper says a summary can reconstruct.
+    Rows where either side is unknown or the set size is zero are
+    dropped.
+    """
+    sum_db = store.database(MetricKey(source, cluster, SUMMARY_HOST, metric))
+    num_db = store.database(
+        MetricKey(source, cluster, SUMMARY_HOST, f"{metric}.num")
+    )
+    if sum_db is None or num_db is None:
+        return np.empty(0), np.empty(0)
+    sum_times, sums, _ = sum_db.fetch(start, end)
+    num_times, nums, _ = num_db.fetch(start, end)
+    by_time = {t: v for t, v in zip(num_times, nums)}
+    times: List[float] = []
+    means: List[float] = []
+    for t, total in zip(sum_times, sums):
+        count = by_time.get(t)
+        if count is None or np.isnan(total) or np.isnan(count) or count <= 0:
+            continue
+        times.append(t)
+        means.append(total / count)
+    return np.asarray(times), np.asarray(means)
+
+
+@dataclass(frozen=True)
+class SeriesStatistics:
+    """Descriptive statistics of one time series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p95: float
+
+    def render(self) -> str:
+        """The statistics as one printable line."""
+        return (
+            f"n={self.count} mean={self.mean:.3f} min={self.minimum:.3f} "
+            f"max={self.maximum:.3f} p95={self.p95:.3f}"
+        )
+
+
+def series_statistics(values: np.ndarray) -> SeriesStatistics:
+    """Stats over the known entries of a fetched series."""
+    known = np.asarray(values, dtype=float)
+    known = known[~np.isnan(known)]
+    if len(known) == 0:
+        return SeriesStatistics(0, 0.0, 0.0, 0.0, 0.0)
+    return SeriesStatistics(
+        count=int(len(known)),
+        mean=float(known.mean()),
+        minimum=float(known.min()),
+        maximum=float(known.max()),
+        p95=float(np.percentile(known, 95)),
+    )
+
+
+def busiest_hosts(
+    cluster: ClusterElement,
+    metric: str = "load_one",
+    count: int = 5,
+    heartbeat_window: float = 80.0,
+) -> List[Tuple[str, float]]:
+    """Top-N live hosts by a numeric metric, from a full-form snapshot."""
+    if cluster.is_summary:
+        raise ValueError(
+            f"cluster {cluster.name!r} is summary-form; busiest_hosts needs "
+            "full resolution (query the authority gmetad)"
+        )
+    loads: List[Tuple[str, float]] = []
+    for host in cluster.hosts.values():
+        if not host.is_up(heartbeat_window):
+            continue
+        element = host.metrics.get(metric)
+        if element is None or not element.is_numeric:
+            continue
+        try:
+            loads.append((host.name, element.numeric()))
+        except ValueError:
+            continue
+    loads.sort(key=lambda pair: -pair[1])
+    return loads[:count]

@@ -1,0 +1,30 @@
+"""Experiment harness: topologies, figure/table runners, reporting.
+
+Everything the evaluation section (§3) needs: the six-gmetad monitoring
+tree of paper Fig. 2 with twelve pseudo-gmond clusters
+(:mod:`repro.bench.topology`), the three experiment drivers
+(:mod:`repro.bench.experiments`), cost-model calibration notes
+(:mod:`repro.bench.calibration`) and table formatting
+(:mod:`repro.bench.reporting`).
+"""
+
+from repro.bench.topology import Federation, build_paper_tree
+from repro.bench.experiments import (
+    Figure5Result,
+    Figure6Result,
+    Table1Result,
+    run_figure5,
+    run_figure6,
+    run_table1,
+)
+
+__all__ = [
+    "Federation",
+    "build_paper_tree",
+    "run_figure5",
+    "run_figure6",
+    "run_table1",
+    "Figure5Result",
+    "Figure6Result",
+    "Table1Result",
+]

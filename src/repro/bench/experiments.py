@@ -1,0 +1,304 @@
+"""The three experiments of §3, as callable drivers.
+
+Each ``run_*`` function builds the paper's monitoring tree, runs the
+measurement, and returns a structured result with a ``report()`` method
+printing the same rows/series the paper's figure or table shows.  The
+benchmarks under ``benchmarks/`` call these and assert the paper's
+qualitative shape (who wins, roughly by how much, where the curves
+bend).
+
+Absolute numbers depend on the calibrated cost model
+(:mod:`repro.bench.calibration`); shapes do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.reporting import format_bar_chart, format_table
+from repro.bench.topology import PAPER_GMETA_ORDER, build_paper_tree
+from repro.frontend.costmodel import PhpSaxCostModel
+from repro.frontend.viewer import ViewTiming, WebFrontend
+from repro.sim.resources import CostModel
+
+#: Paper Fig. 6 cluster sizes.
+PAPER_CLUSTER_SIZES = (10, 50, 100, 150, 200, 300, 400, 500)
+
+#: Paper Table 1 reference numbers (seconds), for the report's
+#: side-by-side column.  Not used in assertions.
+PAPER_TABLE1 = {
+    "1level": {"meta": 2.091, "cluster": 2.093, "host": 2.096},
+    "nlevel": {"meta": 0.0092, "cluster": 0.198, "host": 0.003},
+}
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1: Fig. 5 -- per-gmetad CPU% in the monitoring tree
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Figure5Result:
+    hosts_per_cluster: int
+    window: float
+    cpu_percent: Dict[str, Dict[str, float]]  # design -> gmetad -> CPU%
+    breakdown: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def aggregate(self, design: str) -> float:
+        """Sum of CPU% over the six gmetads for one design."""
+        return sum(self.cpu_percent[design].values())
+
+    def report(self) -> str:
+        """The paper-style text report for this result."""
+        rows = []
+        for name in PAPER_GMETA_ORDER:
+            rows.append(
+                (
+                    name,
+                    self.cpu_percent["1level"].get(name, 0.0),
+                    self.cpu_percent["nlevel"].get(name, 0.0),
+                )
+            )
+        rows.append(("TOTAL", self.aggregate("1level"), self.aggregate("nlevel")))
+        table = format_table(
+            ["gmeta", "1-level %CPU", "N-level %CPU"],
+            rows,
+            title=(
+                "Figure 5: Wide-Area Scalability -- gmetad CPU utilization in "
+                f"the monitor tree ({self.hosts_per_cluster}-host clusters, "
+                f"{self.window:.0f}s window)"
+            ),
+        )
+        charts = "\n\n".join(
+            format_bar_chart(
+                {
+                    n: self.cpu_percent[design].get(n, 0.0)
+                    for n in PAPER_GMETA_ORDER
+                },
+                title=f"{design} design:",
+            )
+            for design in ("1level", "nlevel")
+        )
+        return f"{table}\n\n{charts}"
+
+
+def run_figure5(
+    hosts_per_cluster: int = 100,
+    window: float = 300.0,
+    warmup: float = 60.0,
+    seed: int = 14,
+    poll_interval: float = 15.0,
+    costs: Optional[CostModel] = None,
+    freeze_values: bool = False,
+) -> Figure5Result:
+    """Experiment 1: both designs on the Fig. 2 tree, identical workload."""
+    cpu: Dict[str, Dict[str, float]] = {}
+    breakdown: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for design in ("1level", "nlevel"):
+        federation = build_paper_tree(
+            design,
+            hosts_per_cluster=hosts_per_cluster,
+            seed=seed,
+            poll_interval=poll_interval,
+            archive_mode="account",
+            costs=costs,
+            freeze_values=freeze_values,
+        )
+        federation.start()
+        cpu[design] = federation.run_measurement_window(window, warmup)
+        now = federation.engine.now
+        breakdown[design] = {
+            name: g.cpu.category_breakdown(now)
+            for name, g in federation.gmetads.items()
+        }
+        federation.stop()
+    return Figure5Result(
+        hosts_per_cluster=hosts_per_cluster,
+        window=window,
+        cpu_percent=cpu,
+        breakdown=breakdown,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2: Fig. 6 -- aggregate CPU% vs cluster size
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Figure6Result:
+    sizes: Tuple[int, ...]
+    window: float
+    #: design -> [sum of CPU% over the 6 gmetads, one per size]
+    aggregate: Dict[str, List[float]]
+    #: design -> [root gmetad CPU%, one per size] (saturation diagnostics)
+    root_cpu: Dict[str, List[float]]
+
+    def report(self) -> str:
+        rows = [
+            (
+                size,
+                self.aggregate["1level"][i],
+                self.aggregate["nlevel"][i],
+                self.aggregate["1level"][i] / max(1e-9, self.aggregate["nlevel"][i]),
+            )
+            for i, size in enumerate(self.sizes)
+        ]
+        return format_table(
+            ["cluster size", "1-level agg %CPU", "N-level agg %CPU", "ratio"],
+            rows,
+            title=(
+                "Figure 6: Aggregate gmetad CPU utilization vs cluster size "
+                f"(12 clusters, {self.window:.0f}s window)"
+            ),
+        )
+
+
+def run_figure6(
+    sizes: Sequence[int] = PAPER_CLUSTER_SIZES,
+    window: float = 120.0,
+    warmup: float = 45.0,
+    seed: int = 14,
+    poll_interval: float = 15.0,
+    costs: Optional[CostModel] = None,
+    freeze_values: bool = True,
+) -> Figure6Result:
+    """Experiment 2: sweep cluster size, fixed tree.
+
+    Pseudo-gmond values are frozen by default (identical charged CPU,
+    much less emulator overhead at 500-host sizes); see
+    :func:`repro.bench.topology.build_paper_tree`.
+    """
+    aggregate: Dict[str, List[float]] = {"1level": [], "nlevel": []}
+    root_cpu: Dict[str, List[float]] = {"1level": [], "nlevel": []}
+    for size in sizes:
+        for design in ("1level", "nlevel"):
+            federation = build_paper_tree(
+                design,
+                hosts_per_cluster=size,
+                seed=seed,
+                poll_interval=poll_interval,
+                archive_mode="account",
+                costs=costs,
+                freeze_values=freeze_values,
+            )
+            federation.start()
+            cpu = federation.run_measurement_window(window, warmup)
+            aggregate[design].append(sum(cpu.values()))
+            root_cpu[design].append(cpu["root"])
+            federation.stop()
+    return Figure6Result(
+        sizes=tuple(sizes),
+        window=window,
+        aggregate=aggregate,
+        root_cpu=root_cpu,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Experiment 3: Table 1 -- web frontend query+parse time per view
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table1Result:
+    hosts_per_cluster: int
+    #: design -> view -> ViewTiming
+    timings: Dict[str, Dict[str, ViewTiming]]
+
+    def seconds(self, design: str, view: str) -> float:
+        """Total viewer seconds for one (design, view)."""
+        return self.timings[design][view].total_seconds
+
+    def speedup(self, view: str) -> float:
+        """1-level time over N-level time for one view."""
+        return self.seconds("1level", view) / max(1e-12, self.seconds("nlevel", view))
+
+    def report(self) -> str:
+        views = ("meta", "cluster", "host")
+        rows = [
+            tuple([design] + [self.seconds(design, v) for v in views])
+            for design in ("1level", "nlevel")
+        ]
+        rows.append(tuple(["speedup"] + [self.speedup(v) for v in views]))
+        rows.append(
+            tuple(
+                ["paper speedup"]
+                + [
+                    PAPER_TABLE1["1level"][v] / PAPER_TABLE1["nlevel"][v]
+                    for v in views
+                ]
+            )
+        )
+        return format_table(
+            ["run", "meta (s)", "cluster (s)", "host (s)"],
+            rows,
+            title=(
+                "Table 1: web-frontend time to query and parse Ganglia XML "
+                f"from the sdsc gmeta ({self.hosts_per_cluster}-host clusters)"
+            ),
+        )
+
+
+def run_table1(
+    hosts_per_cluster: int = 100,
+    warmup: float = 90.0,
+    seed: int = 14,
+    samples: int = 5,
+    poll_interval: float = 15.0,
+    costs: Optional[CostModel] = None,
+    php_costs: Optional[PhpSaxCostModel] = None,
+    freeze_values: bool = True,
+) -> Table1Result:
+    """Experiment 3: point the viewer at the sdsc gmetad, time 3 views.
+
+    "We point the viewer at the sdsc gmeta node for this test where the
+    clusters have 100 hosts each. ... each value in table 1 is the
+    average of five samples."
+    """
+    timings: Dict[str, Dict[str, ViewTiming]] = {}
+    for design in ("1level", "nlevel"):
+        federation = build_paper_tree(
+            design,
+            hosts_per_cluster=hosts_per_cluster,
+            seed=seed,
+            poll_interval=poll_interval,
+            archive_mode="account",
+            costs=costs,
+            freeze_values=freeze_values,
+        )
+        federation.start()
+        federation.engine.run_for(warmup)
+        sdsc = federation.gmetad("sdsc")
+        viewer = WebFrontend(
+            federation.engine,
+            federation.fabric,
+            federation.tcp,
+            target=sdsc.address,
+            design=design,
+            costs=php_costs,
+        )
+        cluster_name = "sdsc-c0"
+        host_name = f"{cluster_name}-0-0"
+        timings[design] = {}
+        for view, kwargs in (
+            ("meta", {}),
+            ("cluster", {"cluster": cluster_name}),
+            ("host", {"cluster": cluster_name, "host": host_name}),
+        ):
+            collected: List[ViewTiming] = []
+            for _ in range(samples):
+                _, timing = viewer.render_view(view, **kwargs)
+                collected.append(timing)
+                federation.engine.run_for(1.0)
+            mean = ViewTiming(
+                view=view,
+                query=collected[0].query,
+                download_seconds=sum(t.download_seconds for t in collected)
+                / len(collected),
+                parse_seconds=sum(t.parse_seconds for t in collected)
+                / len(collected),
+                bytes_received=collected[0].bytes_received,
+                sax_events=collected[0].sax_events,
+            )
+            timings[design][view] = mean
+        federation.stop()
+    return Table1Result(hosts_per_cluster=hosts_per_cluster, timings=timings)

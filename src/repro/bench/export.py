@@ -1,0 +1,104 @@
+"""CSV export of experiment results (for external plotting).
+
+The paper's figures are gnuplot renderings of series data; these
+exporters emit the same series as CSV so any plotting tool can redraw
+them.  The benchmark suite writes them next to the text reports in
+``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.bench.experiments import (
+        Figure5Result,
+        Figure6Result,
+        Table1Result,
+    )
+
+
+def _csv(headers, rows) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def figure5_csv(result: "Figure5Result") -> str:
+    """One row per gmetad: CPU% under each design, plus the breakdown."""
+    from repro.bench.topology import PAPER_GMETA_ORDER
+
+    rows = []
+    for name in PAPER_GMETA_ORDER:
+        row = [
+            name,
+            f"{result.cpu_percent['1level'].get(name, 0.0):.4f}",
+            f"{result.cpu_percent['nlevel'].get(name, 0.0):.4f}",
+        ]
+        for design in ("1level", "nlevel"):
+            breakdown = result.breakdown.get(design, {}).get(name, {})
+            for category in ("parse", "summarize", "archive", "serve"):
+                row.append(f"{breakdown.get(category, 0.0):.4f}")
+        rows.append(row)
+    headers = ["gmetad", "cpu_1level", "cpu_nlevel"]
+    for design in ("1level", "nlevel"):
+        headers += [
+            f"{design}_{c}" for c in ("parse", "summarize", "archive", "serve")
+        ]
+    return _csv(headers, rows)
+
+
+def figure6_csv(result: "Figure6Result") -> str:
+    """One row per cluster size: both aggregate curves + root detail."""
+    rows = [
+        [
+            size,
+            f"{result.aggregate['1level'][i]:.4f}",
+            f"{result.aggregate['nlevel'][i]:.4f}",
+            f"{result.root_cpu['1level'][i]:.4f}",
+            f"{result.root_cpu['nlevel'][i]:.4f}",
+        ]
+        for i, size in enumerate(result.sizes)
+    ]
+    return _csv(
+        [
+            "cluster_size",
+            "aggregate_1level",
+            "aggregate_nlevel",
+            "root_1level",
+            "root_nlevel",
+        ],
+        rows,
+    )
+
+
+def table1_csv(result: "Table1Result") -> str:
+    """One row per (design, view) with the timing decomposition."""
+    rows = []
+    for design in ("1level", "nlevel"):
+        for view in ("meta", "cluster", "host"):
+            timing = result.timings[design][view]
+            rows.append(
+                [
+                    design,
+                    view,
+                    f"{timing.total_seconds:.6f}",
+                    f"{timing.download_seconds:.6f}",
+                    f"{timing.parse_seconds:.6f}",
+                    timing.bytes_received,
+                    timing.sax_events,
+                ]
+            )
+    for view in ("meta", "cluster", "host"):
+        rows.append(["speedup", view, f"{result.speedup(view):.2f}", "", "", "", ""])
+    return _csv(
+        [
+            "design", "view", "total_s", "download_s", "parse_s",
+            "bytes", "sax_events",
+        ],
+        rows,
+    )

@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment results, paper-style."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table; numbers right-aligned, 4 significant digits."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.001:
+                return f"{value:.3g}"
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Dict[str, float], title: str = "", width: int = 50, unit: str = "%"
+) -> str:
+    """ASCII bar chart for quick visual comparison of Fig. 5-style data."""
+    if not values:
+        return title
+    peak = max(values.values()) or 1.0
+    name_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{name.ljust(name_width)} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)

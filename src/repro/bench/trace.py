@@ -1,0 +1,196 @@
+"""Record and replay gmetad ingest traces.
+
+The calibration note on this reproduction flags throughput benchmarks as
+the least faithful part of a simulation-based reproduction.  Traces
+close part of that gap: record the *actual XML byte streams* a gmetad
+ingests during a live federation run, persist them, and replay them
+through a fresh daemon's real ingest path (parse -> summarize ->
+archive -> install) with wall-clock timing and no simulation in the
+loop.  The replayed workload has exactly the payload sizes, element
+mixes and source interleaving of the recorded run.
+
+On-disk format: a directory with ``manifest.jsonl`` (one record per
+poll: time, source, payload file, size) plus one ``.xml`` file per poll.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.core.gmetad_base import GmetadBase
+from repro.wire.parser import parse_document
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded poll response."""
+
+    sim_time: float
+    source: str
+    xml: str
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.xml)
+
+
+@dataclass
+class IngestTrace:
+    """An ordered sequence of recorded polls."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.records)
+
+    def sources(self) -> List[str]:
+        """Distinct source names appearing in the trace."""
+        return sorted({r.source for r in self.records})
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, directory: Union[str, pathlib.Path]) -> None:
+        """Write the trace to a directory (manifest + payload files)."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "manifest.jsonl", "w") as manifest:
+            for i, record in enumerate(self.records):
+                payload_name = f"poll-{i:06d}.xml"
+                (directory / payload_name).write_text(record.xml)
+                manifest.write(
+                    json.dumps(
+                        {
+                            "sim_time": record.sim_time,
+                            "source": record.source,
+                            "payload": payload_name,
+                            "bytes": record.size_bytes,
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, directory: Union[str, pathlib.Path]) -> "IngestTrace":
+        """Read a trace directory written by save()."""
+        directory = pathlib.Path(directory)
+        manifest_path = directory / "manifest.jsonl"
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no trace manifest at {manifest_path}")
+        trace = cls()
+        for line in manifest_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            entry = json.loads(line)
+            xml = (directory / entry["payload"]).read_text()
+            trace.records.append(
+                TraceRecord(
+                    sim_time=entry["sim_time"],
+                    source=entry["source"],
+                    xml=xml,
+                )
+            )
+        return trace
+
+
+class TraceRecorder:
+    """Attaches to a live gmetad and captures everything it ingests."""
+
+    def __init__(self, gmetad: GmetadBase) -> None:
+        if gmetad.ingest_tap is not None:
+            raise RuntimeError("gmetad already has an ingest tap")
+        self.gmetad = gmetad
+        self.trace = IngestTrace()
+        gmetad.ingest_tap = self._tap
+
+    def _tap(self, source: str, xml: str, sim_time: float) -> None:
+        self.trace.records.append(TraceRecord(sim_time, source, xml))
+
+    def detach(self) -> IngestTrace:
+        """Remove the tap and return the captured trace."""
+        self.gmetad.ingest_tap = None
+        return self.trace
+
+
+@dataclass
+class ReplayResult:
+    """Wall-clock throughput of one replay."""
+
+    polls: int
+    total_bytes: int
+    elapsed_seconds: float
+    parse_errors: int
+
+    @property
+    def megabytes_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total_bytes / 1e6 / self.elapsed_seconds
+
+    @property
+    def polls_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.polls / self.elapsed_seconds
+
+
+def replay_trace(
+    trace: IngestTrace,
+    gmetad: GmetadBase,
+    repeats: int = 1,
+    validate_first: bool = True,
+) -> ReplayResult:
+    """Push a trace through ``gmetad``'s real ingest path, timed.
+
+    The daemon must not be started (no pollers); replay drives
+    ``_on_data`` directly, exactly as the network layer would.  Poll
+    timestamps are re-based so repeated passes stay monotonic for the
+    archiver.
+    """
+    if not trace.records:
+        raise ValueError("empty trace")
+    if validate_first:
+        parse_document(trace.records[0].xml, validate=True)
+    span = trace.records[-1].sim_time - trace.records[0].sim_time + 15.0
+    start = time.perf_counter()
+    for pass_index in range(repeats):
+        base = pass_index * span
+        for record in trace.records:
+            # re-base the engine clock so ingest timestamps advance
+            target = base + record.sim_time
+            if target > gmetad.engine.now:
+                gmetad.engine.run_until(target)
+            gmetad._on_data(record.source, record.xml, rtt=0.0)
+    elapsed = time.perf_counter() - start
+    return ReplayResult(
+        polls=len(trace.records) * repeats,
+        total_bytes=trace.total_bytes * repeats,
+        elapsed_seconds=elapsed,
+        parse_errors=gmetad.parse_errors,
+    )
+
+
+def record_federation_trace(
+    hosts_per_cluster: int = 50,
+    cycles: int = 6,
+    gmetad_name: str = "sdsc",
+    seed: int = 14,
+) -> IngestTrace:
+    """Convenience: run the paper tree briefly, record one gmetad."""
+    from repro.bench.topology import build_paper_tree
+
+    federation = build_paper_tree(
+        "nlevel",
+        hosts_per_cluster=hosts_per_cluster,
+        seed=seed,
+        archive_mode="account",
+    )
+    recorder = TraceRecorder(federation.gmetad(gmetad_name))
+    federation.start()
+    federation.engine.run_for(15.0 * (cycles + 1))
+    federation.stop()
+    return recorder.detach()

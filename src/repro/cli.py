@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-sim`` script.
+
+Subcommands:
+
+- ``experiment {fig5,fig6,table1,all}`` -- run the paper's experiments
+  and print the paper-style reports;
+- ``run`` -- run the Fig. 2 federation for a while and print the meta
+  view and per-gmetad CPU;
+- ``query`` -- build the federation, issue one path query against a
+  chosen gmetad, print the XML;
+- ``check-gmetad-conf`` / ``check-gmond-conf`` -- parse real Ganglia
+  config files and show how they map onto this library;
+- ``calibrate`` -- re-derive the CPU capacity anchor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import (
+    PAPER_CLUSTER_SIZES,
+    run_figure5,
+    run_figure6,
+    run_table1,
+)
+from repro.bench.topology import build_paper_tree
+from repro.config.gmetadconf import ConfigError, parse_gmetad_conf
+from repro.config.gmondconf import parse_gmond_conf
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hosts", type=int, default=20,
+                        help="hosts per cluster (default 20)")
+    parser.add_argument("--seed", type=int, default=14)
+    parser.add_argument("--window", type=float, default=90.0,
+                        help="measurement window, simulated seconds")
+    parser.add_argument("--warmup", type=float, default=30.0)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    reports = []
+    if args.which in ("fig5", "all"):
+        reports.append(
+            run_figure5(
+                hosts_per_cluster=args.hosts, window=args.window,
+                warmup=args.warmup, seed=args.seed,
+            ).report()
+        )
+    if args.which in ("fig6", "all"):
+        sizes = (
+            PAPER_CLUSTER_SIZES
+            if args.paper_sizes
+            else tuple(s for s in (5, 10, 20, 40) if s <= max(args.hosts, 40))
+        )
+        reports.append(
+            run_figure6(
+                sizes=sizes, window=min(args.window, 60.0),
+                warmup=args.warmup, seed=args.seed,
+            ).report()
+        )
+    if args.which in ("table1", "all"):
+        reports.append(
+            run_table1(
+                hosts_per_cluster=args.hosts, warmup=max(args.warmup, 45.0),
+                seed=args.seed,
+            ).report()
+        )
+    print("\n\n".join(reports))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    federation = build_paper_tree(
+        args.design, hosts_per_cluster=args.hosts, seed=args.seed,
+        archive_mode="account",
+    )
+    federation.start()
+    cpu = federation.run_measurement_window(args.window, args.warmup)
+    print(f"{args.design} federation, {args.hosts}-host clusters, "
+          f"{args.window:.0f}s window:\n")
+    for name in sorted(cpu):
+        print(f"  gmetad {name:8s} CPU {cpu[name]:6.2f}%")
+    root = federation.gmetad("root")
+    if args.design == "nlevel":
+        rollup, _ = root.datastore.root_summary()
+        load = rollup.metrics.get("load_one")
+        print(f"\nfederation: {rollup.hosts_up} hosts up, "
+              f"{rollup.hosts_down} down"
+              + (f", mean load {load.mean():.2f}" if load else ""))
+    federation.stop()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    federation = build_paper_tree(
+        args.design, hosts_per_cluster=args.hosts, seed=args.seed,
+        archive_mode="account",
+    )
+    federation.start()
+    federation.engine.run_for(args.warmup)
+    try:
+        gmetad = federation.gmetad(args.at)
+    except KeyError:
+        print(f"error: unknown gmetad {args.at!r}; choose from "
+              f"{sorted(federation.gmetads)}", file=sys.stderr)
+        return 2
+    xml, seconds = gmetad.serve_query(args.query)
+    print(xml, end="")
+    print(f"-- served by {args.at} in {seconds*1e3:.3f} ms (CPU)",
+          file=sys.stderr)
+    federation.stop()
+    return 0
+
+
+def _cmd_check_gmetad(args: argparse.Namespace) -> int:
+    try:
+        text = open(args.file).read()
+        parsed = parse_gmetad_conf(text)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"gridname:    {parsed.gridname}")
+    print(f"design:      {parsed.design} "
+          f"(scalability {'on' if parsed.scalability else 'off'})")
+    print(f"xml_port:    {parsed.xml_port}")
+    if parsed.authority:
+        print(f"authority:   {parsed.authority}")
+    if parsed.trusted_hosts:
+        print(f"trusted:     {', '.join(parsed.trusted_hosts)}")
+    print(f"data sources ({len(parsed.data_sources)}):")
+    for source in parsed.data_sources:
+        endpoints = " ".join(str(a) for a in source.addresses)
+        print(f"  {source.name:24s} every {source.poll_interval:g}s "
+              f"from {endpoints}")
+    return 0
+
+
+def _cmd_check_gmond(args: argparse.Namespace) -> int:
+    try:
+        config = parse_gmond_conf(open(args.file).read())
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"cluster:     {config.cluster_name} (owner {config.owner})")
+    print(f"multicast:   {config.multicast_group}")
+    print(f"heartbeat:   every {config.heartbeat_interval:g}s "
+          f"(down after {config.heartbeat_window:g}s)")
+    print(f"host_dmax:   {config.host_dmax:g}s"
+          + (" (never forget)" if config.host_dmax == 0 else ""))
+    return 0
+
+
+def _cmd_gstat(args: argparse.Namespace) -> int:
+    from repro.tools import gstat_from_gmetad
+
+    federation = build_paper_tree(
+        args.design, hosts_per_cluster=args.hosts, seed=args.seed,
+        archive_mode="account",
+    )
+    federation.start()
+    federation.engine.run_for(args.warmup)
+    try:
+        gmetad = federation.gmetad(args.at)
+    except KeyError:
+        print(f"error: unknown gmetad {args.at!r}; choose from "
+              f"{sorted(federation.gmetads)}", file=sys.stderr)
+        return 2
+    print(gstat_from_gmetad(gmetad, source=args.source,
+                            show_hosts=args.hosts_detail))
+    federation.stop()
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.bench.calibration import calibrate_capacity, measure_root_cpu
+
+    capacity = calibrate_capacity(
+        target_percent=args.target, hosts_per_cluster=args.hosts,
+        window=args.window,
+    )
+    achieved = measure_root_cpu(
+        capacity=capacity, hosts_per_cluster=args.hosts, window=args.window
+    )
+    print(f"capacity for 1-level root at {args.target}% CPU "
+          f"({args.hosts}-host clusters): {capacity:.3e} units/s "
+          f"(achieves {achieved:.2f}%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-sim argument parser (one sub-parser per command)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Ganglia wide-area monitoring reproduction (CLUSTER 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("which", choices=("fig5", "fig6", "table1", "all"))
+    _add_common(p)
+    p.add_argument("--paper-sizes", action="store_true",
+                   help="fig6: use the paper's 10..500 host sizes (slow)")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("run", help="run the Fig. 2 federation once")
+    p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
+    _add_common(p)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("query", help="issue one path query")
+    p.add_argument("query", help="e.g. '/sdsc-c0/sdsc-c0-0-3/load_one'")
+    p.add_argument("--at", default="sdsc", help="gmetad to ask (default sdsc)")
+    p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
+    _add_common(p)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("check-gmetad-conf", help="parse a gmetad.conf")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_check_gmetad)
+
+    p = sub.add_parser("check-gmond-conf", help="parse a gmond.conf")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_check_gmond)
+
+    p = sub.add_parser("gstat", help="print federation/cluster status")
+    p.add_argument("--at", default="root", help="gmetad to inspect")
+    p.add_argument("--source", default=None, help="limit to one data source")
+    p.add_argument("--hosts-detail", action="store_true",
+                   help="list individual hosts")
+    p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
+    _add_common(p)
+    p.set_defaults(func=_cmd_gstat)
+
+    p = sub.add_parser("calibrate", help="re-derive the CPU capacity anchor")
+    p.add_argument("--target", type=float, default=14.0)
+    p.add_argument("--hosts", type=int, default=100)
+    p.add_argument("--window", type=float, default=90.0)
+    p.set_defaults(func=_cmd_calibrate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Configuration-file front end: real Ganglia config syntax.
+
+Deployments describe monitors in ``gmetad.conf`` ("We manually
+configure the unidirectional trust edges", §2) and clusters in
+``gmond.conf``.  This package parses the relevant subset of both
+formats into this library's config objects, so an existing Ganglia
+site's files drive the simulation directly:
+
+- :func:`~repro.config.gmetadconf.parse_gmetad_conf` -- ``data_source``
+  lines with redundant endpoints and per-source polling intervals,
+  ``gridname``, ``authority``, ``scalability`` (``off`` selects the
+  1-level design, exactly like Ganglia 2.5's flag);
+- :func:`~repro.config.gmondconf.parse_gmond_conf` -- cluster identity,
+  multicast channel, heartbeat/host timeout knobs.
+"""
+
+from repro.config.gmetadconf import ConfigError, ParsedGmetadConf, parse_gmetad_conf
+from repro.config.gmondconf import parse_gmond_conf
+
+__all__ = [
+    "ConfigError",
+    "ParsedGmetadConf",
+    "parse_gmetad_conf",
+    "parse_gmond_conf",
+]

@@ -1,0 +1,162 @@
+"""Parser for the gmetad.conf format (Ganglia 2.5 syntax).
+
+Recognized directives::
+
+    # comments and blank lines
+    data_source "my cluster" [poll_interval] host[:port] [host[:port] ...]
+    gridname "MyGrid"
+    authority "http://hostname/ganglia/"
+    xml_port 8651
+    scalability on|off          # off selects the 1-level design
+    trusted_hosts host1 host2 ...
+    rrd_rootdir "/var/lib/ganglia/rrds"
+
+``data_source`` follows the real daemon's convention: the optional
+second token is the polling interval in seconds (default 15); each
+remaining token is a redundant endpoint for fail-over, defaulting to
+port 8649.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.tree import DataSourceConfig, GmetadConfig
+from repro.net.address import GMOND_XML_PORT, Address
+
+
+class ConfigError(ValueError):
+    """Malformed configuration file."""
+
+    def __init__(self, message: str, line_number: int = 0) -> None:
+        if line_number:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+@dataclass
+class ParsedGmetadConf:
+    """Everything a gmetad.conf can express, plus what we map it to."""
+
+    gridname: str = "unspecified"
+    authority: Optional[str] = None
+    xml_port: int = 8651
+    scalability: bool = True  # True -> N-level, False -> 1-level
+    trusted_hosts: List[str] = field(default_factory=list)
+    rrd_rootdir: str = "/var/lib/ganglia/rrds"
+    data_sources: List[DataSourceConfig] = field(default_factory=list)
+
+    def to_gmetad_config(self, host: str, archive_mode: str = "full") -> GmetadConfig:
+        """Materialize as a :class:`GmetadConfig` running on ``host``."""
+        config = GmetadConfig(
+            name=self.gridname,
+            host=host,
+            gridname=self.gridname,
+            authority_url=self.authority,
+            archive_mode=archive_mode,
+        )
+        config.data_sources = list(self.data_sources)
+        return config
+
+    @property
+    def design(self) -> str:
+        """Which gmetad design the scalability flag selects."""
+        return "nlevel" if self.scalability else "1level"
+
+
+def _parse_endpoint(token: str, line_number: int) -> Address:
+    host, _, port_text = token.partition(":")
+    if not host:
+        raise ConfigError(f"empty host in endpoint {token!r}", line_number)
+    if port_text:
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ConfigError(
+                f"bad port in endpoint {token!r}", line_number
+            ) from None
+    else:
+        port = GMOND_XML_PORT
+    try:
+        return Address(host, port)
+    except ValueError as exc:
+        raise ConfigError(str(exc), line_number) from None
+
+
+def _parse_data_source(tokens: List[str], line_number: int) -> DataSourceConfig:
+    if len(tokens) < 2:
+        raise ConfigError("data_source needs a name and endpoints", line_number)
+    name = tokens[1]
+    rest = tokens[2:]
+    poll_interval = 15.0
+    if rest and rest[0].replace(".", "", 1).isdigit():
+        poll_interval = float(rest[0])
+        rest = rest[1:]
+    if not rest:
+        raise ConfigError(
+            f"data_source {name!r} lists no endpoints", line_number
+        )
+    addresses = [_parse_endpoint(token, line_number) for token in rest]
+    try:
+        return DataSourceConfig(
+            name=name,
+            addresses=addresses,
+            poll_interval=poll_interval,
+            timeout=min(10.0, poll_interval * 0.66),
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc), line_number) from None
+
+
+def parse_gmetad_conf(text: str) -> ParsedGmetadConf:
+    """Parse gmetad.conf text into a :class:`ParsedGmetadConf`."""
+    parsed = ParsedGmetadConf()
+    seen_sources = set()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            tokens = shlex.split(line, comments=True)
+        except ValueError as exc:
+            raise ConfigError(f"unparseable line: {exc}", line_number) from None
+        if not tokens:
+            continue
+        directive = tokens[0]
+        if directive == "data_source":
+            source = _parse_data_source(tokens, line_number)
+            if source.name in seen_sources:
+                raise ConfigError(
+                    f"duplicate data_source {source.name!r}", line_number
+                )
+            seen_sources.add(source.name)
+            parsed.data_sources.append(source)
+        elif directive == "gridname":
+            if len(tokens) != 2:
+                raise ConfigError("gridname takes one value", line_number)
+            parsed.gridname = tokens[1]
+        elif directive == "authority":
+            if len(tokens) != 2:
+                raise ConfigError("authority takes one value", line_number)
+            parsed.authority = tokens[1]
+        elif directive == "xml_port":
+            try:
+                parsed.xml_port = int(tokens[1])
+            except (IndexError, ValueError):
+                raise ConfigError("xml_port takes an integer", line_number) from None
+        elif directive == "scalability":
+            if len(tokens) != 2 or tokens[1] not in ("on", "off"):
+                raise ConfigError("scalability takes on|off", line_number)
+            parsed.scalability = tokens[1] == "on"
+        elif directive == "trusted_hosts":
+            parsed.trusted_hosts.extend(tokens[1:])
+        elif directive == "rrd_rootdir":
+            if len(tokens) != 2:
+                raise ConfigError("rrd_rootdir takes one value", line_number)
+            parsed.rrd_rootdir = tokens[1]
+        else:
+            raise ConfigError(f"unknown directive {directive!r}", line_number)
+    return parsed

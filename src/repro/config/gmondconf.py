@@ -1,0 +1,72 @@
+"""Parser for the gmond.conf format (Ganglia 2.5 flat syntax).
+
+Ganglia 2.5's gmond.conf is a flat ``key  value`` file (the nested
+block syntax arrived in 3.x).  Recognized keys::
+
+    name            "Meteor Cluster"
+    owner           "SDSC"
+    url             "http://meteor.sdsc.edu/"
+    mcast_channel   239.2.11.71
+    mcast_port      8649
+    host_dmax       3600        # seconds; 0 = never forget a host
+    heartbeat       20          # our extension: heartbeat interval
+    send_jitter     0.1         # our extension
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from repro.config.gmetadconf import ConfigError
+from repro.gmond.config import GmondConfig
+
+_STRING_KEYS = {"name", "owner", "url", "mcast_channel"}
+_FLOAT_KEYS = {"host_dmax", "heartbeat", "send_jitter", "mcast_port"}
+
+
+def parse_gmond_conf(text: str) -> GmondConfig:
+    """Parse gmond.conf text into a :class:`GmondConfig`."""
+    values: dict = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            tokens = shlex.split(line, comments=True)
+        except ValueError as exc:
+            raise ConfigError(f"unparseable line: {exc}", line_number) from None
+        if not tokens:
+            continue
+        if len(tokens) != 2:
+            raise ConfigError(
+                f"expected 'key value', got {line!r}", line_number
+            )
+        key, value = tokens
+        if key in _STRING_KEYS:
+            values[key] = value
+        elif key in _FLOAT_KEYS:
+            try:
+                values[key] = float(value)
+            except ValueError:
+                raise ConfigError(
+                    f"{key} takes a number, got {value!r}", line_number
+                ) from None
+        else:
+            raise ConfigError(f"unknown key {key!r}", line_number)
+    if "name" not in values:
+        raise ConfigError("gmond.conf must set a cluster name")
+    group = values.get("mcast_channel", "239.2.11.71")
+    port = int(values.get("mcast_port", 8649))
+    try:
+        return GmondConfig(
+            cluster_name=values["name"],
+            owner=values.get("owner", "unspecified"),
+            url=values.get("url", ""),
+            multicast_group=f"{group}:{port}",
+            heartbeat_interval=values.get("heartbeat", 20.0),
+            heartbeat_window=values.get("heartbeat", 20.0) * 4,
+            host_dmax=values.get("host_dmax", 0.0),
+            send_jitter=values.get("send_jitter", 0.1),
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from None

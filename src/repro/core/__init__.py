@@ -1,0 +1,43 @@
+"""Gmetad: the wide-area monitoring system (the paper's contribution).
+
+Two daemon implementations are provided, matching the paper's
+experimental comparison exactly:
+
+- :class:`~repro.core.gmetad_1level.OneLevelGmetad` -- Ganglia
+  monitor-core 2.5.1 behaviour: every node reports the **union** of its
+  subtree at full detail and archives everything (the unscalable
+  baseline of §2.1).
+- :class:`~repro.core.gmetad.Gmetad` -- the 2.5.4 N-level design:
+  ``GRID`` tags, additive summaries for remote data, authority URL
+  pointers, a hash-table datastore and the path query engine
+  (§2.2-§2.3).
+
+Plus the §4 future-work features: the alarm engine
+(:mod:`repro.core.alarms`), the regex query language
+(:mod:`repro.core.query_regex`) and the MDS-style self-organizing tree
+(:mod:`repro.core.selforg`).
+"""
+
+from repro.core.datastore import Datastore, SourceSnapshot
+from repro.core.gmetad import Gmetad
+from repro.core.gmetad_1level import OneLevelGmetad
+from repro.core.poller import DataSourcePoller
+from repro.core.query import GmetadQuery, QueryEngine, QueryNotFound
+from repro.core.summarize import summarize_cluster, summarize_grid
+from repro.core.tree import DataSourceConfig, GmetadConfig, MonitorTree
+
+__all__ = [
+    "DataSourceConfig",
+    "GmetadConfig",
+    "MonitorTree",
+    "Datastore",
+    "SourceSnapshot",
+    "summarize_cluster",
+    "summarize_grid",
+    "GmetadQuery",
+    "QueryEngine",
+    "QueryNotFound",
+    "DataSourcePoller",
+    "Gmetad",
+    "OneLevelGmetad",
+]

@@ -1,0 +1,245 @@
+"""The alarm mechanism of §4.
+
+"We would like to implement a general alarm mechanism that tracks the
+data and automatically identify situations that should be relayed to a
+human observer.  This feature will become increasingly important as the
+size of the monitor tree grows."
+
+Rules select metrics with the regex query language (the paper notes the
+alarm system "may require a more detailed query mechanism"), apply a
+threshold predicate, and must hold for ``hold_seconds`` before firing --
+the standard hysteresis that keeps a single noisy sample from paging a
+human.  Evaluation runs on the polling timescale: alarms inspect the
+latest fully-parsed snapshot, never block queries, and cost one pass
+over the matched metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.gmetad_base import GmetadBase
+from repro.core.query_regex import RegexQueryEngine
+from repro.sim.engine import PeriodicTask
+from repro.wire.model import HostElement, MetricElement
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class AlarmState(enum.Enum):
+    OK = "ok"
+    PENDING = "pending"   # condition true, hold time not yet reached
+    FIRING = "firing"
+
+
+@dataclass(frozen=True)
+class AlarmRule:
+    """One alarm definition.
+
+    ``selector`` is a regex path query over *metrics* (depth 3) or
+    *hosts* (depth 2; the condition then applies to the host's TN --
+    letting a rule express "host silent for 60s").
+    """
+
+    name: str
+    selector: str
+    op: str
+    threshold: float
+    hold_seconds: float = 0.0
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+        if self.hold_seconds < 0:
+            raise ValueError("hold_seconds must be non-negative")
+
+    def condition(self, value: float) -> bool:
+        """Apply the threshold predicate to one value."""
+        return _OPS[self.op](value, self.threshold)
+
+
+@dataclass
+class Alarm:
+    """Live state of (rule, subject)."""
+
+    rule: AlarmRule
+    subject: str  # matched path text
+    state: AlarmState = AlarmState.OK
+    since: float = 0.0       # when the condition became true
+    fired_at: Optional[float] = None
+    last_value: float = 0.0
+
+
+@dataclass(frozen=True)
+class Notification:
+    """What gets relayed to the human observer."""
+
+    time: float
+    kind: str  # "fire" | "resolve"
+    rule: str
+    subject: str
+    value: float
+    severity: str
+
+    def render(self) -> str:
+        """One printable notification line."""
+        arrow = "!!" if self.kind == "fire" else "ok"
+        return (
+            f"[{self.time:10.1f}] {arrow} {self.severity.upper():8s} "
+            f"{self.rule}: {self.subject} value={self.value:.3f}"
+        )
+
+
+class AlarmEngine:
+    """Tracks rules against one gmetad's datastore."""
+
+    def __init__(
+        self,
+        gmetad: GmetadBase,
+        interval: float = 15.0,
+        notify: Optional[Callable[[Notification], None]] = None,
+    ) -> None:
+        self.gmetad = gmetad
+        self.interval = interval
+        self.rules: List[AlarmRule] = []
+        self.alarms: Dict[Tuple[str, str], Alarm] = {}
+        self.notifications: List[Notification] = []
+        self._notify_cb = notify
+        self._query_engine = RegexQueryEngine(gmetad.datastore)
+        self._task: Optional[PeriodicTask] = None
+
+    # -- configuration -----------------------------------------------------
+
+    def add_rule(self, rule: AlarmRule) -> "AlarmEngine":
+        """Register a rule (names must be unique); returns self."""
+        if any(r.name == rule.name for r in self.rules):
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+        return self
+
+    def start(self) -> "AlarmEngine":
+        """Begin periodic evaluation on the engine."""
+        if self._task is not None:
+            raise RuntimeError("alarm engine already started")
+        self._task = self.gmetad.engine.every(self.interval, self.evaluate)
+        return self
+
+    def stop(self) -> None:
+        """Stop periodic evaluation."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _extract_value(self, element) -> Optional[float]:
+        if isinstance(element, MetricElement):
+            if not element.is_numeric:
+                return None
+            try:
+                return element.numeric()
+            except ValueError:
+                return None
+        if isinstance(element, HostElement):
+            return element.tn  # host-level rules act on silence time
+        return None
+
+    def evaluate(self) -> List[Notification]:
+        """One evaluation pass; returns notifications emitted this pass."""
+        now = self.gmetad.engine.now
+        emitted: List[Notification] = []
+        active_subjects: Dict[Tuple[str, str], float] = {}
+        for rule in self.rules:
+            for match in self._query_engine.search(rule.selector):
+                value = self._extract_value(match.element)
+                if value is None:
+                    continue
+                key = (rule.name, match.path_text)
+                if rule.condition(value):
+                    active_subjects[key] = value
+                alarm = self.alarms.get(key)
+                if alarm is None:
+                    alarm = Alarm(rule=rule, subject=match.path_text)
+                    self.alarms[key] = alarm
+                alarm.last_value = value
+        # state transitions (including subjects that matched before but
+        # no longer satisfy the condition -- or vanished entirely)
+        for key, alarm in self.alarms.items():
+            if key in active_subjects:
+                value = active_subjects[key]
+                if alarm.state is AlarmState.OK:
+                    alarm.state = AlarmState.PENDING
+                    alarm.since = now
+                if (
+                    alarm.state is AlarmState.PENDING
+                    and now - alarm.since >= alarm.rule.hold_seconds
+                ):
+                    alarm.state = AlarmState.FIRING
+                    alarm.fired_at = now
+                    emitted.append(
+                        self._emit(now, "fire", alarm, value)
+                    )
+            else:
+                if alarm.state is AlarmState.FIRING:
+                    emitted.append(
+                        self._emit(now, "resolve", alarm, alarm.last_value)
+                    )
+                alarm.state = AlarmState.OK
+        return emitted
+
+    def _emit(self, now: float, kind: str, alarm: Alarm, value: float) -> Notification:
+        notification = Notification(
+            time=now,
+            kind=kind,
+            rule=alarm.rule.name,
+            subject=alarm.subject,
+            value=value,
+            severity=alarm.rule.severity,
+        )
+        self.notifications.append(notification)
+        if self._notify_cb is not None:
+            self._notify_cb(notification)
+        return notification
+
+    # -- introspection --------------------------------------------------------
+
+    def firing(self) -> List[Alarm]:
+        """All alarms currently in the FIRING state."""
+        return [a for a in self.alarms.values() if a.state is AlarmState.FIRING]
+
+    def pending(self) -> List[Alarm]:
+        """Alarms whose condition holds but hold time has not elapsed."""
+        return [a for a in self.alarms.values() if a.state is AlarmState.PENDING]
+
+
+def standard_rules(load_threshold: float = 5.0, silence: float = 60.0) -> List[AlarmRule]:
+    """A useful default rule set (what a deployment would start from)."""
+    return [
+        AlarmRule(
+            name="high-load",
+            selector=r"~/.*/.*/load_one",
+            op=">",
+            threshold=load_threshold,
+            hold_seconds=30.0,
+            severity="warning",
+        ),
+        AlarmRule(
+            name="host-silent",
+            selector=r"~/.*/.*",
+            op=">",
+            threshold=silence,
+            hold_seconds=0.0,
+            severity="critical",
+        ),
+    ]

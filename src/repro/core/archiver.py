@@ -1,0 +1,104 @@
+"""Connects gmetad ingestion to the RRD store, charging archive CPU.
+
+"As metric archiving is a processor-intensive task, this redundancy is
+unwanted" (§2.1) -- archiving cost is the main thing the N-level design
+moves and removes, so every update flows through here where it is both
+performed and charged.
+
+Archiving policy differences between the designs:
+
+- 1-level: :meth:`archive_cluster_detail` for *every* cluster in the
+  subtree (the duplicated archives of Fig. 3 left);
+- N-level: :meth:`archive_cluster_detail` only for local clusters plus
+  :meth:`archive_summary` for everything ("Nodes in the N-level
+  monitoring tree keep only summary archives of descendants rather than
+  full duplicates").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.rrd.batch import BatchedRrdStore
+from repro.rrd.store import MetricKey, RrdStore
+from repro.sim.resources import CostModel
+from repro.wire.model import ClusterElement, SummaryInfo
+
+#: charge(work_units, category)
+ChargeFn = Callable[[float, str], float]
+
+
+class Archiver:
+    """Routes monitoring data into round-robin archives."""
+
+    def __init__(
+        self,
+        store: Union[RrdStore, BatchedRrdStore],
+        charge: ChargeFn,
+        costs: CostModel,
+        heartbeat_window: float = 80.0,
+    ) -> None:
+        self.store = store
+        self.charge = charge
+        self.costs = costs
+        self.heartbeat_window = heartbeat_window
+        self.detail_updates = 0
+        self.summary_updates = 0
+
+    def archive_cluster_detail(
+        self, source: str, cluster: ClusterElement, t: float
+    ) -> int:
+        """One RRD update per numeric metric of every *live* host.
+
+        Hosts past the heartbeat window are skipped: their databases see
+        a gap, which the zero-fill turns into the paper's "zero record
+        during the downtime".
+        """
+        if cluster.is_summary:
+            raise ValueError(
+                f"cannot archive detail for summary-form cluster {cluster.name!r}"
+            )
+        updates = 0
+        for host in cluster.hosts.values():
+            if not host.is_up(self.heartbeat_window):
+                continue
+            for metric in host.metrics.values():
+                if not metric.is_numeric:
+                    continue
+                try:
+                    value = metric.numeric()
+                except ValueError:
+                    continue
+                self.store.update(
+                    MetricKey(source, cluster.name, host.name, metric.name),
+                    t,
+                    value,
+                )
+                updates += 1
+        self.detail_updates += updates
+        self.charge(updates * self.costs.rrd_update, "archive")
+        return updates
+
+    def archive_summary(
+        self, source: str, cluster: str, summary: SummaryInfo, t: float
+    ) -> int:
+        """Two updates (sum, num) per reduced metric."""
+        updates = 0
+        for metric_summary in summary.metrics.values():
+            self.store.update_summary(
+                source,
+                cluster,
+                metric_summary.name,
+                t,
+                metric_summary.total,
+                metric_summary.num,
+            )
+            updates += 2
+        self.summary_updates += updates
+        self.charge(updates * self.costs.rrd_update, "archive")
+        return updates
+
+    def flush(self) -> None:
+        """Flush write-behind batching, if the store batches."""
+        if isinstance(self.store, BatchedRrdStore):
+            self.store.flush()

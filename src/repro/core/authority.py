@@ -1,0 +1,194 @@
+"""Authority-pointer navigation: the multiple-resolution drill-down.
+
+"Each gmeta includes a URL pointer to itself when queried.  Upstream
+nodes incorporate these authority pointers with their summary state.
+Each coarse summary report includes the URL that hosts a higher
+resolution view.  By following these pointers, we can locate the leaf
+node that possesses a cluster's data at its highest resolution.  This
+pointer-based distributed tree forms the heart of our design." (§2.2)
+
+:class:`AuthorityNavigator` implements exactly that walk: start at any
+gmetad, and for a target cluster keep following AUTHORITY URLs through
+summary-form grids until a gmetad answers the cluster query at full
+resolution.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.net.address import GMETAD_XML_PORT, Address
+from repro.net.tcp import TcpNetwork
+from repro.sim.engine import Engine
+from repro.wire.model import ClusterElement, GangliaDocument, GridElement
+from repro.wire.parser import parse_document
+
+_URL_RE = re.compile(r"^https?://([^/:]+)(?::(\d+))?")
+
+
+def parse_authority_url(url: str) -> Address:
+    """``http://gmeta-sdsc:8651/`` -> Address(gmeta-sdsc, 8651)."""
+    match = _URL_RE.match(url.strip())
+    if match is None:
+        raise ValueError(f"bad authority URL {url!r}")
+    host = match.group(1)
+    port = int(match.group(2)) if match.group(2) else GMETAD_XML_PORT
+    return Address(host, port)
+
+
+class NavigationError(RuntimeError):
+    """The authority walk failed (dead end, loop, or timeout)."""
+
+
+@dataclass
+class NavigationStep:
+    """One hop of the drill-down."""
+
+    address: Address
+    query: str
+    outcome: str  # "full" | "follow" | "miss"
+    authority: str = ""
+
+
+@dataclass
+class NavigationResult:
+    cluster: ClusterElement
+    steps: List[NavigationStep] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        return len(self.steps)
+
+
+class AuthorityNavigator:
+    """Follows authority pointers from any entry gmetad to full detail."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        tcp: TcpNetwork,
+        client_host: str,
+        timeout: float = 10.0,
+        max_hops: int = 8,
+    ) -> None:
+        self.engine = engine
+        self.tcp = tcp
+        self.client_host = client_host
+        self.timeout = timeout
+        self.max_hops = max_hops
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _fetch(self, address: Address, query: str) -> GangliaDocument:
+        result: dict = {}
+        self.tcp.request(
+            self.client_host,
+            address,
+            query,
+            on_response=lambda p, rtt: result.update(xml=str(p)),
+            timeout=self.timeout,
+            on_timeout=lambda e: result.update(error=str(e)),
+        )
+        deadline = self.engine.now + self.timeout + 1.0
+        while not result and self.engine.now < deadline:
+            self.engine.run_for(0.05)
+        if "xml" not in result:
+            raise NavigationError(
+                f"no answer from {address} for {query!r}: "
+                f"{result.get('error', 'silent')}"
+            )
+        return parse_document(result["xml"], validate=False)
+
+    @staticmethod
+    def _find_full_cluster(
+        doc: GangliaDocument, name: str
+    ) -> Optional[ClusterElement]:
+        for cluster in doc.walk_clusters():
+            if cluster.name == name and not cluster.is_summary:
+                return cluster
+        return None
+
+    @staticmethod
+    def _child_grid_candidates(
+        doc: GangliaDocument, cluster_name: str
+    ) -> List[Tuple[str, str]]:
+        """(grid_name, authority_url) of *child* grids worth following.
+
+        The responding gmetad wraps everything in its own GRID whose
+        AUTHORITY points back at itself; following that would loop, so
+        only grids nested one level down (the remote sources) are
+        candidates.  Candidates whose name prefixes the cluster name are
+        tried first -- with summary-only data the walk cannot *know*
+        which child holds the cluster, so the rest are kept as
+        backtracking fallbacks.
+        """
+        candidates: List[Tuple[str, str]] = []
+
+        def visit_children(grid: GridElement) -> None:
+            for sub in grid.grids.values():
+                if sub.authority:
+                    candidates.append((sub.name, sub.authority))
+                visit_children(sub)
+
+        for top in doc.grids.values():
+            visit_children(top)
+        candidates.sort(
+            key=lambda c: (not cluster_name.lower().startswith(c[0].lower()), c[0])
+        )
+        return candidates
+
+    # -- the walk ----------------------------------------------------------
+
+    def drill_down(self, entry: Address, cluster_name: str) -> NavigationResult:
+        """Locate ``cluster_name`` at full resolution, starting at ``entry``.
+
+        Depth-first search over authority pointers with backtracking:
+        at each gmetad, first ask for the cluster directly (one cheap
+        subtree query); on a miss, fetch the summary tree and recurse
+        into child grids, best-guess first.  Visited addresses are
+        skipped, so pointer loops terminate.
+        """
+        steps: List[NavigationStep] = []
+        visited: set = set()
+        cluster = self._dfs(entry, cluster_name, steps, visited)
+        if cluster is None:
+            raise NavigationError(
+                f"{cluster_name!r} not found after visiting "
+                f"{len(visited)} gmetad(s)"
+            )
+        return NavigationResult(cluster=cluster, steps=steps)
+
+    def _dfs(
+        self,
+        address: Address,
+        cluster_name: str,
+        steps: List[NavigationStep],
+        visited: set,
+    ) -> Optional[ClusterElement]:
+        if address in visited or len(visited) >= self.max_hops:
+            return None
+        visited.add(address)
+        doc = self._fetch(address, f"/{cluster_name}")
+        cluster = self._find_full_cluster(doc, cluster_name)
+        if cluster is not None:
+            steps.append(NavigationStep(address, f"/{cluster_name}", "full"))
+            return cluster
+        doc = self._fetch(address, "/?filter=summary")
+        candidates = self._child_grid_candidates(doc, cluster_name)
+        if not candidates:
+            steps.append(NavigationStep(address, "/?filter=summary", "miss"))
+            return None
+        for grid_name, authority in candidates:
+            steps.append(
+                NavigationStep(
+                    address, "/?filter=summary", "follow", authority=authority
+                )
+            )
+            found = self._dfs(
+                parse_authority_url(authority), cluster_name, steps, visited
+            )
+            if found is not None:
+                return found
+        return None

@@ -1,0 +1,178 @@
+"""Gmetad's in-memory state: hash tables keyed by the query path (§2.3.2).
+
+"By organizing the parsed monitoring data in a series of hash tables, we
+can support very low-latency queries.  Our approach approximates a DOM
+design where each XML tag name keys into a hash table. ... A node must
+search at most three hash table levels to find the desired subtree: data
+sources, summaries and cluster nodes, and node metrics."
+
+The three levels here are ordinary dicts:
+
+1. ``Datastore.sources`` -- data-source name -> :class:`SourceSnapshot`;
+2. ``snapshot.cluster.hosts`` (full local clusters) or
+   ``snapshot.grid.clusters``/``snapshot.grid.grids`` (remote summaries);
+3. ``host.metrics`` / ``summary.metrics``.
+
+Snapshots are replaced atomically at the end of each background parse,
+so "queries [sic] results are based only on the latest fully-parsed
+data" and a query arriving during a poll sees the previous snapshot --
+the freshness-for-latency trade of §2.3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.summarize import merge_summaries
+from repro.wire.model import (
+    ClusterElement,
+    GridElement,
+    HostElement,
+    MetricElement,
+    SummaryInfo,
+)
+
+
+@dataclass
+class SourceSnapshot:
+    """Everything gmetad currently knows about one data source."""
+
+    name: str
+    kind: str  # "cluster" (local gmond) or "grid" (child gmetad)
+    summary: SummaryInfo
+    cluster: Optional[ClusterElement] = None  # full form, cluster sources
+    grid: Optional[GridElement] = None        # summary form, grid sources
+    authority: str = ""                        # URL of the full-resolution view
+    up: bool = True
+    last_success: float = 0.0
+    consecutive_failures: int = 0
+    last_error: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cluster", "grid"):
+            raise ValueError(f"bad source kind {self.kind!r}")
+        if self.kind == "cluster" and self.cluster is None:
+            raise ValueError("cluster snapshot requires a cluster element")
+        if self.kind == "grid" and self.grid is None:
+            raise ValueError("grid snapshot requires a grid element")
+
+
+class Datastore:
+    """Level-1 hash table plus rollup caching."""
+
+    def __init__(self) -> None:
+        self.sources: Dict[str, SourceSnapshot] = {}
+        self.generation = 0  # bumps on every install; invalidates the rollup
+        self._rollup: Optional[SummaryInfo] = None
+        self._rollup_generation = -1
+
+    # -- writes (background parsing timescale) ------------------------------
+
+    def install(self, snapshot: SourceSnapshot, now: float) -> None:
+        """Atomically replace the snapshot for one source."""
+        previous = self.sources.get(snapshot.name)
+        if previous is not None:
+            snapshot.consecutive_failures = 0
+        snapshot.up = True
+        snapshot.last_success = now
+        self.sources[snapshot.name] = snapshot
+        self.generation += 1
+
+    def mark_failure(self, name: str, now: float, error: str) -> int:
+        """Record a poll failure; returns the consecutive-failure count.
+
+        The stale snapshot (if any) stays queryable -- "If multiple
+        failures render the monitored cluster unreachable, Gmeta keeps a
+        set of metric histories that aid in forensic analysis."
+        """
+        snapshot = self.sources.get(name)
+        if snapshot is None:
+            snapshot = SourceSnapshot(
+                name=name,
+                kind="cluster",
+                summary=SummaryInfo(),
+                cluster=ClusterElement(name=name),
+            )
+            self.sources[name] = snapshot
+        snapshot.up = False
+        snapshot.consecutive_failures += 1
+        snapshot.last_error = error
+        self.generation += 1
+        return snapshot.consecutive_failures
+
+    # -- level-1/2/3 lookups (query timescale) -----------------------------
+
+    def source(self, name: str) -> Optional[SourceSnapshot]:
+        """The snapshot for one data source, or None."""
+        return self.sources.get(name)
+
+    def source_names(self) -> List[str]:
+        """All source names, sorted (the level-1 keys)."""
+        return sorted(self.sources)
+
+    def find_cluster(self, source: str) -> Optional[ClusterElement]:
+        """Full or summary form cluster for a source-level path segment.
+
+        For grid sources this also reaches one level into the child grid,
+        so ``/childgrid`` resolves even when the child was folded into a
+        grid snapshot.
+        """
+        snapshot = self.sources.get(source)
+        if snapshot is None:
+            return None
+        return snapshot.cluster
+
+    def find_host(self, source: str, host: str) -> Optional[HostElement]:
+        """Level-2 lookup: one host of a cluster source."""
+        snapshot = self.sources.get(source)
+        if snapshot is None or snapshot.cluster is None:
+            return None
+        return snapshot.cluster.hosts.get(host)
+
+    def find_metric(
+        self, source: str, host: str, metric: str
+    ) -> Optional[MetricElement]:
+        """Level-3 lookup: one metric of one host."""
+        host_element = self.find_host(source, host)
+        if host_element is None:
+            return None
+        return host_element.metrics.get(metric)
+
+    def find_nested(self, source: str, child: str):
+        """Resolve the second path segment inside a *grid* source.
+
+        Returns a summary-form ClusterElement or GridElement, or None.
+        """
+        snapshot = self.sources.get(source)
+        if snapshot is None or snapshot.grid is None:
+            return None
+        found = snapshot.grid.clusters.get(child)
+        if found is not None:
+            return found
+        return snapshot.grid.grids.get(child)
+
+    # -- rollup ------------------------------------------------------------
+
+    def root_summary(self) -> Tuple[SummaryInfo, int]:
+        """Merged summary over all sources (the meta view payload).
+
+        Cached per generation; the ``operations`` count is 0 on a cache
+        hit so repeated queries between polls charge almost nothing.
+        """
+        if self._rollup_generation == self.generation and self._rollup is not None:
+            return self._rollup, 0
+        merged, operations = merge_summaries(
+            [s.summary for s in self.sources.values()]
+        )
+        self._rollup = merged
+        self._rollup_generation = self.generation
+        return merged, operations
+
+    def up_sources(self) -> List[str]:
+        """Sources whose last poll succeeded."""
+        return sorted(n for n, s in self.sources.items() if s.up)
+
+    def down_sources(self) -> List[str]:
+        """Sources currently marked unreachable."""
+        return sorted(n for n, s in self.sources.items() if not s.up)

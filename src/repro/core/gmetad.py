@@ -1,0 +1,142 @@
+"""The N-level gmetad (Ganglia 2.5.4): summaries, GRID tags, queries.
+
+Behaviour per §2.2-2.3 of the paper:
+
+- **Polling**: children are asked for ``/?filter=summary``; gmond
+  sources ignore the query and return full cluster XML (they have no
+  query engine), so local clusters arrive at full detail and remote
+  grids arrive as summaries.
+- **Authority**: "Gmeta only keeps numerical summaries of data from
+  clusters it is not an authority on."  Local clusters are kept in full
+  and archived per-host; grid sources keep their summary-form structure
+  plus the AUTHORITY URL pointing at the child that owns the detail.
+- **Reporting**: a parent polling this daemon receives every local
+  cluster and every remote grid in summary form -- "reports cluster
+  summaries to its parent" (Fig. 5 caption) -- bounding upstream traffic
+  at O(m) per source.
+- **Queries**: the path engine of :mod:`repro.core.query` serves
+  arbitrary subtrees from the hash-table datastore.
+"""
+
+from __future__ import annotations
+
+from repro.core.datastore import SourceSnapshot
+from repro.core.gmetad_base import GmetadBase
+from repro.core.query import (
+    SUMMARY_POLL_QUERY,
+    GmetadQuery,
+    QueryEngine,
+    QueryError,
+)
+from repro.core.summarize import merge_summaries, summarize_cluster
+from repro.wire.model import GangliaDocument
+
+
+class Gmetad(GmetadBase):
+    """N-level wide-area monitor daemon."""
+
+    version = "2.5.4"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.query_engine = QueryEngine(
+            self.datastore,
+            grid_name=self.config.gridname,
+            authority=self.config.authority_url,
+            version=self.version,
+        )
+
+    # -- polling ------------------------------------------------------------
+
+    def poll_request(self) -> str:
+        """N-level children are polled with the summary query."""
+        return SUMMARY_POLL_QUERY
+
+    def ingest(self, source: str, doc: GangliaDocument, now: float) -> None:
+        """Fold one poll response into the datastore.
+
+        A gmond response carries CLUSTER elements (full form); a child
+        gmetad response carries one GRID element whose contents are
+        already in summary form.
+        """
+        for cluster in doc.clusters.values():
+            summary, samples = summarize_cluster(
+                cluster, self.config.heartbeat_window
+            )
+            cluster.summary = summary  # element carries both resolutions
+            self.charge(self.costs.summarize_metric * samples, "summarize")
+            if self.config.archive_local_detail:
+                self.archiver.archive_cluster_detail(source, cluster, now)
+            self.archiver.archive_summary(source, cluster.name, summary, now)
+            self.datastore.install(
+                SourceSnapshot(
+                    name=source,
+                    kind="cluster",
+                    summary=summary,
+                    cluster=cluster,
+                    authority=self.config.authority_url,
+                ),
+                now,
+            )
+        for grid in doc.grids.values():
+            # merge the child's per-cluster/per-grid summaries into one
+            # rollup for this source; cost is per *metric*, not per host
+            parts = []
+            for nested_cluster in grid.clusters.values():
+                if nested_cluster.summary is not None:
+                    parts.append(nested_cluster.summary)
+            for nested_grid in grid.grids.values():
+                if nested_grid.summary is not None:
+                    parts.append(nested_grid.summary)
+            if grid.summary is not None and not parts:
+                summary = grid.summary
+                operations = 0
+            else:
+                summary, operations = merge_summaries(parts)
+            grid.summary = summary  # rollup for one-tag summary serving
+            self.charge(self.costs.summarize_metric * operations, "summarize")
+            # summary archives only: sum+num series per descendant cluster
+            for nested_cluster in grid.clusters.values():
+                if nested_cluster.summary is not None:
+                    self.archiver.archive_summary(
+                        source, nested_cluster.name, nested_cluster.summary, now
+                    )
+            for nested_grid in grid.grids.values():
+                if nested_grid.summary is not None:
+                    self.archiver.archive_summary(
+                        source, nested_grid.name, nested_grid.summary, now
+                    )
+            self.datastore.install(
+                SourceSnapshot(
+                    name=source,
+                    kind="grid",
+                    summary=summary,
+                    grid=grid,
+                    authority=grid.authority or "",
+                ),
+                now,
+            )
+
+    # -- serving -----------------------------------------------------------
+
+    def serve_query(self, request: str) -> tuple[str, float]:
+        """Serve one request through the path query engine."""
+        try:
+            query = GmetadQuery.parse(request)
+        except QueryError:
+            query = GmetadQuery()  # garbage in, full default dump out
+        seconds = self.charge(self.costs.query_fixed, "query")
+        xml, stats = self.query_engine.execute(query, self.engine.now)
+        seconds += self.charge(
+            self.costs.hash_insert * stats.hash_lookups, "query"
+        )
+        seconds += self.charge(
+            self.costs.serve_byte * stats.bytes_serialized, "serve"
+        )
+        return xml, seconds
+
+    # -- convenience for tools/alarms -----------------------------------------
+
+    def resolve(self, query_text: str):
+        """Resolve a query to model elements without serialization."""
+        return self.query_engine.resolve(GmetadQuery.parse(query_text))

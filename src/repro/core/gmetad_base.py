@@ -1,0 +1,233 @@
+"""Shared plumbing for both gmetad designs.
+
+The base class owns everything the two designs have in common: the CPU
+account, the datastore, the RRD archiver, one poller per configured data
+source (staggered so twelve clusters don't all land on the same tick),
+and the TCP listener.  Subclasses define:
+
+- :meth:`poll_request` -- what to ask children for (full dump vs
+  summary query);
+- :meth:`ingest` -- what to keep, summarize and archive;
+- :meth:`serve_query` -- what a request gets back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.archiver import Archiver
+from repro.core.datastore import Datastore
+from repro.core.poller import DataSourcePoller
+from repro.core.tree import GmetadConfig
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.net.tcp import Response, TcpNetwork
+from repro.rrd.database import RraSpec, compact_rra_specs
+from repro.rrd.store import RrdStore
+from repro.sim.engine import Engine
+from repro.sim.resources import DEFAULT_CAPACITY, CostModel, CpuAccount
+from repro.wire.model import ClusterElement, GangliaDocument, GridElement
+from repro.wire.parser import ParseError, parse_document
+
+
+def document_element_count(doc: GangliaDocument) -> int:
+    """How many hash-table inserts building this document's state takes."""
+    count = 0
+
+    def count_cluster(cluster: ClusterElement) -> int:
+        n = 1
+        if cluster.is_summary:
+            return n + 1 + len(cluster.summary.metrics)
+        for host in cluster.hosts.values():
+            n += 1 + len(host.metrics)
+        return n
+
+    def count_grid(grid: GridElement) -> int:
+        n = 1
+        if grid.summary is not None:
+            n += 1 + len(grid.summary.metrics)
+        for cluster in grid.clusters.values():
+            n += count_cluster(cluster)
+        for sub in grid.grids.values():
+            n += count_grid(sub)
+        return n
+
+    for cluster in doc.clusters.values():
+        count += count_cluster(cluster)
+    for grid in doc.grids.values():
+        count += count_grid(grid)
+    return count
+
+
+class GmetadBase:
+    """Common daemon machinery; see :class:`Gmetad` / :class:`OneLevelGmetad`."""
+
+    #: GANGLIA_XML VERSION emitted; set by subclasses.
+    version = "2.5.x"
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        config: GmetadConfig,
+        costs: Optional[CostModel] = None,
+        capacity: float = DEFAULT_CAPACITY,
+        rra_specs: Optional[List[RraSpec]] = None,
+        validate_xml: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.fabric = fabric
+        self.tcp = tcp
+        self.config = config
+        self.costs = costs if costs is not None else CostModel()
+        self.cpu = CpuAccount(config.name, capacity)
+        self.datastore = Datastore()
+        self.validate_xml = validate_xml
+        if not fabric.has_host(config.host):
+            fabric.add_host(config.host)
+        store = RrdStore(
+            mode=config.archive_mode,
+            rra_specs=rra_specs if rra_specs is not None else compact_rra_specs(),
+        )
+        self.archiver = Archiver(
+            store, self.charge, self.costs, config.heartbeat_window
+        )
+        self.pollers: Dict[str, DataSourcePoller] = {}
+        stride = (
+            config.poll_interval / max(1, len(config.data_sources))
+            if config.data_sources
+            else config.poll_interval
+        )
+        for i, source in enumerate(config.data_sources):
+            self.pollers[source.name] = DataSourcePoller(
+                engine,
+                tcp,
+                config.host,
+                source,
+                on_data=self._on_data,
+                on_source_down=self._on_source_down,
+                request=self.poll_request(),
+                initial_delay=(i + 1) * stride,  # stagger the poll phase
+            )
+        self._server = tcp.listen(Address.gmetad(config.host), self._serve)
+        self._started = False
+        # stats
+        self.polls_ingested = 0
+        self.parse_errors = 0
+        self.queries_served = 0
+        #: optional tap called as (source, xml, sim_time) before every
+        #: ingest -- used by the trace recorder (repro.bench.trace)
+        self.ingest_tap = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "GmetadBase":
+        """Start every data-source poller."""
+        if self._started:
+            raise RuntimeError(f"gmetad {self.config.name} already started")
+        self._started = True
+        for poller in self.pollers.values():
+            poller.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop pollers and close the query listener."""
+        for poller in self.pollers.values():
+            poller.stop()
+        self.tcp.close(Address.gmetad(self.config.host))
+        self._started = False
+
+    # -- dynamic membership (used by the self-organizing tree, §4) --------
+
+    def add_data_source(self, source, initial_delay: float = 1.0) -> DataSourcePoller:
+        """Attach a new data source at runtime and start polling it."""
+        if source.name in self.pollers:
+            raise ValueError(f"data source {source.name!r} already attached")
+        poller = DataSourcePoller(
+            self.engine,
+            self.tcp,
+            self.config.host,
+            source,
+            on_data=self._on_data,
+            on_source_down=self._on_source_down,
+            request=self.poll_request(),
+            initial_delay=initial_delay,
+        )
+        self.pollers[source.name] = poller
+        self.config.data_sources.append(source)
+        if self._started:
+            poller.start()
+        return poller
+
+    def remove_data_source(self, name: str) -> None:
+        """Detach a data source: stop polling and drop its state."""
+        poller = self.pollers.pop(name, None)
+        if poller is not None:
+            poller.stop()
+        self.config.data_sources = [
+            s for s in self.config.data_sources if s.name != name
+        ]
+        if self.datastore.sources.pop(name, None) is not None:
+            self.datastore.generation += 1
+
+    @property
+    def address(self) -> Address:
+        """The TCP endpoint this daemon serves queries on."""
+        return Address.gmetad(self.config.host)
+
+    @property
+    def rrd_store(self) -> RrdStore:
+        """The archive store behind the archiver."""
+        return self.archiver.store
+
+    # -- CPU accounting ---------------------------------------------------
+
+    def charge(self, work_units: float, category: str) -> float:
+        """Charge CPU work to this daemon's account."""
+        return self.cpu.charge(work_units, category)
+
+    # -- polling path (background timescale) ----------------------------------
+
+    def _on_data(self, source: str, xml: str, rtt: float) -> None:
+        now = self.engine.now
+        if self.ingest_tap is not None:
+            self.ingest_tap(source, xml, now)
+        self.charge(self.costs.tcp_connect, "network")
+        self.charge(self.costs.parse_byte * len(xml), "parse")
+        try:
+            doc = parse_document(xml, validate=self.validate_xml)
+        except ParseError as exc:
+            self.parse_errors += 1
+            self.datastore.mark_failure(source, now, f"parse error: {exc}")
+            return
+        self.charge(
+            self.costs.hash_insert * document_element_count(doc), "parse"
+        )
+        self.polls_ingested += 1
+        self.ingest(source, doc, now)
+
+    def _on_source_down(self, source: str, error: str) -> None:
+        self.datastore.mark_failure(source, self.engine.now, error)
+
+    # -- serving path (query timescale) -----------------------------------
+
+    def _serve(self, client: str, request: object) -> Response:
+        self.queries_served += 1
+        seconds = self.charge(self.costs.tcp_connect, "network")
+        xml, serve_seconds = self.serve_query(str(request))
+        return Response(xml, service_seconds=seconds + serve_seconds)
+
+    # -- subclass interface ---------------------------------------------------
+
+    def poll_request(self) -> str:
+        """What to send children when polling (design-specific)."""
+        raise NotImplementedError
+
+    def ingest(self, source: str, doc: GangliaDocument, now: float) -> None:
+        """Fold one parsed poll response into local state (design-specific)."""
+        raise NotImplementedError
+
+    def serve_query(self, request: str) -> tuple[str, float]:
+        """Returns (xml, service_seconds_charged)."""
+        raise NotImplementedError

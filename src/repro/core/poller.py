@@ -1,0 +1,128 @@
+"""Background polling of data sources: gathering, fail-over, retries.
+
+"Gmeta system gathers data from sources at a low frequency polling
+interval, generally every 15 seconds, independent of any query
+processing.  All failure detection is done at this time scale as well."
+(§2.3.1)
+
+Fail-over (Fig. 1): a data source lists several redundant endpoints
+(gmond runs on every cluster node); when the current endpoint times out
+the poller advances to the next one *immediately* for the following poll,
+"preventing a node stop failure from disrupting its monitoring
+activities".  When every endpoint has failed the source is marked down,
+but polling continues at the steady interval -- "the monitor will
+attempt to re-establish contact at a steady frequency, ensuring that
+failures do not cause permanent fissures in the monitoring tree".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.tree import DataSourceConfig
+from repro.net.address import Address
+from repro.net.tcp import TcpNetwork, TcpTimeout
+from repro.sim.engine import Engine, PeriodicTask
+
+#: Delivered on success: (source_name, xml_text, rtt_seconds)
+OnData = Callable[[str, str, float], None]
+#: Delivered when a full fail-over cycle came up empty: (source_name, error)
+OnSourceDown = Callable[[str, str], None]
+
+
+class DataSourcePoller:
+    """Polls one data source on behalf of a gmetad daemon."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        tcp: TcpNetwork,
+        client_host: str,
+        config: DataSourceConfig,
+        on_data: OnData,
+        on_source_down: OnSourceDown,
+        request: str = "/",
+        initial_delay: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.tcp = tcp
+        self.client_host = client_host
+        self.config = config
+        self.on_data = on_data
+        self.on_source_down = on_source_down
+        self.request = request
+        self._address_index = 0
+        self._failures_this_cycle = 0
+        self._in_flight = False
+        self.polls = 0
+        self.successes = 0
+        self.failovers = 0
+        self.down_reports = 0
+        self._task: Optional[PeriodicTask] = None
+        self._initial_delay = (
+            initial_delay if initial_delay is not None else config.poll_interval
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "DataSourcePoller":
+        """Arm the periodic poll task."""
+        if self._task is not None:
+            raise RuntimeError("poller already started")
+        self._task = self.engine.every(
+            self.config.poll_interval,
+            self.poll_once,
+            initial_delay=self._initial_delay,
+        )
+        return self
+
+    def stop(self) -> None:
+        """Stop polling."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    @property
+    def current_address(self) -> Address:
+        """The endpoint the next poll will contact."""
+        return self.config.addresses[self._address_index]
+
+    # -- polling -----------------------------------------------------------
+
+    def poll_once(self) -> None:
+        """Issue one poll (normally driven by the periodic task)."""
+        if self._in_flight:
+            # Previous request still pending (timeout longer than a very
+            # short poll interval); skip this tick rather than pile up.
+            return
+        self._in_flight = True
+        self.polls += 1
+        address = self.current_address
+        self.tcp.request(
+            self.client_host,
+            address,
+            self.request,
+            on_response=self._on_response,
+            timeout=self.config.timeout,
+            on_timeout=self._on_timeout,
+        )
+
+    def _on_response(self, payload: object, rtt: float) -> None:
+        self._in_flight = False
+        self._failures_this_cycle = 0
+        self.successes += 1
+        self.on_data(self.config.name, str(payload), rtt)
+
+    def _on_timeout(self, error: TcpTimeout) -> None:
+        self._in_flight = False
+        self._failures_this_cycle += 1
+        self.failovers += 1
+        # advance to the next redundant endpoint for the next attempt
+        self._address_index = (self._address_index + 1) % len(
+            self.config.addresses
+        )
+        if self._failures_this_cycle >= len(self.config.addresses):
+            # every endpoint failed: the cluster is unreachable
+            self._failures_this_cycle = 0
+            self.down_reports += 1
+            self.on_source_down(self.config.name, str(error))

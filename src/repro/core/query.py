@@ -1,0 +1,316 @@
+"""The path query language and engine (§2.3).
+
+"Instead of returning the entire tree rooted at a node, monitors accept
+a small path-like query that specifies a single local subtree to report
+(fig 4).  Low-latency query response is a primary goal of our design."
+
+Grammar (matching the paper's ``/meteor/compute-0-0/`` example)::
+
+    query   := "/" [ source [ "/" node [ "/" metric ] ] ] [ "?filter=summary" ]
+    source  := data source name (cluster or child grid)
+    node    := host name (cluster sources) or nested cluster/grid name
+               (grid sources)
+    metric  := metric name
+
+Resolution is at most three hash lookups (`QueryStats.hash_lookups`),
+mirroring §2.3.2; the expensive part is dumping the result -- O(m) for a
+summary, O(H·m) for a full cluster -- which the engine reports via
+``bytes_serialized`` so the host gmetad can charge CPU and compute the
+service time viewers observe.
+
+Whole-tree queries with ``filter=summary`` are how N-level parents poll
+their children: the reply contains every local cluster and every remote
+grid in summary form, each tagged with the AUTHORITY URL holding the
+next resolution level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.datastore import Datastore
+from repro.wire.model import ClusterElement, GridElement, HostElement
+from repro.wire.writer import XmlWriter
+
+#: Query string every N-level gmetad sends to its children when polling.
+SUMMARY_POLL_QUERY = "/?filter=summary"
+#: Query string the 1-level design (and full dumps) use.
+FULL_DUMP_QUERY = "/"
+
+
+class QueryError(ValueError):
+    """Malformed query string."""
+
+
+class QueryNotFound(KeyError):
+    """The queried path does not exist in this gmetad's datastore."""
+
+    def __init__(self, path: Tuple[str, ...]) -> None:
+        super().__init__("/".join(path) or "/")
+        self.path = path
+
+
+@dataclass(frozen=True)
+class GmetadQuery:
+    """A parsed query: path segments plus the summary filter flag."""
+
+    path: Tuple[str, ...] = ()
+    summary: bool = False
+
+    @classmethod
+    def parse(cls, text: str) -> "GmetadQuery":
+        """Parse a query string; raises QueryError on bad syntax."""
+        if not isinstance(text, str):
+            raise QueryError(f"query must be a string, got {type(text).__name__}")
+        text = text.strip()
+        if not text.startswith("/"):
+            raise QueryError(f"query must start with '/': {text!r}")
+        if "?" in text:
+            path_text, _, query_string = text.partition("?")
+            summary = False
+            for param in query_string.split("&"):
+                if not param:
+                    continue
+                key, _, value = param.partition("=")
+                if key == "filter":
+                    if value != "summary":
+                        raise QueryError(f"unknown filter {value!r}")
+                    summary = True
+                else:
+                    raise QueryError(f"unknown query parameter {key!r}")
+        else:
+            path_text, summary = text, False
+        segments = tuple(s for s in path_text.split("/") if s)
+        if len(segments) > 3:
+            raise QueryError(f"query path too deep ({len(segments)} segments)")
+        return cls(path=segments, summary=summary)
+
+    def render(self) -> str:
+        """The canonical string form of this query."""
+        path = "/" + "/".join(self.path)
+        return path + ("?filter=summary" if self.summary else "")
+
+
+@dataclass
+class QueryStats:
+    """What executing one query cost."""
+
+    hash_lookups: int = 0
+    bytes_serialized: int = 0
+    found: bool = True
+
+
+class QueryEngine:
+    """Executes queries against a datastore; serializes the matched subtree."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        grid_name: str,
+        authority: str,
+        version: str = "2.5.4",
+    ) -> None:
+        self.datastore = datastore
+        self.grid_name = grid_name
+        self.authority = authority
+        self.version = version
+
+    # -- public API ---------------------------------------------------------
+
+    def execute(self, query: GmetadQuery, now: float) -> Tuple[str, QueryStats]:
+        """Run ``query``; returns (XML text, stats).
+
+        Unknown paths produce an empty GANGLIA_XML report (stats.found
+        False) rather than an exception -- remote viewers must receive
+        *something* parseable.
+        """
+        stats = QueryStats()
+        try:
+            xml = self._execute(query, now, stats)
+        except QueryNotFound:
+            stats.found = False
+            xml = self._empty_document(query)
+        stats.bytes_serialized = len(xml)
+        return xml, stats
+
+    def resolve(self, query: GmetadQuery):
+        """Python-level resolution (no serialization); for alarms/tools.
+
+        Returns a model element: GridElement / ClusterElement /
+        HostElement / MetricElement / SummaryInfo.  Raises
+        :class:`QueryNotFound`.
+        """
+        stats = QueryStats()
+        return self._resolve(query, stats)
+
+    # -- resolution ---------------------------------------------------------
+
+    def _resolve(self, query: GmetadQuery, stats: QueryStats):
+        path = query.path
+        if not path:
+            return None  # whole-tree: handled structurally by _execute
+        stats.hash_lookups += 1
+        snapshot = self.datastore.source(path[0])
+        if snapshot is None:
+            raise QueryNotFound(path)
+        if len(path) == 1:
+            if snapshot.kind == "cluster":
+                return snapshot.cluster
+            return snapshot.grid
+        if snapshot.kind == "cluster":
+            stats.hash_lookups += 1
+            host = self.datastore.find_host(path[0], path[1])
+            if host is None:
+                raise QueryNotFound(path)
+            if len(path) == 2:
+                return host
+            stats.hash_lookups += 1
+            metric = host.metrics.get(path[2])
+            if metric is None:
+                raise QueryNotFound(path)
+            return metric
+        # grid source: one more level of nested summaries is addressable
+        stats.hash_lookups += 1
+        nested = self.datastore.find_nested(path[0], path[1])
+        if nested is None or len(path) > 2:
+            raise QueryNotFound(path)
+        return nested
+
+    # -- serialization --------------------------------------------------------
+
+    def _execute(self, query: GmetadQuery, now: float, stats: QueryStats) -> str:
+        writer = XmlWriter()
+        writer.raw('<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>\n')
+        writer.open_tag(
+            "GANGLIA_XML", [("VERSION", self.version), ("SOURCE", "gmetad")]
+        )
+        if not query.path:
+            self._write_tree(writer, query.summary, now)
+        else:
+            self._write_path(writer, query, stats)
+        writer.close_tag("GANGLIA_XML")
+        return writer.result()
+
+    def _write_tree(self, writer: XmlWriter, summary: bool, now: float) -> None:
+        """The whole local grid: every source, full or summary form."""
+        writer.open_tag(
+            "GRID",
+            [
+                ("NAME", self.grid_name),
+                ("AUTHORITY", self.authority),
+                ("LOCALTIME", f"{now:.0f}"),
+            ],
+        )
+        for name in self.datastore.source_names():
+            snapshot = self.datastore.sources[name]
+            if snapshot.kind == "cluster":
+                if summary and snapshot.cluster.summary is None:
+                    # a snapshot installed without an attached rollup
+                    # (shouldn't happen via Gmetad.ingest, but keep the
+                    # engine total): synthesize an empty-form element
+                    shell = ClusterElement(
+                        name=snapshot.cluster.name,
+                        localtime=snapshot.cluster.localtime,
+                        summary=snapshot.summary,
+                    )
+                    writer.cluster(shell, summary_only=True)
+                else:
+                    writer.cluster(snapshot.cluster, summary_only=summary)
+            elif summary:
+                merged = GridElement(
+                    name=snapshot.grid.name,
+                    authority=snapshot.authority or snapshot.grid.authority,
+                    summary=snapshot.summary,
+                )
+                writer.grid(merged, summary_only=True)
+            else:
+                writer.grid(snapshot.grid)
+        writer.close_tag("GRID")
+
+    def _write_path(
+        self, writer: XmlWriter, query: GmetadQuery, stats: QueryStats
+    ) -> None:
+        """Serialize a path query result, keeping the output DTD-valid.
+
+        Host and metric results are wrapped in a shell CLUSTER (and
+        HOST) element carrying the real attributes but only the matched
+        subtree -- exactly what the frontend needs to render the page
+        without receiving sibling hosts.
+        """
+        path = query.path
+        stats.hash_lookups += 1
+        snapshot = self.datastore.source(path[0])
+        if snapshot is None:
+            raise QueryNotFound(path)
+        if snapshot.kind == "grid":
+            if len(path) == 1:
+                if query.summary or snapshot.grid.is_summary:
+                    merged = GridElement(
+                        name=snapshot.grid.name,
+                        authority=snapshot.authority or snapshot.grid.authority,
+                        summary=snapshot.summary,
+                    )
+                    writer.grid(merged, summary_only=True)
+                else:
+                    writer.grid(snapshot.grid)
+                return
+            stats.hash_lookups += 1
+            nested = self.datastore.find_nested(path[0], path[1])
+            if nested is None or len(path) > 2:
+                raise QueryNotFound(path)
+            shell = GridElement(
+                name=snapshot.grid.name,
+                authority=snapshot.authority or snapshot.grid.authority,
+            )
+            writer.open_tag(
+                "GRID",
+                [("NAME", shell.name), ("AUTHORITY", shell.authority)],
+            )
+            if isinstance(nested, ClusterElement):
+                writer.cluster(nested, summary_only=nested.is_summary)
+            else:
+                writer.grid(nested, summary_only=nested.is_summary)
+            writer.close_tag("GRID")
+            return
+        # cluster source
+        cluster = snapshot.cluster
+        if len(path) == 1:
+            writer.cluster(cluster, summary_only=query.summary)
+            return
+        stats.hash_lookups += 1
+        host = cluster.hosts.get(path[1])
+        if host is None:
+            raise QueryNotFound(path)
+        if len(path) == 3:
+            stats.hash_lookups += 1
+            metric = host.metrics.get(path[2])
+            if metric is None:
+                raise QueryNotFound(path)
+            host = HostElement(
+                name=host.name,
+                ip=host.ip,
+                reported=host.reported,
+                tn=host.tn,
+                tmax=host.tmax,
+                dmax=host.dmax,
+                metrics={metric.name: metric},
+            )
+        shell = ClusterElement(
+            name=cluster.name,
+            owner=cluster.owner,
+            localtime=cluster.localtime,
+            url=cluster.url,
+            hosts={host.name: host},
+        )
+        writer.cluster(shell)
+
+    def _empty_document(self, query: GmetadQuery) -> str:
+        writer = XmlWriter()
+        writer.raw('<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>\n')
+        writer.raw(f"<!-- not found: {query.render()} -->\n")
+        writer.open_tag(
+            "GANGLIA_XML", [("VERSION", self.version), ("SOURCE", "gmetad")]
+        )
+        writer.close_tag("GANGLIA_XML")
+        return writer.result()

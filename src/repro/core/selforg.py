@@ -1,0 +1,234 @@
+"""MDS-style self-organizing monitoring tree (§4 future work).
+
+"We would like to incorporate a wide-area trust model similar to MDS,
+where parents have no explicit knowledge of their children.  Children in
+an MDS tree periodically send join messages to their parents, who verify
+trust via a cryptographic certificate sent with the message.  Nodes are
+automatically pruned from the tree if their join messages cease."
+
+Three pieces:
+
+- :class:`CertificateAuthority` / :class:`Certificate` -- a toy HMAC
+  "CA": good enough to model *verification* (valid/invalid/expired) in
+  the simulation without real crypto.
+- :class:`JoinAnnouncer` -- runs beside a child gmetad, periodically
+  sending a signed join message to its parent (soft state, exactly like
+  gmond heartbeats one level down).
+- :class:`JoinListener` -- runs beside a parent gmetad, listening on a
+  dedicated port; a verified join adds the child as a data source
+  (``add_data_source``), each refresh renews the lease, and a reaper
+  prunes children whose lease expired.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.gmetad_base import GmetadBase
+from repro.core.tree import DataSourceConfig
+from repro.net.address import Address
+from repro.net.tcp import Response, TcpNetwork
+from repro.sim.engine import Engine, PeriodicTask
+
+#: Port on which a self-organizing parent accepts join messages.
+JOIN_PORT = 8652
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed statement that ``subject`` may join ``realm``."""
+
+    subject: str    # child grid name
+    realm: str      # federation name the CA governs
+    not_after: float
+    signature: str
+
+    def payload(self) -> str:
+        """The signed portion of the certificate."""
+        return f"{self.subject}|{self.realm}|{self.not_after:.3f}"
+
+
+class CertificateAuthority:
+    """Issues and verifies join certificates for one realm."""
+
+    def __init__(self, realm: str, secret: bytes = b"repro-federation-ca") -> None:
+        self.realm = realm
+        self._secret = secret
+        self.issued: List[str] = []
+
+    def _sign(self, payload: str) -> str:
+        return hmac.new(self._secret, payload.encode(), hashlib.sha256).hexdigest()
+
+    def issue(self, subject: str, not_after: float = float("inf")) -> Certificate:
+        """Sign a join certificate for a subject."""
+        payload = f"{subject}|{self.realm}|{not_after:.3f}"
+        self.issued.append(subject)
+        return Certificate(
+            subject=subject,
+            realm=self.realm,
+            not_after=not_after,
+            signature=self._sign(payload),
+        )
+
+    def verify(self, certificate: Certificate, now: float) -> bool:
+        """Check realm, expiry and signature."""
+        if certificate.realm != self.realm:
+            return False
+        if now > certificate.not_after:
+            return False
+        expected = self._sign(certificate.payload())
+        return hmac.compare_digest(expected, certificate.signature)
+
+
+@dataclass(frozen=True)
+class JoinMessage:
+    """What a child periodically sends its parent."""
+
+    child_name: str
+    child_host: str
+    certificate: Certificate
+
+
+class JoinListener:
+    """Parent side: accept verified joins, lease them, prune the silent.
+
+    The soft-state discipline mirrors gmond's: a child that keeps
+    announcing stays in the tree; one that stops is pruned after
+    ``lease_seconds`` with no manual reconfiguration -- "The MDS design
+    has a self-organizing structure that makes it easier to deploy and
+    maintain".
+    """
+
+    def __init__(
+        self,
+        gmetad: GmetadBase,
+        ca: CertificateAuthority,
+        lease_seconds: float = 90.0,
+        prune_interval: float = 30.0,
+    ) -> None:
+        self.gmetad = gmetad
+        self.ca = ca
+        self.lease_seconds = lease_seconds
+        self.prune_interval = prune_interval
+        self._leases: Dict[str, float] = {}  # child name -> expiry time
+        self.joins_accepted = 0
+        self.joins_rejected = 0
+        self.pruned: List[str] = []
+        self._task: Optional[PeriodicTask] = None
+        self.address = Address(gmetad.config.host, JOIN_PORT)
+        gmetad.tcp.listen(self.address, self._on_join)
+
+    def start(self) -> "JoinListener":
+        if self._task is not None:
+            raise RuntimeError("join listener already started")
+        self._task = self.gmetad.engine.every(self.prune_interval, self.prune)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        self.gmetad.tcp.close(self.address)
+
+    # -- join handling ---------------------------------------------------------
+
+    def _on_join(self, client: str, request: object) -> Response:
+        now = self.gmetad.engine.now
+        if not isinstance(request, JoinMessage):
+            self.joins_rejected += 1
+            return Response("NAK bad-message")
+        if not self.ca.verify(request.certificate, now):
+            self.joins_rejected += 1
+            return Response("NAK bad-certificate")
+        if request.certificate.subject != request.child_name:
+            self.joins_rejected += 1
+            return Response("NAK subject-mismatch")
+        self.joins_accepted += 1
+        fresh = request.child_name not in self._leases
+        self._leases[request.child_name] = now + self.lease_seconds
+        if fresh and request.child_name not in self.gmetad.pollers:
+            self.gmetad.add_data_source(
+                DataSourceConfig(
+                    name=request.child_name,
+                    addresses=[Address.gmetad(request.child_host)],
+                    poll_interval=self.gmetad.config.poll_interval,
+                    timeout=self.gmetad.config.timeout,
+                )
+            )
+        return Response("ACK")
+
+    def prune(self) -> List[str]:
+        """Remove children whose join messages have ceased."""
+        now = self.gmetad.engine.now
+        expired = [name for name, until in self._leases.items() if now > until]
+        for name in expired:
+            del self._leases[name]
+            self.gmetad.remove_data_source(name)
+            self.pruned.append(name)
+        return expired
+
+    def active_children(self) -> List[str]:
+        """Children with unexpired leases, sorted."""
+        return sorted(self._leases)
+
+
+class JoinAnnouncer:
+    """Child side: periodically announce to the parent with a certificate."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        tcp: TcpNetwork,
+        child: GmetadBase,
+        parent_host: str,
+        certificate: Certificate,
+        interval: float = 30.0,
+    ) -> None:
+        self.engine = engine
+        self.tcp = tcp
+        self.child = child
+        self.parent_address = Address(parent_host, JOIN_PORT)
+        self.certificate = certificate
+        self.interval = interval
+        self.acks = 0
+        self.naks = 0
+        self._task: Optional[PeriodicTask] = None
+
+    def start(self, initial_delay: float = 1.0) -> "JoinAnnouncer":
+        if self._task is not None:
+            raise RuntimeError("announcer already started")
+        self._task = self.engine.every(
+            self.interval, self.announce, initial_delay=initial_delay
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def announce(self) -> None:
+        """Send one join message to the parent."""
+        message = JoinMessage(
+            child_name=self.child.config.name,
+            child_host=self.child.config.host,
+            certificate=self.certificate,
+        )
+
+        def on_response(payload: object, rtt: float) -> None:
+            if str(payload).startswith("ACK"):
+                self.acks += 1
+            else:
+                self.naks += 1
+
+        self.tcp.request(
+            self.child.config.host,
+            self.parent_address,
+            message,
+            on_response=on_response,
+            timeout=5.0,
+            on_timeout=lambda err: None,  # soft state: silently retry next round
+        )

@@ -1,0 +1,15 @@
+"""Failure injection: stop failures, intermittent failures, partitions.
+
+"Any monitoring system that operates over the wide-area must handle
+remote failures" (§1).  The injector drives the same three failure modes
+the paper's design addresses: node **stop** failures (gmetad fails over
+to another gmond, Fig. 1), **intermittent** failures (periodic retry),
+and **partitions** ("Even in cases of a complete partition with a
+cluster, the monitor will attempt to re-establish contact at a steady
+frequency").
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedules import FaultEvent, FaultSchedule
+
+__all__ = ["FaultInjector", "FaultEvent", "FaultSchedule"]

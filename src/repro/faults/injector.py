@@ -1,0 +1,139 @@
+"""The fault injector: schedule crashes, flaps and partitions.
+
+All mutations go through the fabric (hosts) or a pseudo-gmond (simulated
+cluster members), so every transport sees the failure the same way the
+real system would: UDP datagrams stop arriving, TCP connects time out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.gmond.pseudo import PseudoGmond
+from repro.net.fabric import Fabric
+from repro.sim.engine import Engine, PeriodicTask
+
+
+class FaultInjector:
+    """Schedules failures against the simulated fabric."""
+
+    def __init__(self, engine: Engine, fabric: Fabric) -> None:
+        self.engine = engine
+        self.fabric = fabric
+        self._flappers: List[PeriodicTask] = []
+        self.log: List[tuple] = []  # (time, action, subject)
+
+    def _record(self, action: str, subject: str) -> None:
+        self.log.append((self.engine.now, action, subject))
+
+    # -- stop failures ---------------------------------------------------------
+
+    def crash_host(
+        self, host: str, at: float = 0.0, duration: Optional[float] = None
+    ) -> None:
+        """Take ``host`` down at ``at``; bring it back after ``duration``.
+
+        ``duration=None`` is a permanent stop failure.
+        """
+
+        def down() -> None:
+            self.fabric.set_host_up(host, False)
+            self._record("crash", host)
+
+        def up() -> None:
+            self.fabric.set_host_up(host, True)
+            self._record("recover", host)
+
+        self.engine.call_later(at, down)
+        if duration is not None:
+            self.engine.call_later(at + duration, up)
+
+    def recover_host(self, host: str, at: float = 0.0) -> None:
+        """Bring a host back up at the given time."""
+        self.engine.call_later(
+            at,
+            lambda: (
+                self.fabric.set_host_up(host, True),
+                self._record("recover", host),
+            ),
+        )
+
+    # -- intermittent failures -------------------------------------------------
+
+    def flap_host(
+        self,
+        host: str,
+        period: float,
+        down_fraction: float = 0.5,
+        start: float = 0.0,
+    ) -> PeriodicTask:
+        """Intermittent failure: down for ``down_fraction`` of each period."""
+        if not (0.0 < down_fraction < 1.0):
+            raise ValueError("down_fraction must be in (0, 1)")
+
+        def go_down() -> None:
+            self.fabric.set_host_up(host, False)
+            self._record("flap-down", host)
+            self.engine.call_later(period * down_fraction, go_up)
+
+        def go_up() -> None:
+            self.fabric.set_host_up(host, True)
+            self._record("flap-up", host)
+
+        task = PeriodicTask(self.engine, period, go_down)
+        task.start(initial_delay=start if start > 0 else period)
+        self._flappers.append(task)
+        return task
+
+    def stop_flapping(self) -> None:
+        """Stop every flapping task and leave hosts up."""
+        for task in self._flappers:
+            task.stop()
+        self._flappers.clear()
+
+    # -- partitions --------------------------------------------------------
+
+    def partition(
+        self,
+        side_a: Iterable[str],
+        side_b: Iterable[str],
+        at: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Cut all links between two host groups; optionally heal later."""
+        side_a, side_b = list(side_a), list(side_b)
+
+        def cut() -> None:
+            self.fabric.partition(side_a, side_b)
+            self._record("partition", f"{side_a}|{side_b}")
+
+        def heal() -> None:
+            self.fabric.heal_partition(side_a, side_b)
+            self._record("heal", f"{side_a}|{side_b}")
+
+        self.engine.call_later(at, cut)
+        if duration is not None:
+            self.engine.call_later(at + duration, heal)
+
+    # -- simulated cluster members (pseudo-gmond) ------------------------------
+
+    def kill_pseudo_host(
+        self,
+        pseudo: PseudoGmond,
+        index: int,
+        at: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Silence one emulated host inside a pseudo-gmond cluster."""
+
+        def down() -> None:
+            pseudo.set_host_down(index, True)
+            self._record("pseudo-down", f"{pseudo.name}[{index}]")
+
+        def up() -> None:
+            pseudo.set_host_down(index, False)
+            self._record("pseudo-up", f"{pseudo.name}[{index}]")
+
+        self.engine.call_later(at, down)
+        if duration is not None:
+            self.engine.call_later(at + duration, up)

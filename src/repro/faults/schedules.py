@@ -1,0 +1,85 @@
+"""Declarative fault schedules, replayable against an injector.
+
+Experiments describe failures as data so a run can be repeated exactly
+(and so tests can assert against the schedule rather than ad-hoc
+callbacks)::
+
+    schedule = FaultSchedule([
+        FaultEvent(at=120.0, action="crash", host="meteor-0-3", duration=60),
+        FaultEvent(at=300.0, action="partition",
+                   group_a=["gmeta-sdsc"], group_b=["pgmond-attic-c0"]),
+    ])
+    schedule.apply(injector)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.faults.injector import FaultInjector
+
+_ACTIONS = ("crash", "recover", "flap", "partition")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    at: float
+    action: str
+    host: str = ""
+    duration: Optional[float] = None
+    group_a: Sequence[str] = ()
+    group_b: Sequence[str] = ()
+    period: float = 60.0
+    down_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.action in ("crash", "recover", "flap") and not self.host:
+            raise ValueError(f"action {self.action!r} requires a host")
+        if self.action == "partition" and not (self.group_a and self.group_b):
+            raise ValueError("partition requires two host groups")
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        """Append one fault event; returns self for chaining."""
+        self.events.append(event)
+        return self
+
+    def apply(self, injector: FaultInjector) -> None:
+        """Arm every event on the injector's engine."""
+        for event in sorted(self.events, key=lambda e: e.at):
+            if event.action == "crash":
+                injector.crash_host(event.host, event.at, event.duration)
+            elif event.action == "recover":
+                injector.recover_host(event.host, event.at)
+            elif event.action == "flap":
+                injector.flap_host(
+                    event.host,
+                    period=event.period,
+                    down_fraction=event.down_fraction,
+                    start=event.at,
+                )
+            else:  # partition
+                injector.partition(
+                    event.group_a, event.group_b, event.at, event.duration
+                )
+
+    def horizon(self) -> float:
+        """Latest time any event touches (for choosing run length)."""
+        latest = 0.0
+        for event in self.events:
+            end = event.at + (event.duration or 0.0)
+            latest = max(latest, end)
+        return latest

@@ -1,0 +1,28 @@
+"""Web-frontend emulation: Ganglia's PHP viewer, as a cost model + client.
+
+"This and other viewers request raw XML from a gmeta agent and parse it
+for display.  The processing required to view the tree is therefore
+proportional to the size of the XML returned by the monitor." (§2.3)
+
+The viewer here issues the same query per view that the PHP frontend
+does, measures download + parse exactly as the paper instruments it
+("gettimeofday() calls inserted just before the socket connection to the
+gmeta agent and after the completion of the XML parsing"), and builds
+the same three page models: **meta** (all clusters summarized),
+**cluster** (one cluster, full resolution) and **host** (everything
+about one host).
+"""
+
+from repro.frontend.costmodel import PhpSaxCostModel
+from repro.frontend.viewer import ViewTiming, WebFrontend
+from repro.frontend.views import ClusterView, HostView, MetaView, build_view
+
+__all__ = [
+    "PhpSaxCostModel",
+    "WebFrontend",
+    "ViewTiming",
+    "MetaView",
+    "ClusterView",
+    "HostView",
+    "build_view",
+]

@@ -1,0 +1,158 @@
+"""The viewer client: issue a query, download, parse, build the page.
+
+Timing protocol per §3.1: the clock starts "just before the socket
+connection to the gmeta agent" and stops "after the completion of the
+XML parsing".  Download time is simulated (connection RTT + transfer +
+server service time); parse time comes from the
+:class:`~repro.frontend.costmodel.PhpSaxCostModel` applied to the actual
+bytes and SAX events of the response -- our parser really runs, the
+model only converts its work into the paper's PHP-speed seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.frontend.costmodel import PhpSaxCostModel
+from repro.frontend.views import build_view
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.net.tcp import TcpNetwork
+from repro.sim.engine import Engine
+from repro.wire.parser import GangliaParser, TreeBuilder
+
+
+@dataclass
+class ViewTiming:
+    """One Table-1 style measurement."""
+
+    view: str
+    query: str
+    download_seconds: float
+    parse_seconds: float
+    bytes_received: int
+    sax_events: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Download plus parse time: the Table 1 quantity."""
+        return self.download_seconds + self.parse_seconds
+
+
+class ViewError(RuntimeError):
+    """The viewer could not complete a page (timeout or bad data)."""
+
+
+class WebFrontend:
+    """Emulates the PHP web frontend against one gmetad.
+
+    ``design`` selects the query strategy: the N-level viewer "can
+    request a particular XML sub-tree" while the 1-level viewer "must
+    receive a full tree from its gmeta agent" and filter client-side.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        target: Address,
+        design: str = "nlevel",
+        host: str = "webfrontend",
+        costs: Optional[PhpSaxCostModel] = None,
+        heartbeat_window: float = 80.0,
+        request_timeout: float = 30.0,
+    ) -> None:
+        if design not in ("nlevel", "1level"):
+            raise ValueError(f"design must be 'nlevel' or '1level', got {design!r}")
+        self.engine = engine
+        self.tcp = tcp
+        self.target = target
+        self.design = design
+        self.host = host
+        self.costs = costs or PhpSaxCostModel()
+        self.heartbeat_window = heartbeat_window
+        self.request_timeout = request_timeout
+        if not fabric.has_host(host):
+            fabric.add_host(host)
+
+    # -- query selection ----------------------------------------------------
+
+    def query_for(
+        self, view: str, cluster: Optional[str] = None, host: Optional[str] = None
+    ) -> str:
+        if view not in ("meta", "cluster", "host"):
+            raise ValueError(f"unknown view {view!r}")
+        if self.design == "1level":
+            return "/"  # the whole tree or nothing (§2.3)
+        if view == "meta":
+            return "/?filter=summary"
+        if view == "cluster":
+            if cluster is None:
+                raise ValueError("cluster view needs a cluster name")
+            return f"/{cluster}"
+        if cluster is None or host is None:
+            raise ValueError("host view needs cluster and host names")
+        return f"/{cluster}/{host}"
+
+    # -- page generation ----------------------------------------------------
+
+    def render_view(
+        self,
+        view: str,
+        cluster: Optional[str] = None,
+        host: Optional[str] = None,
+    ) -> Tuple[object, ViewTiming]:
+        """Generate one page; returns ``(page_model, timing)``.
+
+        Drives the simulation forward until the response arrives (the
+        request is in the critical path of the page, §2.3).
+        """
+        query = self.query_for(view, cluster, host)
+        result: dict = {}
+
+        def on_response(payload: object, rtt: float) -> None:
+            result["xml"] = str(payload)
+            result["rtt"] = rtt
+
+        def on_timeout(error) -> None:
+            result["error"] = error
+
+        self.tcp.request(
+            self.host,
+            self.target,
+            query,
+            on_response=on_response,
+            timeout=self.request_timeout,
+            on_timeout=on_timeout,
+        )
+        deadline = self.engine.now + self.request_timeout + 1.0
+        while not result and self.engine.now < deadline:
+            self.engine.run_for(0.05)
+        if "error" in result or "xml" not in result:
+            raise ViewError(f"no response from {self.target} for {query!r}")
+
+        xml: str = result["xml"]
+        builder = TreeBuilder()
+        events = GangliaParser(validate=False).parse(xml, builder)
+        parse_seconds = self.costs.parse_seconds(len(xml), events)
+        page = build_view(
+            builder.document,
+            view,
+            cluster=cluster,
+            host=host,
+            heartbeat_window=self.heartbeat_window,
+        )
+        # 1-level meta view: the frontend does its own reductions
+        if view == "meta" and getattr(page, "samples_summarized", 0):
+            parse_seconds += self.costs.summarize_seconds(page.samples_summarized)
+        timing = ViewTiming(
+            view=view,
+            query=query,
+            download_seconds=result["rtt"],
+            parse_seconds=parse_seconds,
+            bytes_received=len(xml),
+            sax_events=events,
+        )
+        return page, timing

@@ -1,0 +1,30 @@
+"""Gmond: Ganglia's local-area cluster monitor.
+
+Gmond agents run on every cluster node and exchange metrics over a UDP
+multicast channel, forming "a redundant, leaderless network where nodes
+listen to their neighbors rather than polling them".  Every agent holds
+soft-state for the whole cluster, so *any* node can serve a complete
+cluster report over TCP -- the property gmetad exploits for fail-over
+(paper Fig. 1).
+
+:class:`~repro.gmond.pseudo.PseudoGmond` is the paper's experiment
+workload generator: it "behaves identically to a cluster's gmon daemons,
+except their metric values are chosen randomly", serving DTD-conformant
+XML without simulating per-node multicast (which is what makes 500-host
+sweeps tractable, for the paper and for us).
+"""
+
+from repro.gmond.agent import GmondAgent
+from repro.gmond.cluster import SimulatedCluster
+from repro.gmond.config import GmondConfig
+from repro.gmond.pseudo import PseudoGmond
+from repro.gmond.state import ClusterState, HostRecord
+
+__all__ = [
+    "GmondConfig",
+    "ClusterState",
+    "HostRecord",
+    "GmondAgent",
+    "SimulatedCluster",
+    "PseudoGmond",
+]

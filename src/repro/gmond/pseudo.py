@@ -1,0 +1,177 @@
+"""Pseudo-gmond: the paper's controlled workload emulator.
+
+"All experiments employ gmon emulators called pseudo-gmond to generate
+controlled Ganglia XML datasets for the monitoring tree.  These agents
+behave identically to a cluster's gmon daemons, except their metric
+values are chosen randomly.  Their XML output conforms to the Ganglia
+DTD, and therefore requires the same processing effort by the gmeta
+system under study." (§3)
+
+The emulator keeps a full cluster element tree and re-randomizes the
+volatile metric values every ``refresh_interval`` of simulated time
+(matching a real cluster's churn between gmetad polls), re-serializing
+lazily on the first request after a refresh boundary.  Service latency
+is a small constant regardless of cluster size -- the paper notes "care
+was taken to ensure the gmon cluster simulators had similar query
+latencies for all sizes" so that gmond-side effects stay out of the
+gmetad measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.metrics.catalog import STRING_DEFAULTS, MetricDef, builtin_catalog
+from repro.metrics.types import MetricType, format_value
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.net.tcp import Response, TcpNetwork
+from repro.sim.engine import Engine
+from repro.wire.model import ClusterElement, GangliaDocument, HostElement, MetricElement
+from repro.wire.writer import write_document
+
+
+class PseudoGmond:
+    """Serves DTD-conformant cluster XML with random values over TCP."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        name: str,
+        num_hosts: int,
+        rng: random.Random,
+        refresh_interval: float = 15.0,
+        metric_defs: Optional[Sequence[MetricDef]] = None,
+        service_seconds: float = 0.002,
+        server_host: Optional[str] = None,
+    ) -> None:
+        if num_hosts <= 0:
+            raise ValueError("num_hosts must be positive")
+        self.engine = engine
+        self.name = name
+        self.num_hosts = num_hosts
+        self.refresh_interval = refresh_interval
+        self.service_seconds = service_seconds
+        self._rng = rng
+        self._defs: List[MetricDef] = (
+            list(metric_defs) if metric_defs is not None else builtin_catalog()
+        )
+        self.server_host = server_host or f"pgmond-{name}"
+        if not fabric.has_host(self.server_host):
+            fabric.add_host(self.server_host, cluster=name)
+        self._down: Set[int] = set()
+        self._last_alive: Dict[int, float] = {}
+        self._cluster = self._build_skeleton()
+        self._volatile: List[tuple[HostElement, List[tuple[MetricElement, MetricDef]]]] = [
+            (
+                host,
+                [
+                    (host.metrics[d.name], d)
+                    for d in self._defs
+                    if not d.is_constant
+                ],
+            )
+            for host in self._cluster.hosts.values()
+        ]
+        self._cached_xml: Optional[str] = None
+        self._built_at = float("-inf")
+        self.requests = 0
+        self.refreshes = 0
+        tcp.listen(Address.gmond(self.server_host), self._serve)
+
+    # -- construction --------------------------------------------------------
+
+    def _draw(self, mdef: MetricDef) -> str:
+        if mdef.mtype is MetricType.STRING:
+            return STRING_DEFAULTS.get(mdef.name, f"str{self._rng.randrange(10)}")
+        lo, hi = mdef.value_range
+        value = self._rng.uniform(lo, hi)
+        if mdef.mtype.is_integral:
+            return str(int(value))
+        return format_value(value, mdef.mtype)
+
+    def _build_skeleton(self) -> ClusterElement:
+        cluster = ClusterElement(name=self.name, owner="pseudo", localtime=0.0)
+        for i in range(self.num_hosts):
+            host = HostElement(
+                name=f"{self.name}-0-{i}",
+                ip=f"10.{abs(hash(self.name)) % 200}.{i // 250}.{i % 250 + 1}",
+                reported=0.0,
+                tn=0.0,
+                tmax=20.0,
+            )
+            for mdef in self._defs:
+                host.add_metric(
+                    MetricElement(
+                        name=mdef.name,
+                        val=self._draw(mdef),
+                        mtype=mdef.mtype,
+                        units=mdef.units,
+                        tn=0.0,
+                        tmax=mdef.tmax,
+                        dmax=mdef.dmax,
+                        slope=mdef.slope,
+                    )
+                )
+            cluster.add_host(host)
+        return cluster
+
+    # -- host up/down control (used by the fault injector) --------------------
+
+    def set_host_down(self, index: int, down: bool = True) -> None:
+        """Silence (or revive) the ``index``-th simulated host."""
+        if not (0 <= index < self.num_hosts):
+            raise IndexError(f"host index {index} out of range")
+        if down:
+            self._last_alive.setdefault(index, self.engine.now)
+            self._down.add(index)
+        else:
+            self._down.discard(index)
+            self._last_alive.pop(index, None)
+        self._built_at = float("-inf")  # force re-serialize
+
+    @property
+    def down_hosts(self) -> Set[int]:
+        return set(self._down)
+
+    # -- serving -----------------------------------------------------------
+
+    def _refresh(self, now: float) -> None:
+        self.refreshes += 1
+        self._cluster.localtime = now
+        hosts = list(self._cluster.hosts.values())
+        for i, (host, volatiles) in enumerate(self._volatile):
+            if i in self._down:
+                # A dead host reports nothing: TN keeps growing.
+                silent_since = self._last_alive.get(i, now)
+                host.tn = max(0.0, now - silent_since)
+                host.reported = silent_since
+                continue
+            host.tn = self._rng.uniform(0.0, 10.0)
+            host.reported = now - host.tn
+            for element, mdef in volatiles:
+                element.val = self._draw(mdef)
+                element.tn = self._rng.uniform(0.0, mdef.collect_every)
+        assert len(hosts) == len(self._volatile)
+        doc = GangliaDocument(version="2.5.4", source="gmond")
+        doc.add_cluster(self._cluster)
+        self._cached_xml = write_document(doc)
+        self._built_at = now
+
+    def current_xml(self, now: Optional[float] = None) -> str:
+        """The XML the emulator would serve right now (refreshing if due)."""
+        at = self.engine.now if now is None else now
+        if at - self._built_at >= self.refresh_interval or self._cached_xml is None:
+            self._refresh(at)
+        return self._cached_xml
+
+    def _serve(self, client: str, request: object) -> Response:
+        self.requests += 1
+        return Response(self.current_xml(), service_seconds=self.service_seconds)
+
+    @property
+    def address(self) -> Address:
+        return Address.gmond(self.server_host)

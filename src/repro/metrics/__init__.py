@@ -1,0 +1,41 @@
+"""Metric definitions, typed values and host workload generators.
+
+Gmond gathers "heartbeats, hardware/operating system parameters, and
+user-defined key-value pairs from every node" -- about 30 metrics per
+host.  This package provides the built-in metric catalog (mirroring the
+real gmond 2.5 defaults), the typed sample representation that travels in
+the XML, and two value sources:
+
+- :class:`~repro.metrics.generators.RandomMetricSource` -- the
+  pseudo-gmond behaviour from the paper's evaluation ("their metric
+  values are chosen randomly").
+- :class:`~repro.metrics.generators.RealisticHostModel` -- mean-reverting
+  load walks and monotone counters, used by the examples.
+"""
+
+from repro.metrics.catalog import (
+    BUILTIN_METRICS,
+    CONSTANT_METRICS,
+    VOLATILE_METRICS,
+    MetricDef,
+    Slope,
+    builtin_catalog,
+    metric_def,
+)
+from repro.metrics.generators import RandomMetricSource, RealisticHostModel
+from repro.metrics.types import MetricSample, MetricType, coerce_value
+
+__all__ = [
+    "MetricDef",
+    "MetricSample",
+    "MetricType",
+    "Slope",
+    "BUILTIN_METRICS",
+    "CONSTANT_METRICS",
+    "VOLATILE_METRICS",
+    "builtin_catalog",
+    "metric_def",
+    "coerce_value",
+    "RandomMetricSource",
+    "RealisticHostModel",
+]

@@ -1,0 +1,168 @@
+"""The built-in gmond metric catalog.
+
+"Each node in the cluster has about 30 monitoring metrics, which can also
+be user-defined" (Fig. 3 caption).  The definitions below mirror the
+gmond 2.5 defaults: identity/constant metrics reported rarely (large
+``tmax``) and volatile metrics reported every few seconds with a
+value-change threshold.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.metrics.types import MetricType
+
+
+class Slope(enum.Enum):
+    """How a metric's value evolves; stored in RRD metadata."""
+
+    ZERO = "zero"          # constant (cpu_num, os_name)
+    POSITIVE = "positive"  # monotone counters (bytes_in)
+    NEGATIVE = "negative"
+    BOTH = "both"          # free-moving gauges (load_one)
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """Static definition of one metric.
+
+    ``collect_every`` is the local collection period; ``tmax`` the
+    maximum interval between multicast reports (a report is forced when
+    exceeded even if the value is unchanged); ``value_threshold`` the
+    relative change that triggers an early report.
+    """
+
+    name: str
+    mtype: MetricType
+    units: str = ""
+    slope: Slope = Slope.BOTH
+    collect_every: float = 15.0
+    tmax: float = 90.0
+    dmax: float = 0.0
+    value_threshold: float = 1.0
+    value_range: Tuple[float, float] = (0.0, 100.0)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.mtype.is_numeric
+
+    @property
+    def is_constant(self) -> bool:
+        return self.slope is Slope.ZERO
+
+
+def _d(name, mtype, units="", slope=Slope.BOTH, collect=15.0, tmax=90.0,
+       thresh=1.0, vrange=(0.0, 100.0)) -> MetricDef:
+    return MetricDef(
+        name=name, mtype=mtype, units=units, slope=slope,
+        collect_every=collect, tmax=tmax, value_threshold=thresh,
+        value_range=vrange,
+    )
+
+
+F, D, S = MetricType.FLOAT, MetricType.DOUBLE, MetricType.STRING
+U16, U32 = MetricType.UINT16, MetricType.UINT32
+
+#: gmond 2.5 default metric set (33 metrics).
+BUILTIN_METRICS: List[MetricDef] = [
+    # -- identity / constant (reported rarely) ---------------------------
+    _d("cpu_num", U16, "CPUs", Slope.ZERO, collect=1200, tmax=1200, vrange=(1, 8)),
+    _d("cpu_speed", U32, "MHz", Slope.ZERO, collect=1200, tmax=1200, vrange=(1000, 3000)),
+    _d("mem_total", U32, "KB", Slope.ZERO, collect=1200, tmax=1200, vrange=(2**19, 2**21)),
+    _d("swap_total", U32, "KB", Slope.ZERO, collect=1200, tmax=1200, vrange=(2**19, 2**21)),
+    _d("boottime", U32, "s", Slope.ZERO, collect=1200, tmax=1200, vrange=(1e9, 1.1e9)),
+    _d("machine_type", S, "", Slope.ZERO, collect=1200, tmax=1200),
+    _d("os_name", S, "", Slope.ZERO, collect=1200, tmax=1200),
+    _d("os_release", S, "", Slope.ZERO, collect=1200, tmax=1200),
+    _d("gexec", S, "", Slope.ZERO, collect=300, tmax=300),
+    # -- cpu (volatile) ---------------------------------------------------
+    _d("cpu_user", F, "%", collect=20, tmax=90, vrange=(0, 100)),
+    _d("cpu_nice", F, "%", collect=20, tmax=90, vrange=(0, 100)),
+    _d("cpu_system", F, "%", collect=20, tmax=90, vrange=(0, 100)),
+    _d("cpu_idle", F, "%", collect=20, tmax=90, vrange=(0, 100)),
+    _d("cpu_wio", F, "%", collect=20, tmax=90, vrange=(0, 100)),
+    _d("cpu_aidle", F, "%", collect=20, tmax=90, vrange=(0, 100)),
+    # -- load -------------------------------------------------------------
+    _d("load_one", F, "", collect=15, tmax=70, thresh=0.05, vrange=(0, 16)),
+    _d("load_five", F, "", collect=30, tmax=325, thresh=0.05, vrange=(0, 16)),
+    _d("load_fifteen", F, "", collect=60, tmax=950, thresh=0.05, vrange=(0, 16)),
+    # -- processes ----------------------------------------------------------
+    _d("proc_run", U32, "", collect=60, tmax=950, vrange=(0, 32)),
+    _d("proc_total", U32, "", collect=60, tmax=950, vrange=(50, 400)),
+    # -- memory -----------------------------------------------------------
+    _d("mem_free", U32, "KB", collect=30, tmax=180, vrange=(2**16, 2**20)),
+    _d("mem_shared", U32, "KB", collect=30, tmax=180, vrange=(0, 2**18)),
+    _d("mem_buffers", U32, "KB", collect=30, tmax=180, vrange=(0, 2**18)),
+    _d("mem_cached", U32, "KB", collect=30, tmax=180, vrange=(0, 2**19)),
+    _d("swap_free", U32, "KB", collect=30, tmax=180, vrange=(0, 2**20)),
+    # -- network (monotone counters reported as rates) ----------------------
+    _d("bytes_in", F, "bytes/s", Slope.POSITIVE, collect=40, tmax=300, vrange=(0, 1e8)),
+    _d("bytes_out", F, "bytes/s", Slope.POSITIVE, collect=40, tmax=300, vrange=(0, 1e8)),
+    _d("pkts_in", F, "pkts/s", Slope.POSITIVE, collect=40, tmax=300, vrange=(0, 1e5)),
+    _d("pkts_out", F, "pkts/s", Slope.POSITIVE, collect=40, tmax=300, vrange=(0, 1e5)),
+    # -- disk ---------------------------------------------------------------
+    _d("disk_total", D, "GB", Slope.ZERO, collect=1200, tmax=1200, vrange=(10, 500)),
+    _d("disk_free", D, "GB", collect=180, tmax=930, vrange=(1, 500)),
+    _d("part_max_used", F, "%", collect=180, tmax=930, vrange=(0, 100)),
+    # -- heartbeat (gmond liveness; tn resets on every multicast) ----------
+    _d("heartbeat", U32, "", collect=20, tmax=20, vrange=(0, 2**32 - 1)),
+]
+
+_BY_NAME: Dict[str, MetricDef] = {m.name: m for m in BUILTIN_METRICS}
+
+#: Names of metrics with Slope.ZERO (never summarized into rate archives).
+CONSTANT_METRICS: List[str] = [m.name for m in BUILTIN_METRICS if m.is_constant]
+#: Names of the frequently-changing metrics.
+VOLATILE_METRICS: List[str] = [m.name for m in BUILTIN_METRICS if not m.is_constant]
+
+#: Default string values for the constant string metrics.
+STRING_DEFAULTS: Dict[str, str] = {
+    "machine_type": "x86",
+    "os_name": "Linux",
+    "os_release": "2.4.18-27.7.xsmp",
+    "gexec": "OFF",
+}
+
+
+def builtin_catalog() -> List[MetricDef]:
+    """A fresh list of the built-in metric definitions."""
+    return list(BUILTIN_METRICS)
+
+
+def metric_def(name: str) -> MetricDef:
+    """Look up a built-in metric definition by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown builtin metric {name!r}") from None
+
+
+def user_metric(
+    name: str,
+    mtype: MetricType = MetricType.FLOAT,
+    units: str = "",
+    collect_every: float = 30.0,
+    tmax: float = 120.0,
+    dmax: float = 0.0,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+) -> MetricDef:
+    """Create a user-defined metric (the paper's key--value pairs).
+
+    User metrics carry ``dmax`` by default so they disappear when the
+    publishing application stops refreshing them, per gmetric semantics.
+    """
+    if name in _BY_NAME:
+        raise ValueError(f"{name!r} collides with a builtin metric")
+    return MetricDef(
+        name=name,
+        mtype=mtype,
+        units=units,
+        slope=Slope.BOTH,
+        collect_every=collect_every,
+        tmax=tmax,
+        dmax=dmax if dmax else 4 * tmax,
+        value_range=value_range,
+    )

@@ -1,0 +1,201 @@
+"""Metric value sources: random (pseudo-gmond) and realistic host models.
+
+The paper's experiments use pseudo-gmond agents whose "metric values are
+chosen randomly" -- randomness makes the XML payload shape (and therefore
+the gmetad processing effort) identical to a real cluster while removing
+gmond-side variance.  :class:`RandomMetricSource` implements exactly
+that.  :class:`RealisticHostModel` adds mean-reverting load walks and
+monotone counters for the example applications, where watching plausible
+time series matters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.catalog import STRING_DEFAULTS, MetricDef, builtin_catalog
+from repro.metrics.types import MetricSample, MetricType
+
+
+class MetricSource:
+    """Interface: produce the current value of each metric for one host."""
+
+    def __init__(self, host: str, defs: Optional[Sequence[MetricDef]] = None) -> None:
+        self.host = host
+        self.defs: List[MetricDef] = list(defs) if defs is not None else builtin_catalog()
+        self._by_name = {d.name: d for d in self.defs}
+
+    def metric_names(self) -> List[str]:
+        """Names of all metrics this source produces."""
+        return [d.name for d in self.defs]
+
+    def definition(self, name: str) -> MetricDef:
+        """The MetricDef for one metric name."""
+        return self._by_name[name]
+
+    def sample(self, name: str, now: float) -> MetricSample:
+        raise NotImplementedError
+
+    def sample_all(self, now: float) -> List[MetricSample]:
+        """Current samples for every metric in the catalog."""
+        return [self.sample(d.name, now) for d in self.defs]
+
+
+class RandomMetricSource(MetricSource):
+    """Pseudo-gmond values: uniform draws within each metric's range.
+
+    Constant metrics (cpu_num, os_name, ...) are drawn once at
+    construction and held fixed -- a host does not change its CPU count
+    mid-experiment, and gmetad summarizes cpu_num sums, so stability
+    matters for the summary-invariant tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        rng: random.Random,
+        defs: Optional[Sequence[MetricDef]] = None,
+    ) -> None:
+        super().__init__(host, defs)
+        self._rng = rng
+        self._constants: Dict[str, object] = {}
+        for d in self.defs:
+            if d.is_constant:
+                self._constants[d.name] = self._draw(d)
+
+    def _draw(self, d: MetricDef) -> object:
+        if d.mtype is MetricType.STRING:
+            return STRING_DEFAULTS.get(d.name, f"str-{self._rng.randrange(10)}")
+        lo, hi = d.value_range
+        value = self._rng.uniform(lo, hi)
+        return int(value) if d.mtype.is_integral else value
+
+    def sample(self, name: str, now: float) -> MetricSample:
+        d = self._by_name[name]
+        value = self._constants[name] if d.is_constant else self._draw(d)
+        return MetricSample(
+            name=d.name,
+            value=value,
+            mtype=d.mtype,
+            units=d.units,
+            source="gmond",
+            tmax=d.tmax,
+            dmax=d.dmax,
+            reported_at=now,
+        )
+
+
+class RealisticHostModel(MetricSource):
+    """Plausible host behaviour for the example applications.
+
+    - load_* follow a mean-reverting (Ornstein--Uhlenbeck style) walk
+      around a configurable baseline; load_five/fifteen are smoothed
+      versions of load_one.
+    - cpu_* percentages are derived from the instantaneous load.
+    - network byte/packet rates are bursty positives.
+    - memory values wander slowly within range.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        rng: random.Random,
+        defs: Optional[Sequence[MetricDef]] = None,
+        baseline_load: float = 0.8,
+        burstiness: float = 0.3,
+    ) -> None:
+        super().__init__(host, defs)
+        self._rng = rng
+        self.baseline_load = baseline_load
+        self.burstiness = burstiness
+        self._load1 = max(0.0, rng.gauss(baseline_load, 0.2))
+        self._load5 = self._load1
+        self._load15 = self._load1
+        self._mem_free = rng.uniform(*self._range("mem_free"))
+        self._constants: Dict[str, object] = {}
+        for d in self.defs:
+            if d.is_constant:
+                if d.mtype is MetricType.STRING:
+                    self._constants[d.name] = STRING_DEFAULTS.get(d.name, "const")
+                else:
+                    lo, hi = d.value_range
+                    v = rng.uniform(lo, hi)
+                    self._constants[d.name] = int(v) if d.mtype.is_integral else v
+        self._last_step = 0.0
+
+    def _range(self, name: str):
+        return self._by_name[name].value_range
+
+    def step(self, now: float) -> None:
+        """Advance the internal walks to time ``now``."""
+        dt = max(0.0, now - self._last_step)
+        self._last_step = now
+        if dt == 0.0:
+            return
+        # mean-reverting load walk; theta controls pull toward baseline
+        theta, sigma = 0.05, self.burstiness
+        pull = theta * (self.baseline_load - self._load1) * dt
+        noise = sigma * (dt**0.5) * self._rng.gauss(0.0, 0.15)
+        self._load1 = max(0.0, self._load1 + pull + noise)
+        # exponential smoothing approximates the longer load averages
+        a5 = min(1.0, dt / 300.0)
+        a15 = min(1.0, dt / 900.0)
+        self._load5 += a5 * (self._load1 - self._load5)
+        self._load15 += a15 * (self._load1 - self._load15)
+        lo, hi = self._range("mem_free")
+        self._mem_free = min(
+            hi, max(lo, self._mem_free + self._rng.gauss(0.0, (hi - lo) * 0.002 * dt))
+        )
+
+    def sample(self, name: str, now: float) -> MetricSample:
+        self.step(now)
+        d = self._by_name[name]
+        value: object
+        if d.is_constant:
+            value = self._constants[name]
+        elif name == "load_one":
+            value = self._load1
+        elif name == "load_five":
+            value = self._load5
+        elif name == "load_fifteen":
+            value = self._load15
+        elif name.startswith("cpu_"):
+            ncpu = float(self._constants.get("cpu_num", 2)) or 1.0
+            busy = min(100.0, 100.0 * self._load1 / ncpu)
+            if name == "cpu_idle":
+                value = max(0.0, 100.0 - busy)
+            elif name == "cpu_aidle":
+                value = max(0.0, 100.0 - busy) * 0.9
+            elif name == "cpu_user":
+                value = busy * 0.7
+            elif name == "cpu_system":
+                value = busy * 0.2
+            elif name == "cpu_wio":
+                value = busy * 0.05
+            else:  # cpu_nice
+                value = busy * 0.05
+        elif name == "mem_free":
+            value = int(self._mem_free)
+        elif name in ("bytes_in", "bytes_out", "pkts_in", "pkts_out"):
+            lo, hi = d.value_range
+            burst = self._rng.random() ** 3  # occasional spikes
+            value = lo + (hi - lo) * 0.01 * (1.0 + 50.0 * burst * self._load1)
+            value = min(value, hi)
+        elif name == "heartbeat":
+            value = int(now)
+        else:
+            lo, hi = d.value_range
+            value = self._rng.uniform(lo, min(hi, lo + (hi - lo) * 0.5))
+        if d.mtype.is_integral and not isinstance(value, int):
+            value = int(value)
+        return MetricSample(
+            name=d.name,
+            value=value,
+            mtype=d.mtype,
+            units=d.units,
+            source="gmond",
+            tmax=d.tmax,
+            dmax=d.dmax,
+            reported_at=now,
+        )

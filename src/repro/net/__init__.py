@@ -1,0 +1,30 @@
+"""Simulated network substrate: UDP multicast, TCP, topology and faults.
+
+Ganglia's two transports are both modelled:
+
+- :class:`~repro.net.udp.MulticastChannel` -- the local-area UDP multicast
+  backbone gmond agents use to exchange metrics (best-effort, lossy).
+- :class:`~repro.net.tcp.TcpNetwork` -- reliable request/response streams
+  carrying Ganglia XML between gmond, gmetad and viewers, with connect
+  latency, transfer time and timeouts (the failure detector of §2.1).
+
+The :class:`~repro.net.fabric.Fabric` holds hosts, link characteristics,
+host up/down state and partitions; the fault injector manipulates it.
+"""
+
+from repro.net.address import Address
+from repro.net.fabric import Fabric, Host, LinkSpec
+from repro.net.tcp import Response, TcpNetwork, TcpServer, TcpTimeout
+from repro.net.udp import MulticastChannel
+
+__all__ = [
+    "Address",
+    "Fabric",
+    "Host",
+    "LinkSpec",
+    "MulticastChannel",
+    "TcpNetwork",
+    "TcpServer",
+    "TcpTimeout",
+    "Response",
+]

@@ -1,0 +1,160 @@
+"""Topology: hosts, links, up/down state and partitions.
+
+The fabric answers one question for the transports: *can A talk to B
+right now, and with what latency/bandwidth?*  Host failures (stop and
+intermittent, §1 of the paper) and wide-area partitions are expressed by
+mutating fabric state; the transports consult it on every send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+
+@dataclass
+class LinkSpec:
+    """Latency/bandwidth characteristics of a (class of) link.
+
+    ``latency`` is the one-way propagation delay in seconds; ``bandwidth``
+    is in bytes/second.  The defaults model the paper's dedicated Gigabit
+    Ethernet; wide-area trust edges typically get a higher-latency spec.
+    """
+
+    latency: float = 0.0002  # 0.2 ms one-way on a LAN
+    bandwidth: float = 125e6  # 1 Gbit/s in bytes/s
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """One-way time to move ``size_bytes``, propagation included."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        return self.latency + size_bytes / self.bandwidth
+
+
+#: A wide-area link: 20 ms one-way, 100 Mbit/s.
+WAN_LINK = LinkSpec(latency=0.020, bandwidth=12.5e6)
+#: A LAN link: 0.2 ms one-way, 1 Gbit/s.
+LAN_LINK = LinkSpec()
+
+
+class Host:
+    """One simulated machine.  ``up`` is toggled by the fault injector.
+
+    ``ip`` stands in for what a receiving socket would report as the
+    datagram's source address (gmond learns peer IPs that way).
+    """
+
+    def __init__(
+        self, name: str, cluster: Optional[str] = None, ip: str = ""
+    ) -> None:
+        if not name:
+            raise ValueError("host name must be non-empty")
+        self.name = name
+        self.cluster = cluster
+        self.ip = ip
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return f"Host({self.name!r}, {state})"
+
+
+class Fabric:
+    """Registry of hosts plus reachability and link lookup."""
+
+    def __init__(self, default_link: Optional[LinkSpec] = None) -> None:
+        self._hosts: Dict[str, Host] = {}
+        self._default_link = default_link or LAN_LINK
+        # explicit per-pair links, keyed by frozenset({a, b})
+        self._links: Dict[FrozenSet[str], LinkSpec] = {}
+        # severed pairs (partitions), same keying
+        self._cut: Set[FrozenSet[str]] = set()
+
+    # -- hosts -----------------------------------------------------------
+
+    def add_host(
+        self, name: str, cluster: Optional[str] = None, ip: str = ""
+    ) -> Host:
+        """Register a new simulated host (names must be unique)."""
+        if name in self._hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        host = Host(name, cluster, ip)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name; KeyError if unknown."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise KeyError(f"unknown host {name!r}") from None
+
+    def has_host(self, name: str) -> bool:
+        """True if a host of that name is registered."""
+        return name in self._hosts
+
+    def hosts(self) -> Iterable[Host]:
+        """All registered hosts."""
+        return self._hosts.values()
+
+    def set_host_up(self, name: str, up: bool) -> None:
+        """Toggle a host's up/down state (the fault injector's hook)."""
+        self.host(name).up = up
+
+    # -- links -----------------------------------------------------------
+
+    def set_link(self, a: str, b: str, spec: LinkSpec) -> None:
+        """Override the link spec between hosts ``a`` and ``b``."""
+        self._links[frozenset((a, b))] = spec
+
+    def link(self, a: str, b: str) -> LinkSpec:
+        """The link spec between two hosts (loopback is near-instant)."""
+        if a == b:
+            # loopback: negligible latency, effectively infinite bandwidth
+            return LinkSpec(latency=1e-6, bandwidth=1e12)
+        return self._links.get(frozenset((a, b)), self._default_link)
+
+    # -- partitions --------------------------------------------------------
+
+    def cut(self, a: str, b: str) -> None:
+        """Sever communication between ``a`` and ``b`` (both directions)."""
+        self._cut.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore communication between a cut pair."""
+        self._cut.discard(frozenset((a, b)))
+
+    def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Sever every link between the two host groups."""
+        for a in side_a:
+            for b in side_b:
+                self.cut(a, b)
+
+    def heal_partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Restore every link between two host groups."""
+        for a in side_a:
+            for b in side_b:
+                self.heal(a, b)
+
+    def heal_all(self) -> None:
+        """Remove every partition cut."""
+        self._cut.clear()
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True if a message from ``src`` can reach ``dst`` right now.
+
+        Requires both endpoints up and the pair not partitioned.  Unknown
+        hosts are unreachable rather than an error: a monitor may probe a
+        host that was never registered (e.g. a stale configuration entry).
+        """
+        sh = self._hosts.get(src)
+        dh = self._hosts.get(dst)
+        if sh is None or dh is None:
+            return False
+        if not sh.up or not dh.up:
+            return False
+        if frozenset((src, dst)) in self._cut:
+            return False
+        return True

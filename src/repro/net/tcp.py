@@ -1,0 +1,177 @@
+"""Simulated TCP request/response streams ("XML over TCP", Fig. 1).
+
+Gmetad talks to gmond agents and to child gmetads by opening a TCP
+connection and reading an XML stream; viewers do the same against gmetad.
+The model here is a single request/response exchange:
+
+1. connect: one round trip ``2 * latency`` (SYN / SYN-ACK),
+2. request transfer: usually tiny (a query line),
+3. server service time: returned by the handler (CPU time the server
+   charged while producing the response),
+4. response transfer: ``latency + size / bandwidth``.
+
+Failures surface exactly as they do to the real gmetad: a connection to
+an unreachable or dead host produces **no response**, and the client's
+timeout fires -- "Remote failures are handled identically to link
+failures, and are detected with TCP timeouts" (§2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.sim.engine import Engine, Event
+
+
+class TcpTimeout(Exception):
+    """Raised/reported when a request sees no response within the timeout."""
+
+    def __init__(self, address: Address, timeout: float) -> None:
+        super().__init__(f"timeout after {timeout}s connecting to {address}")
+        self.address = address
+        self.timeout = timeout
+
+
+@dataclass
+class Response:
+    """What a server handler returns.
+
+    ``payload`` is the response object (Ganglia XML text in practice);
+    ``service_seconds`` is how long the server took to produce it, which
+    delays the response delivery (the paper's query-latency experiments
+    measure exactly this path).
+    """
+
+    payload: object
+    service_seconds: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        payload = self.payload
+        if isinstance(payload, (str, bytes)):
+            return max(1, len(payload))
+        return 64  # small structured control message
+
+
+#: Server handler: (client_host, request) -> Response
+Handler = Callable[[str, object], Response]
+#: Client success callback: (payload, rtt_seconds)
+OnResponse = Callable[[object, float], None]
+#: Client failure callback: (error,)
+OnTimeout = Callable[[TcpTimeout], None]
+
+
+class TcpServer:
+    """A listening endpoint bound to an :class:`Address`."""
+
+    def __init__(self, address: Address, handler: Handler) -> None:
+        self.address = address
+        self.handler = handler
+        self.requests_served = 0
+
+
+class TcpNetwork:
+    """Connection broker between simulated hosts."""
+
+    def __init__(self, engine: Engine, fabric: Fabric) -> None:
+        self._engine = engine
+        self._fabric = fabric
+        self._servers: Dict[Address, TcpServer] = {}
+        # statistics
+        self.requests_sent = 0
+        self.responses_delivered = 0
+        self.timeouts = 0
+
+    # -- server side -------------------------------------------------------
+
+    def listen(self, address: Address, handler: Handler) -> TcpServer:
+        """Bind a handler to an address; one listener per address."""
+        if address in self._servers:
+            raise ValueError(f"address {address} already has a listener")
+        if not self._fabric.has_host(address.host):
+            raise KeyError(f"cannot listen on unknown host {address.host!r}")
+        server = TcpServer(address, handler)
+        self._servers[address] = server
+        return server
+
+    def close(self, address: Address) -> None:
+        """Stop listening on an address (idempotent)."""
+        self._servers.pop(address, None)
+
+    def is_listening(self, address: Address) -> bool:
+        """True if something is bound to the address."""
+        return address in self._servers
+
+    # -- client side -------------------------------------------------------
+
+    def request(
+        self,
+        client: str,
+        address: Address,
+        payload: object,
+        on_response: OnResponse,
+        timeout: float = 10.0,
+        on_timeout: Optional[OnTimeout] = None,
+        request_size: int = 64,
+    ) -> None:
+        """Open a connection, send ``payload``, await the response.
+
+        Exactly one of ``on_response`` / ``on_timeout`` fires.  The
+        reachability check happens twice -- at connect time and when the
+        response would be delivered -- so a partition or crash occurring
+        *during* the exchange also manifests as a timeout.
+        """
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.requests_sent += 1
+        start = self._engine.now
+
+        timed_out = {"flag": False}
+
+        def fire_timeout() -> None:
+            timed_out["flag"] = True
+            self.timeouts += 1
+            if on_timeout is not None:
+                on_timeout(TcpTimeout(address, timeout))
+
+        timeout_event: Event = self._engine.call_later(timeout, fire_timeout)
+
+        server = self._servers.get(address)
+        if server is None or not self._fabric.reachable(client, address.host):
+            # Nothing will ever answer; the timeout stands.
+            return
+
+        link = self._fabric.link(client, address.host)
+        # connect handshake (1 RTT) + request transfer
+        arrive_delay = 2.0 * link.latency + link.transfer_time(request_size)
+
+        def at_server() -> None:
+            if timed_out["flag"]:
+                return
+            # Server host may have died while the request was in flight.
+            if self._servers.get(address) is not server:
+                return
+            if not self._fabric.reachable(client, address.host):
+                return
+            server.requests_served += 1
+            response = server.handler(client, payload)
+            if not isinstance(response, Response):
+                response = Response(response)
+            back_delay = response.service_seconds + link.transfer_time(
+                response.size_bytes
+            )
+            self._engine.call_later(back_delay, deliver, response)
+
+        def deliver(response: Response) -> None:
+            if timed_out["flag"]:
+                return
+            if not self._fabric.reachable(address.host, client):
+                return
+            timeout_event.cancel()
+            self.responses_delivered += 1
+            on_response(response.payload, self._engine.now - start)
+
+        self._engine.call_later(arrive_delay, at_server)

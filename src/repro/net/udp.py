@@ -1,0 +1,118 @@
+"""Best-effort UDP multicast channel for the gmond local-area backbone.
+
+Gmon agents "organize into a redundant, leaderless network where nodes
+listen to their neighbors rather than polling them" over a UDP multicast
+channel.  The channel here delivers each datagram to every joined member
+(including the sender, matching multicast loopback) after the link
+latency, independently dropping each delivery with the configured loss
+rate.  Members on downed or partitioned hosts simply do not receive --
+exactly the soft-state world gmond is designed for.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.net.fabric import Fabric
+from repro.sim.engine import Engine
+
+#: Receiver callback signature: (sender_host, payload, size_bytes)
+Receiver = Callable[[str, object, int], None]
+
+
+class MulticastChannel:
+    """One multicast group (Ganglia's default is 239.2.11.71:8649)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        group: str = "239.2.11.71:8649",
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self._engine = engine
+        self._fabric = fabric
+        self.group = group
+        self.loss_rate = loss_rate
+        self._rng = rng or random.Random(0)
+        self._members: Dict[str, Receiver] = {}
+        # -- statistics used by the gmond traffic benchmark ----------------
+        self.datagrams_sent = 0
+        self.bytes_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_dropped = 0
+
+    @property
+    def fabric(self) -> Fabric:
+        """The topology this channel runs over (receivers resolve peer IPs)."""
+        return self._fabric
+
+    # -- membership --------------------------------------------------------
+
+    def join(self, host: str, receiver: Receiver) -> None:
+        """Subscribe ``host``; one receiver per host."""
+        if host in self._members:
+            raise ValueError(f"host {host!r} already joined {self.group}")
+        self._fabric.host(host)  # validate existence
+        self._members[host] = receiver
+
+    def leave(self, host: str) -> None:
+        """Unsubscribe a host (idempotent)."""
+        self._members.pop(host, None)
+
+    def members(self) -> list[str]:
+        """Currently joined host names, sorted."""
+        return sorted(self._members)
+
+    # -- transmission --------------------------------------------------------
+
+    def send(self, src: str, payload: object, size_bytes: int) -> int:
+        """Multicast ``payload`` from ``src``; returns deliveries scheduled.
+
+        A sender whose host is down sends nothing.  Each member delivery
+        is independent: separate loss draw, separate latency, and a
+        reachability check *at send time* (a partition healed later does
+        not retroactively deliver old datagrams).
+        """
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if not self._fabric.host(src).up:
+            return 0
+        self.datagrams_sent += 1
+        self.bytes_sent += size_bytes
+        scheduled = 0
+        for member, receiver in self._members.items():
+            if not self._fabric.reachable(src, member):
+                self.datagrams_dropped += 1
+                continue
+            if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+                self.datagrams_dropped += 1
+                continue
+            delay = self._fabric.link(src, member).transfer_time(size_bytes)
+            self._engine.call_later(
+                delay, self._deliver, member, receiver, src, payload, size_bytes
+            )
+            scheduled += 1
+        return scheduled
+
+    def _deliver(
+        self,
+        member: str,
+        receiver: Receiver,
+        src: str,
+        payload: object,
+        size_bytes: int,
+    ) -> None:
+        # The member may have died or left while the datagram was in flight.
+        if member not in self._members:
+            self.datagrams_dropped += 1
+            return
+        if not self._fabric.host(member).up:
+            self.datagrams_dropped += 1
+            return
+        self.datagrams_delivered += 1
+        receiver(src, payload, size_bytes)

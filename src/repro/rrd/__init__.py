@@ -1,0 +1,38 @@
+"""Round-robin time-series databases (Ganglia's RRDtool, reimplemented).
+
+"Ganglia keeps historical records of data in specialized time-series
+databases, whose stream-based design supports a wide range of time scale
+queries employing lossy compression with a bias towards recent data. ...
+The databases are highly optimized for this type of data and do not grow
+in size over time.  If a monitored node has failed, it keeps a 'zero'
+record during the downtime, aiding time-of-death forensic analysis."
+(§2.1)
+
+This package provides:
+
+- :class:`~repro.rrd.database.RrdDatabase` -- one metric's history:
+  fixed-size, multi-resolution, consolidated archives.
+- :class:`~repro.rrd.store.RrdStore` -- the per-gmetad collection of
+  databases keyed by (source, cluster, host, metric), with an
+  *accounting* mode used by the large scaling experiments (CPU cost is
+  charged but no arrays are allocated).
+- :class:`~repro.rrd.batch.BatchedRrdStore` -- the paper's §4 future-work
+  optimization: coalesce updates to amortize per-update overhead.
+"""
+
+from repro.rrd.consolidate import ConsolidationFunction
+from repro.rrd.database import RrdDatabase, RraSpec, default_rra_specs
+from repro.rrd.rra import RoundRobinArchive
+from repro.rrd.store import MetricKey, RrdStore
+from repro.rrd.batch import BatchedRrdStore
+
+__all__ = [
+    "ConsolidationFunction",
+    "RoundRobinArchive",
+    "RrdDatabase",
+    "RraSpec",
+    "default_rra_specs",
+    "RrdStore",
+    "MetricKey",
+    "BatchedRrdStore",
+]

@@ -1,0 +1,91 @@
+"""Batched RRD updates: the paper's §4 archiving optimization.
+
+"Our archiving technique makes too many updates to the file-based
+databases, causing unnecessary disk I/O.  We believe in future designs
+gmeta can manipulate its RRD databases in a more efficient manner."
+
+The real cost being amortized is per-update overhead (in RRDtool: an
+open/seek/write per update; here: Python call dispatch and step
+bookkeeping).  :class:`BatchedRrdStore` queues samples per key and
+flushes them together, applying a same-step run of samples in a single
+accumulate.  The ``test_rrd_archiving`` ablation benchmark measures the
+speedup against the unbatched store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.rrd.store import MetricKey, RrdStore
+
+
+class BatchedRrdStore:
+    """Write-behind front for an :class:`RrdStore`.
+
+    Samples accumulate in per-key queues; :meth:`flush` drains them in
+    key order (one database lookup per key, not per sample).  Call
+    :meth:`flush` at the end of each polling cycle -- deferring longer
+    trades archive freshness for throughput, exactly the tradeoff the
+    paper describes for its background parsing.
+    """
+
+    def __init__(self, store: RrdStore, max_pending: int = 100_000) -> None:
+        self.store = store
+        self.max_pending = max_pending
+        self._pending: Dict[MetricKey, List[Tuple[float, Optional[float]]]] = {}
+        self._pending_count = 0
+        self.flushes = 0
+        self.samples_batched = 0
+
+    def update(self, key: MetricKey, t: float, value: Optional[float]) -> None:
+        """Queue one sample; auto-flushes when ``max_pending`` is reached."""
+        self._pending.setdefault(key, []).append((t, value))
+        self._pending_count += 1
+        self.samples_batched += 1
+        if self._pending_count >= self.max_pending:
+            self.flush()
+
+    def update_summary(
+        self, source: str, cluster: str, metric: str, t: float,
+        total: float, num: int,
+    ) -> None:
+        """Queue a summary reduction as its sum and num series."""
+        from repro.rrd.store import SUMMARY_HOST
+
+        self.update(MetricKey(source, cluster, SUMMARY_HOST, metric), t, total)
+        self.update(
+            MetricKey(source, cluster, SUMMARY_HOST, f"{metric}.num"),
+            t,
+            float(num),
+        )
+
+    @property
+    def pending(self) -> int:
+        return self._pending_count
+
+    def flush(self) -> int:
+        """Apply all queued samples; returns how many were written.
+
+        In full mode each key's run goes through
+        :meth:`~repro.rrd.database.RrdDatabase.update_many` -- one
+        database lookup and one bookkeeping pass per key instead of per
+        sample, which is where the batching speedup comes from.
+        """
+        written = 0
+        # Key order keeps flushes deterministic regardless of arrival order.
+        for key in sorted(self._pending):
+            samples = self._pending[key]
+            samples.sort(key=lambda s: s[0])
+            if self.store.mode == "full":
+                self.store.ensure(key).update_many(samples)
+                self.store.update_count += len(samples)
+                if self.store.on_update is not None:
+                    self.store.on_update(len(samples))
+            else:
+                for t, value in samples:
+                    self.store.update(key, t, value)
+            written += len(samples)
+        self._pending.clear()
+        self._pending_count = 0
+        self.flushes += 1
+        return written

@@ -1,0 +1,66 @@
+"""Consolidation functions: how k primary data points become one row."""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+
+class ConsolidationFunction(enum.Enum):
+    """RRDtool's consolidation vocabulary."""
+
+    AVERAGE = "AVERAGE"
+    MIN = "MIN"
+    MAX = "MAX"
+    LAST = "LAST"
+
+
+class RowAccumulator:
+    """Incrementally consolidates PDPs into one archive row.
+
+    Tracks unknown PDPs so the ``xff`` (xfiles factor) rule can void a
+    row built mostly from gaps: if more than ``xff`` of the PDPs in a row
+    are unknown, the row itself is unknown.
+    """
+
+    def __init__(self, cf: ConsolidationFunction) -> None:
+        self.cf = cf
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the accumulator for a new row."""
+        self.total = 0
+        self.known = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._last: Optional[float] = None
+
+    def add(self, value: Optional[float]) -> None:
+        """Add one PDP; ``None``/NaN means unknown."""
+        self.total += 1
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return
+        self.known += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._last = value
+
+    def result(self, xff: float) -> float:
+        """The consolidated row value, or NaN if too much was unknown."""
+        if self.total == 0:
+            return math.nan
+        unknown_fraction = 1.0 - self.known / self.total
+        if self.known == 0 or unknown_fraction > xff:
+            return math.nan
+        if self.cf is ConsolidationFunction.AVERAGE:
+            return self._sum / self.known
+        if self.cf is ConsolidationFunction.MIN:
+            return self._min
+        if self.cf is ConsolidationFunction.MAX:
+            return self._max
+        return self._last if self._last is not None else math.nan

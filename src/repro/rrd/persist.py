@@ -1,0 +1,185 @@
+"""Persistence for round-robin databases (Ganglia's ``rrd_rootdir``).
+
+Real gmetad keeps one RRD file per metric under
+``<rrd_rootdir>/<source>/<host>/<metric>.rrd``.  This module mirrors
+that layout with ``.npz`` files (numpy's compressed container): a store
+saved here survives a daemon restart with every archive row, the
+partial accumulator and the step clock intact.
+
+Format: each ``.npz`` holds one JSON metadata blob plus the row array
+of every RRA.  Loading reconstructs a database observationally
+identical to the saved one (pinned by round-trip tests).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.rrd.consolidate import ConsolidationFunction
+from repro.rrd.database import RraSpec, RrdDatabase
+from repro.rrd.store import MetricKey, RrdStore
+
+FORMAT_VERSION = 1
+
+
+class PersistError(RuntimeError):
+    """Corrupt or incompatible saved database."""
+
+
+def save_database(database: RrdDatabase, path: Union[str, pathlib.Path]) -> None:
+    """Write one database to ``path`` (parent directories created)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "version": FORMAT_VERSION,
+        "step": database.step,
+        "downtime_fill": database.downtime_fill,
+        "current_step": database._current_step,
+        "step_sum": database._step_sum,
+        "step_count": database._step_count,
+        "last_update_time": database.last_update_time,
+        "updates": database.updates,
+        "rras": [],
+    }
+    arrays = {}
+    for i, rra in enumerate(database.rras):
+        meta["rras"].append(
+            {
+                "cf": rra.cf.value,
+                "pdp_per_row": rra.pdp_per_row,
+                "rows": rra.rows,
+                "xff": rra.xff,
+                "head": rra._head,
+                "rows_written": rra.rows_written,
+                "last_row_end_step": rra.last_row_end_step,
+                "acc_total": rra._acc.total,
+                "acc_known": rra._acc.known,
+                "acc_sum": rra._acc._sum,
+                "acc_min": _json_float(rra._acc._min),
+                "acc_max": _json_float(rra._acc._max),
+                "acc_last": rra._acc._last,
+            }
+        )
+        arrays[f"rra_{i}"] = rra._values
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def _json_float(value: float):
+    """inf/-inf/nan survive JSON as tagged strings."""
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    return value
+
+
+def _from_json_float(value):
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if value == "nan":
+        return math.nan
+    return value
+
+
+def load_database(path: Union[str, pathlib.Path]) -> RrdDatabase:
+    """Reconstruct a database saved by :func:`save_database`."""
+    path = pathlib.Path(path)
+    try:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            row_arrays = [
+                data[f"rra_{i}"].copy() for i in range(len(meta["rras"]))
+            ]
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise PersistError(f"cannot load {path}: {exc}") from None
+    if meta.get("version") != FORMAT_VERSION:
+        raise PersistError(
+            f"{path}: format version {meta.get('version')} not supported"
+        )
+    specs = [
+        RraSpec(
+            ConsolidationFunction(entry["cf"]),
+            entry["pdp_per_row"],
+            entry["rows"],
+            entry["xff"],
+        )
+        for entry in meta["rras"]
+    ]
+    database = RrdDatabase(
+        step=meta["step"],
+        rra_specs=specs,
+        downtime_fill=meta["downtime_fill"],
+    )
+    database._current_step = meta["current_step"]
+    database._step_sum = meta["step_sum"]
+    database._step_count = meta["step_count"]
+    database.last_update_time = meta["last_update_time"]
+    database.updates = meta["updates"]
+    for rra, entry, values in zip(database.rras, meta["rras"], row_arrays):
+        if len(values) != rra.rows:
+            raise PersistError(f"{path}: row array size mismatch")
+        rra._values[:] = values
+        rra._head = entry["head"]
+        rra.rows_written = entry["rows_written"]
+        rra.last_row_end_step = entry["last_row_end_step"]
+        rra._acc.total = entry["acc_total"]
+        rra._acc.known = entry["acc_known"]
+        rra._acc._sum = entry["acc_sum"]
+        rra._acc._min = _from_json_float(entry["acc_min"])
+        rra._acc._max = _from_json_float(entry["acc_max"])
+        rra._acc._last = entry["acc_last"]
+    return database
+
+
+# -- whole-store persistence ---------------------------------------------------
+
+
+def _key_path(root: pathlib.Path, key: MetricKey) -> pathlib.Path:
+    """Ganglia's rrd_rootdir layout: source/cluster/host/metric.npz."""
+    return root / key.source / key.cluster / key.host / f"{key.metric}.npz"
+
+
+def save_store(store: RrdStore, root: Union[str, pathlib.Path]) -> int:
+    """Persist every database of a full-mode store; returns file count."""
+    if store.mode != "full":
+        raise PersistError("only full-mode stores hold databases to save")
+    root = pathlib.Path(root)
+    count = 0
+    for key in store.keys():
+        save_database(store.database(key), _key_path(root, key))
+        count += 1
+    return count
+
+
+def load_store(
+    root: Union[str, pathlib.Path],
+    step: float = 15.0,
+) -> RrdStore:
+    """Rebuild a store from a directory written by :func:`save_store`."""
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        raise PersistError(f"no such archive directory: {root}")
+    store = RrdStore(mode="full", step=step)
+    for path in sorted(root.rglob("*.npz")):
+        relative = path.relative_to(root)
+        parts = relative.parts
+        if len(parts) != 4:
+            raise PersistError(f"unexpected archive layout at {relative}")
+        source, cluster, host, filename = parts
+        key = MetricKey(source, cluster, host, filename[: -len(".npz")])
+        store._databases[key] = load_database(path)
+        store.create_count += 1
+    return store

@@ -1,0 +1,156 @@
+"""One round-robin archive: a fixed circular buffer of consolidated rows.
+
+An RRA consolidates every ``pdp_per_row`` primary data points into one
+row and keeps the most recent ``rows`` rows.  Old rows are overwritten --
+this is the "lossy compression with a bias towards recent data" and the
+reason the database "does not grow in size over time".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.rrd.consolidate import ConsolidationFunction, RowAccumulator
+
+
+class RoundRobinArchive:
+    """Circular row store plus the accumulator for the row in progress."""
+
+    def __init__(
+        self,
+        cf: ConsolidationFunction,
+        pdp_per_row: int,
+        rows: int,
+        xff: float = 0.5,
+    ) -> None:
+        if pdp_per_row <= 0:
+            raise ValueError("pdp_per_row must be positive")
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        if not (0.0 <= xff < 1.0):
+            raise ValueError("xff must be in [0, 1)")
+        self.cf = cf
+        self.pdp_per_row = pdp_per_row
+        self.rows = rows
+        self.xff = xff
+        self._values = np.full(rows, np.nan)
+        self._head = 0  # next write slot
+        self.rows_written = 0
+        self._acc = RowAccumulator(cf)
+        #: step index *after* the most recently finalized row (set by the
+        #: owning database; anchors row timestamps)
+        self.last_row_end_step: Optional[int] = None
+
+    # -- ingestion -----------------------------------------------------------
+
+    @property
+    def pending_pdps(self) -> int:
+        """PDPs accumulated toward the in-progress row."""
+        return self._acc.total
+
+    def push_pdp(self, value: Optional[float], step_index: int) -> bool:
+        """Add the PDP for ``step_index``; returns True if a row closed.
+
+        Rows are aligned to the absolute step grid: the row closes when
+        ``step_index + 1`` is a multiple of ``pdp_per_row``.
+        """
+        self._acc.add(value)
+        if (step_index + 1) % self.pdp_per_row == 0:
+            self._write_row(self._acc.result(self.xff))
+            self._acc.reset()
+            self.last_row_end_step = step_index + 1
+            return True
+        return False
+
+    def push_fill(self, value: float, count: int, first_step: int) -> int:
+        """Push ``count`` identical PDPs starting at ``first_step``.
+
+        Equivalent to ``count`` calls to :meth:`push_pdp` but fills whole
+        rows in bulk -- long downtimes (hours of zero records) would
+        otherwise cost one Python call per 15-second step.  Returns the
+        number of rows closed.
+        """
+        if count <= 0:
+            return 0
+        closed = 0
+        step = first_step
+        remaining = count
+        # 1) finish the partial row the slow way (< pdp_per_row steps)
+        while remaining > 0 and (step % self.pdp_per_row != 0 or self._acc.total):
+            if self.push_pdp(value, step):
+                closed += 1
+            step += 1
+            remaining -= 1
+        # 2) whole rows of the identical value, vectorized
+        full_rows = remaining // self.pdp_per_row
+        if full_rows > 0:
+            row_value = value if not math.isnan(value) else math.nan
+            self._write_rows_bulk(row_value, full_rows)
+            closed += full_rows
+            step += full_rows * self.pdp_per_row
+            remaining -= full_rows * self.pdp_per_row
+            self.last_row_end_step = step
+        # 3) leftover partial accumulation
+        while remaining > 0:
+            if self.push_pdp(value, step):
+                closed += 1
+            step += 1
+            remaining -= 1
+        return closed
+
+    def _write_row(self, value: float) -> None:
+        self._values[self._head] = value
+        self._head = (self._head + 1) % self.rows
+        self.rows_written += 1
+
+    def _write_rows_bulk(self, value: float, count: int) -> None:
+        if count >= self.rows:
+            self._values[:] = value
+            self._head = 0
+        else:
+            end = self._head + count
+            if end <= self.rows:
+                self._values[self._head : end] = value
+            else:
+                self._values[self._head :] = value
+                self._values[: end - self.rows] = value
+            self._head = end % self.rows
+        self.rows_written += count
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def filled_rows(self) -> int:
+        return min(self.rows_written, self.rows)
+
+    def recent_rows(self, count: Optional[int] = None) -> np.ndarray:
+        """The last ``count`` rows, oldest first (default: all filled)."""
+        n = self.filled_rows if count is None else min(count, self.filled_rows)
+        if n == 0:
+            return np.empty(0)
+        idx = (self._head - n + np.arange(n)) % self.rows
+        return self._values[idx].copy()
+
+    def rows_with_end_steps(self) -> List[Tuple[int, float]]:
+        """[(row_end_step, value), ...] oldest first, for fetch()."""
+        if self.last_row_end_step is None:
+            return []
+        values = self.recent_rows()
+        n = len(values)
+        return [
+            (self.last_row_end_step - (n - 1 - i) * self.pdp_per_row, values[i])
+            for i in range(n)
+        ]
+
+    def coverage_steps(self) -> int:
+        """How many base steps of history this archive currently holds."""
+        return self.filled_rows * self.pdp_per_row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RRA({self.cf.value}, pdp_per_row={self.pdp_per_row}, "
+            f"rows={self.rows}, written={self.rows_written})"
+        )

@@ -1,0 +1,124 @@
+"""The per-gmetad archive store: one RRD per (source, cluster, host, metric).
+
+Two modes:
+
+- ``mode="full"`` keeps real :class:`~repro.rrd.database.RrdDatabase`
+  objects -- used by tests, examples and the forensics workflows.
+- ``mode="account"`` counts updates without allocating arrays -- used by
+  the Figure 5/6 scaling experiments, where only the *CPU cost* of
+  archiving matters (the paper puts archives on tmpfs for the same
+  reason: isolate CPU from I/O).  The update-counting is exact, so the
+  charged work is identical to full mode.
+
+Summary archives use host="__summary__" and two series per metric
+(sum and num), matching "Nodes in the N-level monitoring tree keep only
+summary archives of descendants rather than full duplicates".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.rrd.database import RraSpec, RrdDatabase
+
+#: Pseudo-host name under which cluster/grid summaries are archived.
+SUMMARY_HOST = "__summary__"
+
+
+@dataclass(frozen=True, order=True)
+class MetricKey:
+    """Identifies one archived time series."""
+
+    source: str   # data source (cluster or grid) name
+    cluster: str  # cluster name ("" for grid-level summaries)
+    host: str     # host name, or SUMMARY_HOST
+    metric: str   # metric name, possibly suffixed ".sum" / ".num"
+
+    def __str__(self) -> str:
+        return f"{self.source}/{self.cluster}/{self.host}/{self.metric}"
+
+
+class RrdStore:
+    """Creates databases on demand and routes updates to them."""
+
+    def __init__(
+        self,
+        mode: str = "full",
+        step: float = 15.0,
+        rra_specs: Optional[Sequence[RraSpec]] = None,
+        downtime_fill: str = "zero",
+        on_update: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if mode not in ("full", "account"):
+            raise ValueError(f"mode must be 'full' or 'account', got {mode!r}")
+        self.mode = mode
+        self.step = step
+        self.rra_specs = list(rra_specs) if rra_specs is not None else None
+        self.downtime_fill = downtime_fill
+        self.on_update = on_update
+        self._databases: Dict[MetricKey, RrdDatabase] = {}
+        self.update_count = 0
+        self.create_count = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def update(self, key: MetricKey, t: float, value: Optional[float]) -> None:
+        """Route one sample to its database (creating it on first touch)."""
+        self.update_count += 1
+        if self.on_update is not None:
+            self.on_update(1)
+        if self.mode == "account":
+            return
+        self.ensure(key).update(t, value)
+
+    def ensure(self, key: MetricKey) -> RrdDatabase:
+        """The database for ``key``, created on first touch (full mode)."""
+        if self.mode == "account":
+            raise RuntimeError("accounting-mode store keeps no databases")
+        db = self._databases.get(key)
+        if db is None:
+            db = RrdDatabase(
+                step=self.step,
+                rra_specs=self.rra_specs,
+                downtime_fill=self.downtime_fill,
+            )
+            self._databases[key] = db
+            self.create_count += 1
+        return db
+
+    def update_summary(
+        self, source: str, cluster: str, metric: str, t: float,
+        total: float, num: int,
+    ) -> None:
+        """Archive one summary reduction as its two component series."""
+        base = MetricKey(source, cluster, SUMMARY_HOST, metric)
+        self.update(base, t, total)
+        self.update(
+            MetricKey(source, cluster, SUMMARY_HOST, f"{metric}.num"),
+            t,
+            float(num),
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    def database(self, key: MetricKey) -> Optional[RrdDatabase]:
+        """The database for a key, or None if never written (full mode)."""
+        if self.mode == "account":
+            raise RuntimeError("accounting-mode store keeps no databases")
+        return self._databases.get(key)
+
+    def keys(self) -> List[MetricKey]:
+        """Every archived series key, sorted."""
+        return sorted(self._databases)
+
+    def keys_for_host(self, source: str, cluster: str, host: str) -> List[MetricKey]:
+        """All series keys for one (source, cluster, host)."""
+        return sorted(
+            k
+            for k in self._databases
+            if k.source == source and k.cluster == cluster and k.host == host
+        )
+
+    def __len__(self) -> int:
+        return len(self._databases)

@@ -1,0 +1,40 @@
+"""Supermon: the comparison baseline from the paper's related work.
+
+"The Supermon system employs a wide-area monitoring strategy similar to
+our own.  A mon server on every node serves monitoring data on a TCP
+port.  A supermon server collects this data by serially connecting to
+each mon server.  Supermon must have a priori knowledge of each cluster
+node; the system cannot incorporate new nodes without an explicit
+registration step.  The system keeps no record of metric history ...
+Supermon requires O(CH) network connections to obtain cluster state,
+where CH is the number of hosts in all clusters.  Ganglia requires just
+one (to its multicast channel) and by gathering knowledge gradually
+over time, can satisfy queries using only its local state. ...  Both
+Supermon and Ganglia use recursive languages to represent monitored
+data, S-expressions and XML respectively. ...  A Supermon provides
+output in the same format as mon, enabling traditional hierarchies."
+
+This package implements that design faithfully so the
+``test_supermon_comparison`` benchmark can quantify the paper's O(CH)
+vs O(C) claim on identical workloads:
+
+- :mod:`repro.supermon.sexpr` -- the recursive S-expression language;
+- :class:`~repro.supermon.mon.MonServer` -- one per node, serves that
+  node's metrics only (no neighbor state: polling, not event-driven);
+- :class:`~repro.supermon.server.SupermonServer` -- serially sweeps a
+  *registered* list of mon/supermon endpoints and composes their
+  S-expressions; emits the same format, so supermons stack.
+"""
+
+from repro.supermon.mon import MonServer
+from repro.supermon.server import SupermonServer, SweepResult
+from repro.supermon.sexpr import SExpr, parse_sexpr, write_sexpr
+
+__all__ = [
+    "SExpr",
+    "parse_sexpr",
+    "write_sexpr",
+    "MonServer",
+    "SupermonServer",
+    "SweepResult",
+]

@@ -1,0 +1,77 @@
+"""The per-node ``mon`` server.
+
+Each cluster node runs one; it "serves monitoring data on a TCP port"
+for *itself only* -- there is no neighbor state, no multicast, no
+history.  The data source is the same metric generators gmond agents
+use, so comparison benchmarks run identical workloads through both
+systems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.generators import MetricSource
+from repro.metrics.types import MetricType
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.net.tcp import Response, TcpNetwork
+from repro.sim.engine import Engine
+from repro.supermon.sexpr import SList, Symbol, write_sexpr
+
+#: TCP port mon listens on (Supermon's default).
+MON_PORT = 2709
+
+
+class MonServer:
+    """Serves this node's current metrics as one S-expression."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        source: MetricSource,
+        service_seconds: float = 0.0005,
+    ) -> None:
+        self.engine = engine
+        self.source = source
+        self.host = source.host
+        self.service_seconds = service_seconds
+        self.requests = 0
+        if not fabric.has_host(self.host):
+            fabric.add_host(self.host)
+        tcp.listen(Address(self.host, MON_PORT), self._serve)
+
+    @property
+    def address(self) -> Address:
+        return Address(self.host, MON_PORT)
+
+    def report(self, now: Optional[float] = None) -> str:
+        """The node's current S-expression report."""
+        at = self.engine.now if now is None else now
+        metrics = SList([Symbol("metrics")])
+        for sample in self.source.sample_all(at):
+            value = (
+                sample.value
+                if sample.mtype is MetricType.STRING
+                else (
+                    int(sample.value)
+                    if sample.mtype.is_integral
+                    else float(sample.value)
+                )
+            )
+            metrics.append(SList([Symbol(sample.name), value]))
+        expr = SList(
+            [
+                Symbol("mon"),
+                SList([Symbol("name"), self.host]),
+                SList([Symbol("time"), at]),
+                metrics,
+            ]
+        )
+        return write_sexpr(expr)
+
+    def _serve(self, client: str, request: object) -> Response:
+        self.requests += 1
+        return Response(self.report(), service_seconds=self.service_seconds)

@@ -1,0 +1,187 @@
+"""S-expressions: Supermon's recursive data language.
+
+Like Ganglia's XML, S-expressions compose hierarchically -- a supermon's
+output embeds its children's output unchanged.  The dialect here is the
+minimal one the monitors need:
+
+- lists: ``( ... )``
+- symbols: bare atoms (``mon``, ``load_one``)
+- numbers: ints and floats
+- strings: double-quoted with ``\\"`` and ``\\\\`` escapes
+
+Example (one mon report)::
+
+    (mon (name "node-3") (time 120.5)
+         (metrics (load_one 0.89) (cpu_num 2) (os_name "Linux")))
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Union
+
+#: An S-expression: an atom or a list of S-expressions.
+SExpr = Union[str, int, float, "SList"]
+
+
+class SList(list):
+    """A parenthesized list.  Subclass of ``list`` for ergonomic use."""
+
+    __slots__ = ()
+
+
+class Symbol(str):
+    """A bare (unquoted) atom, distinct from a quoted string."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Symbol({str.__repr__(self)})"
+
+
+class SexprError(ValueError):
+    """Malformed S-expression text."""
+
+
+# -- writing -------------------------------------------------------------
+
+
+def _escape_string(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4f}".rstrip("0").rstrip(".")
+
+
+def write_sexpr(expr: SExpr) -> str:
+    """Serialize one S-expression to text."""
+    parts: List[str] = []
+    _write(expr, parts)
+    return "".join(parts)
+
+
+def _write(expr: SExpr, parts: List[str]) -> None:
+    if isinstance(expr, SList):
+        parts.append("(")
+        for i, item in enumerate(expr):
+            if i:
+                parts.append(" ")
+            _write(item, parts)
+        parts.append(")")
+    elif isinstance(expr, Symbol):
+        parts.append(str(expr))
+    elif isinstance(expr, str):
+        parts.append(_escape_string(expr))
+    elif isinstance(expr, bool):  # bool before int: True is an int
+        parts.append("1" if expr else "0")
+    elif isinstance(expr, (int, float)):
+        parts.append(_format_number(expr))
+    else:
+        raise TypeError(f"cannot serialize {type(expr).__name__} in S-expr")
+
+
+# -- parsing --------------------------------------------------------------
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+        elif c in "()":
+            yield c
+            i += 1
+        elif c == '"':
+            j = i + 1
+            out = []
+            while j < n:
+                if text[j] == "\\" and j + 1 < n:
+                    out.append(text[j + 1])
+                    j += 2
+                elif text[j] == '"':
+                    break
+                else:
+                    out.append(text[j])
+                    j += 1
+            else:
+                raise SexprError("unterminated string")
+            yield '"' + "".join(out)  # marker prefix distinguishes strings
+            i = j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in '()"':
+                j += 1
+            yield text[i:j]
+            i = j
+
+
+def _atom(token: str) -> SExpr:
+    if token.startswith('"'):
+        return token[1:]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return Symbol(token)
+
+
+def parse_sexpr(text: str) -> SExpr:
+    """Parse exactly one S-expression from ``text``."""
+    tokens = list(_tokenize(text))
+    if not tokens:
+        raise SexprError("empty input")
+    expr, consumed = _parse(tokens, 0)
+    if consumed != len(tokens):
+        raise SexprError(
+            f"trailing tokens after expression: {tokens[consumed:][:5]}"
+        )
+    return expr
+
+
+def _parse(tokens: List[str], index: int) -> tuple[SExpr, int]:
+    token = tokens[index]
+    if token == "(":
+        items = SList()
+        index += 1
+        while index < len(tokens) and tokens[index] != ")":
+            item, index = _parse(tokens, index)
+            items.append(item)
+        if index >= len(tokens):
+            raise SexprError("unbalanced parentheses")
+        return items, index + 1
+    if token == ")":
+        raise SexprError("unexpected ')'")
+    return _atom(token), index + 1
+
+
+# -- structure helpers (assoc-list style access) -------------------------------
+
+
+def assoc(expr: SExpr, key: str) -> SExpr | None:
+    """First sub-list of ``expr`` whose head symbol is ``key``."""
+    if not isinstance(expr, SList):
+        return None
+    for item in expr:
+        if isinstance(item, SList) and item and item[0] == key:
+            return item
+    return None
+
+
+def assoc_all(expr: SExpr, key: str) -> List["SList"]:
+    """Every sub-list of ``expr`` whose head symbol is ``key``."""
+    if not isinstance(expr, SList):
+        return []
+    return [
+        item
+        for item in expr
+        if isinstance(item, SList) and item and item[0] == key
+    ]

@@ -1,0 +1,103 @@
+"""Operator tools: textual status reports (the ``gstat`` of this repo).
+
+Real Ganglia ships ``gstat``, a terminal program that prints cluster
+status by querying a gmond.  These helpers render the same reports from
+either a gmond agent's soft state or a gmetad datastore, and the
+federation-wide variant a root-level operator would run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.loadstats import busiest_hosts
+from repro.core.gmetad_base import GmetadBase
+from repro.gmond.agent import GmondAgent
+from repro.wire.model import ClusterElement
+
+
+def _cluster_status_lines(
+    cluster: ClusterElement,
+    heartbeat_window: float,
+    show_hosts: bool,
+) -> List[str]:
+    up = sum(1 for h in cluster.hosts.values() if h.is_up(heartbeat_window))
+    down = len(cluster.hosts) - up
+    total_cpus = 0
+    load_sum = 0.0
+    load_count = 0
+    for host in cluster.hosts.values():
+        if not host.is_up(heartbeat_window):
+            continue
+        cpu_metric = host.metrics.get("cpu_num")
+        if cpu_metric is not None and cpu_metric.is_numeric:
+            total_cpus += int(cpu_metric.numeric())
+        load_metric = host.metrics.get("load_one")
+        if load_metric is not None and load_metric.is_numeric:
+            load_sum += load_metric.numeric()
+            load_count += 1
+    lines = [
+        f"CLUSTER {cluster.name} -- {up} up, {down} down, "
+        f"{total_cpus} CPUs, mean load "
+        f"{(load_sum / load_count) if load_count else 0.0:.2f}"
+    ]
+    if show_hosts:
+        for name in sorted(cluster.hosts):
+            host = cluster.hosts[name]
+            state = "up  " if host.is_up(heartbeat_window) else "DOWN"
+            load = host.metrics.get("load_one")
+            load_text = f"{load.numeric():5.2f}" if load and load.is_numeric else "  ?  "
+            lines.append(f"  {state} {name:24s} load {load_text}")
+        top = busiest_hosts(cluster, count=3, heartbeat_window=heartbeat_window)
+        if top:
+            hot = ", ".join(f"{n}({v:.2f})" for n, v in top)
+            lines.append(f"  busiest: {hot}")
+    return lines
+
+
+def gstat_from_agent(
+    agent: GmondAgent, show_hosts: bool = True
+) -> str:
+    """Cluster status from one gmond agent's redundant soft state."""
+    cluster = agent.state.to_cluster_element(agent.engine.now)
+    return "\n".join(
+        _cluster_status_lines(
+            cluster, agent.config.heartbeat_window, show_hosts
+        )
+    )
+
+
+def gstat_from_gmetad(
+    gmetad: GmetadBase,
+    source: Optional[str] = None,
+    show_hosts: bool = False,
+) -> str:
+    """Federation (or single-source) status from a gmetad datastore."""
+    lines: List[str] = []
+    names = [source] if source else gmetad.datastore.source_names()
+    for name in names:
+        snapshot = gmetad.datastore.source(name)
+        if snapshot is None:
+            lines.append(f"SOURCE {name} -- unknown")
+            continue
+        flag = "" if snapshot.up else "  [UNREACHABLE, stale data]"
+        if snapshot.kind == "cluster" and snapshot.cluster is not None:
+            lines.extend(
+                _cluster_status_lines(
+                    snapshot.cluster,
+                    gmetad.config.heartbeat_window,
+                    show_hosts,
+                )
+            )
+            if flag:
+                lines[-1] += flag
+        else:
+            summary = snapshot.summary
+            load = summary.metrics.get("load_one")
+            lines.append(
+                f"GRID {name} -- {summary.hosts_up} up, "
+                f"{summary.hosts_down} down, mean load "
+                f"{load.mean() if load else 0.0:.2f} "
+                f"(detail at {snapshot.authority}){flag}"
+            )
+    return "\n".join(lines)

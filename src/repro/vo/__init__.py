@@ -1,0 +1,31 @@
+"""Virtual-organization views: the Ganglia VO system from related work.
+
+"Ganglia VO ... extends Ganglia to allow a 2-level monitoring tree, and
+can report summary data at each level.  Ganglia VO explores fractional
+access policies on a grid of clusters, and has a user/group-centric
+information hierarchy based on virtual organizations."  (§2 Related
+Work; the paper contrasts its own host-centric hierarchy with this
+user/group-centric one.)
+
+This package adds that information hierarchy on top of any gmetad:
+
+- :class:`~repro.vo.policy.VoPolicy` -- which slice of which clusters
+  each VO owns (explicit host lists, name prefixes, or *fractions*,
+  implemented as deterministic hash sampling so a "0.25 of meteor"
+  grant is stable across polls);
+- :class:`~repro.vo.service.VoDirectory` -- per-VO filtered views and
+  summaries over a live gmetad datastore, plus query service
+  (``/vo/<name>/...``) with enforcement: a VO's queries can never see
+  hosts outside its slice.
+"""
+
+from repro.vo.policy import ClusterSlice, VoPolicy, VirtualOrganization
+from repro.vo.service import VoDirectory, VoError
+
+__all__ = [
+    "ClusterSlice",
+    "VirtualOrganization",
+    "VoPolicy",
+    "VoDirectory",
+    "VoError",
+]

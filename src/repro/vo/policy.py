@@ -1,0 +1,147 @@
+"""Access policies: which hosts of which clusters belong to which VO.
+
+Three grant kinds per (VO, cluster):
+
+- ``hosts``: an explicit host list;
+- ``prefix``: every host whose name starts with the prefix;
+- ``fraction``: a stable pseudo-random sample of the cluster.  The
+  sample is chosen by hashing ``(vo, cluster, host)`` to [0, 1) and
+  admitting hosts below the fraction -- deterministic across polls and
+  restarts, and different VOs get (statistically) independent samples
+  so two VOs can each hold "half" of a cluster with overlap ~f1*f2.
+  For *partitioning* semantics (disjoint slices that exactly cover the
+  cluster) use :meth:`VoPolicy.partition_cluster`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+
+def _stable_unit(vo: str, cluster: str, host: str, salt: str = "") -> float:
+    """Hash (vo, cluster, host) to a stable number in [0, 1)."""
+    digest = hashlib.sha256(
+        f"{vo}\x00{cluster}\x00{host}\x00{salt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class ClusterSlice:
+    """One VO's grant over one cluster."""
+
+    cluster: str
+    hosts: FrozenSet[str] = frozenset()
+    prefix: Optional[str] = None
+    fraction: Optional[float] = None
+    #: salt for fraction sampling; partition_cluster sets a shared salt so
+    #: sibling slices are complementary
+    salt: str = ""
+    #: with a shared salt, admit hosts whose unit value lies in
+    #: [band_low, band_high) -- used to make fractions disjoint
+    band_low: float = 0.0
+
+    def __post_init__(self) -> None:
+        grants = sum(
+            1
+            for g in (self.hosts, self.prefix, self.fraction)
+            if g not in (frozenset(), None)
+        )
+        if grants != 1:
+            raise ValueError(
+                "exactly one of hosts/prefix/fraction must be given"
+            )
+        if self.fraction is not None and not (0.0 < self.fraction <= 1.0):
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def admits(self, vo: str, host: str) -> bool:
+        if self.hosts:
+            return host in self.hosts
+        if self.prefix is not None:
+            return host.startswith(self.prefix)
+        key_vo = vo if not self.salt else ""  # shared-salt bands ignore the VO
+        unit = _stable_unit(key_vo, self.cluster, host, self.salt)
+        return self.band_low <= unit < self.band_low + self.fraction
+
+
+@dataclass
+class VirtualOrganization:
+    """A named VO and its grants."""
+
+    name: str
+    slices: Dict[str, ClusterSlice] = field(default_factory=dict)
+
+    def grant(self, cluster_slice: ClusterSlice) -> "VirtualOrganization":
+        """Attach a cluster slice to this VO (one grant per cluster)."""
+        if cluster_slice.cluster in self.slices:
+            raise ValueError(
+                f"VO {self.name!r} already has a grant on "
+                f"{cluster_slice.cluster!r}"
+            )
+        self.slices[cluster_slice.cluster] = cluster_slice
+        return self
+
+    def admits(self, cluster: str, host: str) -> bool:
+        cluster_slice = self.slices.get(cluster)
+        return cluster_slice is not None and cluster_slice.admits(
+            self.name, host
+        )
+
+    def clusters(self) -> List[str]:
+        """Names of the clusters this VO holds grants on."""
+        return sorted(self.slices)
+
+
+class VoPolicy:
+    """The full policy table: every VO in the federation."""
+
+    def __init__(self) -> None:
+        self._vos: Dict[str, VirtualOrganization] = {}
+
+    def add(self, vo: VirtualOrganization) -> VirtualOrganization:
+        """Register a VO; names must be unique."""
+        if vo.name in self._vos:
+            raise ValueError(f"duplicate VO {vo.name!r}")
+        self._vos[vo.name] = vo
+        return vo
+
+    def vo(self, name: str) -> Optional[VirtualOrganization]:
+        """Look up a VO by name (None if unknown)."""
+        return self._vos.get(name)
+
+    def names(self) -> List[str]:
+        """All registered VO names, sorted."""
+        return sorted(self._vos)
+
+    def partition_cluster(
+        self, cluster: str, shares: Dict[str, float], salt: str = "partition"
+    ) -> None:
+        """Split one cluster among VOs in exact, disjoint bands.
+
+        ``shares`` maps VO name -> fraction; fractions must sum to at
+        most 1.0.  Every host lands in at most one VO, and with sum 1.0
+        in exactly one -- the property the slice-additivity tests rely
+        on.
+        """
+        total = sum(shares.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"shares sum to {total} > 1")
+        low = 0.0
+        for vo_name in sorted(shares):
+            fraction = shares[vo_name]
+            if fraction <= 0:
+                raise ValueError(f"share for {vo_name!r} must be positive")
+            vo = self._vos.get(vo_name)
+            if vo is None:
+                vo = self.add(VirtualOrganization(vo_name))
+            vo.grant(
+                ClusterSlice(
+                    cluster=cluster,
+                    fraction=fraction,
+                    salt=salt,
+                    band_low=low,
+                )
+            )
+            low += fraction

@@ -1,0 +1,101 @@
+"""The Ganglia XML DTD: element vocabulary and containment rules.
+
+"Their XML output conforms to the Ganglia DTD, and therefore requires the
+same processing effort by the gmeta system under study" (§3).  The
+pseudo-gmond and the real pipeline both validate against these rules, so
+a malformed emitter fails fast in tests instead of silently skewing the
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+#: element -> allowed child elements
+CONTAINMENT: Dict[str, FrozenSet[str]] = {
+    "GANGLIA_XML": frozenset({"GRID", "CLUSTER"}),
+    "GRID": frozenset({"GRID", "CLUSTER", "HOSTS", "METRICS"}),
+    "CLUSTER": frozenset({"HOST", "HOSTS", "METRICS"}),
+    "HOST": frozenset({"METRIC"}),
+    "METRIC": frozenset(),
+    "METRICS": frozenset(),
+    "HOSTS": frozenset(),
+}
+
+#: element -> required attributes
+REQUIRED_ATTRS: Dict[str, FrozenSet[str]] = {
+    "GANGLIA_XML": frozenset({"VERSION", "SOURCE"}),
+    "GRID": frozenset({"NAME", "AUTHORITY"}),
+    "CLUSTER": frozenset({"NAME"}),
+    "HOST": frozenset({"NAME"}),
+    "METRIC": frozenset({"NAME", "VAL", "TYPE"}),
+    "METRICS": frozenset({"NAME", "SUM", "NUM"}),
+    "HOSTS": frozenset({"UP", "DOWN"}),
+}
+
+#: element -> optional attributes we emit/accept
+OPTIONAL_ATTRS: Dict[str, FrozenSet[str]] = {
+    "GANGLIA_XML": frozenset(),
+    "GRID": frozenset({"LOCALTIME"}),
+    "CLUSTER": frozenset({"OWNER", "LOCALTIME", "URL", "LATLONG"}),
+    "HOST": frozenset({"IP", "REPORTED", "TN", "TMAX", "DMAX", "LOCATION"}),
+    "METRIC": frozenset({"UNITS", "TN", "TMAX", "DMAX", "SLOPE", "SOURCE"}),
+    "METRICS": frozenset({"TYPE", "UNITS", "SLOPE", "SOURCE"}),
+    "HOSTS": frozenset({"SOURCE"}),
+}
+
+#: Elements that never contain children (always self-closing).
+EMPTY_ELEMENTS: FrozenSet[str] = frozenset({"METRIC", "METRICS", "HOSTS"})
+
+#: Protocol version string carried in GANGLIA_XML VERSION=.
+GANGLIA_VERSION_1LEVEL = "2.5.1"
+GANGLIA_VERSION_NLEVEL = "2.5.4"
+
+
+class DtdError(ValueError):
+    """A document violated the Ganglia DTD."""
+
+
+def check_element(name: str, attrs: Dict[str, str], parent: str | None) -> None:
+    """Validate one element against the vocabulary and containment rules."""
+    if name not in CONTAINMENT:
+        raise DtdError(f"unknown element <{name}>")
+    if parent is None:
+        if name != "GANGLIA_XML":
+            raise DtdError(f"root element must be GANGLIA_XML, got <{name}>")
+    else:
+        if name not in CONTAINMENT[parent]:
+            raise DtdError(f"<{name}> not allowed inside <{parent}>")
+    missing = REQUIRED_ATTRS[name] - attrs.keys()
+    if missing:
+        raise DtdError(f"<{name}> missing required attrs {sorted(missing)}")
+    allowed = REQUIRED_ATTRS[name] | OPTIONAL_ATTRS[name]
+    extra = attrs.keys() - allowed
+    if extra:
+        raise DtdError(f"<{name}> has unknown attrs {sorted(extra)}")
+
+
+DTD_TEXT = """\
+<!ELEMENT GANGLIA_XML (GRID | CLUSTER)*>
+<!ATTLIST GANGLIA_XML VERSION CDATA #REQUIRED SOURCE CDATA #REQUIRED>
+<!ELEMENT GRID (GRID | CLUSTER | HOSTS | METRICS)*>
+<!ATTLIST GRID NAME CDATA #REQUIRED AUTHORITY CDATA #REQUIRED
+          LOCALTIME CDATA #IMPLIED>
+<!ELEMENT CLUSTER (HOST | HOSTS | METRICS)*>
+<!ATTLIST CLUSTER NAME CDATA #REQUIRED OWNER CDATA #IMPLIED
+          LOCALTIME CDATA #IMPLIED URL CDATA #IMPLIED LATLONG CDATA #IMPLIED>
+<!ELEMENT HOST (METRIC)*>
+<!ATTLIST HOST NAME CDATA #REQUIRED IP CDATA #IMPLIED REPORTED CDATA #IMPLIED
+          TN CDATA #IMPLIED TMAX CDATA #IMPLIED DMAX CDATA #IMPLIED
+          LOCATION CDATA #IMPLIED>
+<!ELEMENT METRIC EMPTY>
+<!ATTLIST METRIC NAME CDATA #REQUIRED VAL CDATA #REQUIRED TYPE CDATA #REQUIRED
+          UNITS CDATA #IMPLIED TN CDATA #IMPLIED TMAX CDATA #IMPLIED
+          DMAX CDATA #IMPLIED SLOPE CDATA #IMPLIED SOURCE CDATA #IMPLIED>
+<!ELEMENT METRICS EMPTY>
+<!ATTLIST METRICS NAME CDATA #REQUIRED SUM CDATA #REQUIRED NUM CDATA #REQUIRED
+          TYPE CDATA #IMPLIED UNITS CDATA #IMPLIED SLOPE CDATA #IMPLIED
+          SOURCE CDATA #IMPLIED>
+<!ELEMENT HOSTS EMPTY>
+<!ATTLIST HOSTS UP CDATA #REQUIRED DOWN CDATA #REQUIRED SOURCE CDATA #IMPLIED>
+"""

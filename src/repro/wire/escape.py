@@ -1,0 +1,43 @@
+"""XML attribute-value escaping.
+
+Ganglia XML carries all data in attribute values (there are no text
+nodes), so only the five standard entities matter.  Values are always
+written in double quotes.
+"""
+
+from __future__ import annotations
+
+_ESCAPES = [
+    ("&", "&amp;"),  # must be first
+    ("<", "&lt;"),
+    (">", "&gt;"),
+    ('"', "&quot;"),
+    ("'", "&apos;"),
+]
+
+_UNESCAPES = [(entity, char) for char, entity in reversed(_ESCAPES)]
+
+
+def escape_attr(value: str) -> str:
+    """Escape a string for use inside a double-quoted attribute value."""
+    # fast path: metric names/values almost never contain specials
+    if (
+        "&" not in value
+        and "<" not in value
+        and '"' not in value
+        and ">" not in value
+        and "'" not in value
+    ):
+        return value
+    for char, entity in _ESCAPES:
+        value = value.replace(char, entity)
+    return value
+
+
+def unescape_attr(value: str) -> str:
+    """Inverse of :func:`escape_attr`."""
+    if "&" not in value:
+        return value
+    for entity, char in _UNESCAPES:
+        value = value.replace(entity, char)
+    return value

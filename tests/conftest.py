@@ -1,0 +1,59 @@
+"""Shared fixtures: a fresh simulated world per test, plus one cached
+read-only federation for the expensive integration checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.topology import Federation, build_paper_tree
+from repro.net.fabric import Fabric
+from repro.net.tcp import TcpNetwork
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def fabric() -> Fabric:
+    return Fabric()
+
+
+@pytest.fixture
+def tcp(engine, fabric) -> TcpNetwork:
+    return TcpNetwork(engine, fabric)
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(1234)
+
+
+@pytest.fixture(scope="session")
+def warm_nlevel_federation() -> Federation:
+    """A small N-level paper tree, warmed up for 90 s of simulated time.
+
+    Session-scoped: tests using it must be READ-ONLY (queries, datastore
+    inspection) -- anything that mutates topology or injects faults must
+    build its own federation.
+    """
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=8, archive_mode="full"
+    )
+    federation.start()
+    federation.engine.run_for(90.0)
+    return federation
+
+
+@pytest.fixture(scope="session")
+def warm_1level_federation() -> Federation:
+    """1-level twin of :func:`warm_nlevel_federation` (read-only)."""
+    federation = build_paper_tree(
+        "1level", hosts_per_cluster=8, archive_mode="full"
+    )
+    federation.start()
+    federation.engine.run_for(90.0)
+    return federation

@@ -1,0 +1,122 @@
+"""Shape tests for the experiment drivers, at miniature scale.
+
+The full-scale runs live under ``benchmarks/``; here the same drivers
+run with tiny clusters and short windows to verify the paper's
+*qualitative* results cheaply on every test run.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_figure5,
+    run_figure6,
+    run_table1,
+)
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_figure5(hosts_per_cluster=10, window=60.0, warmup=30.0)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_figure6(sizes=(5, 10, 20), window=45.0, warmup=30.0)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(hosts_per_cluster=10, warmup=45.0, samples=2)
+
+
+class TestFigure5Shape:
+    def test_1level_concentrates_load_at_root(self, fig5):
+        one = fig5.cpu_percent["1level"]
+        assert one["root"] > one["ucsd"] > one["physics"]
+        assert one["root"] > 2.5 * one["physics"]
+
+    def test_nlevel_pushes_load_to_leaves(self, fig5):
+        # At this miniature scale fixed per-poll costs keep the root from
+        # vanishing entirely; the 100-host benchmark asserts a >20x gap.
+        n = fig5.cpu_percent["nlevel"]
+        for leaf in ("physics", "math", "attic"):
+            assert n[leaf] > 3 * n["root"]
+            assert n[leaf] > 3 * n["ucsd"]
+
+    def test_leaves_pay_summarization_penalty(self, fig5):
+        for leaf in ("physics", "math", "attic"):
+            assert (
+                fig5.cpu_percent["nlevel"][leaf]
+                > fig5.cpu_percent["1level"][leaf]
+            )
+
+    def test_nlevel_aggregate_lower(self, fig5):
+        assert fig5.aggregate("nlevel") < fig5.aggregate("1level")
+
+    def test_symmetric_leaves_balanced(self, fig5):
+        n = fig5.cpu_percent["nlevel"]
+        assert n["physics"] == pytest.approx(n["math"], rel=0.15)
+
+    def test_breakdown_explains_the_transfer(self, fig5):
+        """In the N-level design the root does almost no archiving."""
+        root_1level = fig5.breakdown["1level"]["root"]
+        root_nlevel = fig5.breakdown["nlevel"]["root"]
+        assert root_nlevel["archive"] < root_1level["archive"] / 5
+
+    def test_report_renders(self, fig5):
+        text = fig5.report()
+        assert "Figure 5" in text
+        for name in ("root", "ucsd", "physics", "math", "sdsc", "attic"):
+            assert name in text
+
+
+class TestFigure6Shape:
+    def test_nlevel_cheaper_at_every_size(self, fig6):
+        for one, n in zip(fig6.aggregate["1level"], fig6.aggregate["nlevel"]):
+            assert n < one
+
+    def test_both_curves_increase_with_size(self, fig6):
+        for design in ("1level", "nlevel"):
+            series = fig6.aggregate[design]
+            assert series == sorted(series)
+
+    def test_1level_grows_faster(self, fig6):
+        one = fig6.aggregate["1level"]
+        n = fig6.aggregate["nlevel"]
+        assert (one[-1] - one[0]) > (n[-1] - n[0])
+
+    def test_nlevel_roughly_linear(self, fig6):
+        """Slope between consecutive sizes should be ~constant."""
+        sizes, series = fig6.sizes, fig6.aggregate["nlevel"]
+        slopes = [
+            (series[i + 1] - series[i]) / (sizes[i + 1] - sizes[i])
+            for i in range(len(sizes) - 1)
+        ]
+        assert max(slopes) < 1.6 * min(slopes) + 1e-9
+
+    def test_report_renders(self, fig6):
+        assert "Figure 6" in fig6.report()
+
+
+class TestTable1Shape:
+    def test_1level_same_cost_for_all_views(self, table1):
+        seconds = [table1.seconds("1level", v) for v in ("meta", "cluster", "host")]
+        assert max(seconds) < 1.2 * min(seconds)
+
+    def test_nlevel_wins_every_view(self, table1):
+        for view in ("meta", "cluster", "host"):
+            assert table1.speedup(view) > 1.5
+
+    def test_host_view_speedup_largest(self, table1):
+        assert table1.speedup("host") > table1.speedup("cluster")
+        assert table1.speedup("meta") > table1.speedup("cluster")
+
+    def test_nlevel_host_view_is_milliseconds(self, table1):
+        assert table1.seconds("nlevel", "host") < 0.05
+
+    def test_report_renders(self, table1):
+        text = table1.report()
+        assert "Table 1" in text
+        assert "speedup" in text

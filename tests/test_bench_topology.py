@@ -1,0 +1,98 @@
+"""Tests for the experiment topology and reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import format_bar_chart, format_table
+from repro.bench.topology import (
+    PAPER_CLUSTER_ATTACHMENT,
+    PAPER_GMETA_ORDER,
+    PAPER_TRUST_EDGES,
+    build_paper_tree,
+)
+
+
+class TestPaperTopology:
+    def test_six_gmetads_twelve_clusters(self):
+        assert len(PAPER_CLUSTER_ATTACHMENT) == 6
+        assert sum(PAPER_CLUSTER_ATTACHMENT.values()) == 12
+        assert set(PAPER_GMETA_ORDER) == set(PAPER_CLUSTER_ATTACHMENT)
+
+    def test_trust_edges_match_figure_2(self):
+        assert ("root", "ucsd") in PAPER_TRUST_EDGES
+        assert ("root", "sdsc") in PAPER_TRUST_EDGES
+        assert ("ucsd", "physics") in PAPER_TRUST_EDGES
+        assert ("ucsd", "math") in PAPER_TRUST_EDGES
+        assert ("sdsc", "attic") in PAPER_TRUST_EDGES
+
+    def test_build_nlevel(self):
+        federation = build_paper_tree("nlevel", hosts_per_cluster=3)
+        assert len(federation.gmetads) == 6
+        assert len(federation.pseudos) == 12
+        assert federation.tree.roots() == ["root"]
+        root_sources = sorted(federation.gmetad("root").pollers)
+        assert root_sources == ["sdsc", "ucsd"]
+        sdsc_sources = sorted(federation.gmetad("sdsc").pollers)
+        assert sdsc_sources == ["attic", "sdsc-c0", "sdsc-c1", "sdsc-c2"]
+
+    def test_bad_design_rejected(self):
+        with pytest.raises(ValueError):
+            build_paper_tree("2level", hosts_per_cluster=3)
+
+    def test_start_order_children_first(self):
+        federation = build_paper_tree("nlevel", hosts_per_cluster=3)
+        order = list(federation.tree.walk_depth_first())
+        assert order.index("attic") < order.index("sdsc")
+        assert order[-1] == "root"
+
+    def test_run_measurement_window_returns_all_gmetads(self):
+        federation = build_paper_tree("nlevel", hosts_per_cluster=3)
+        federation.start()
+        cpu = federation.run_measurement_window(window=30.0, warmup=20.0)
+        assert set(cpu) == set(PAPER_GMETA_ORDER)
+        assert all(v >= 0 for v in cpu.values())
+        federation.stop()
+
+    def test_deterministic_given_seed(self):
+        def run():
+            federation = build_paper_tree("nlevel", hosts_per_cluster=3, seed=5)
+            federation.start()
+            cpu = federation.run_measurement_window(window=30.0, warmup=15.0)
+            xml, _ = federation.gmetad("root").serve_query("/?filter=summary")
+            federation.stop()
+            return cpu, xml
+
+        assert run() == run()
+
+    def test_freeze_values_serves_same_bytes(self):
+        federation = build_paper_tree(
+            "nlevel", hosts_per_cluster=3, freeze_values=True
+        )
+        pseudo = federation.pseudos["attic-c0"]
+        first = pseudo.current_xml()
+        federation.engine.run_for(300.0)
+        assert pseudo.current_xml() is first
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            ["name", "value"], [("a", 1.5), ("b", 0.25)], title="T"
+        )
+        assert "T" in text
+        assert "1.5" in text and "0.25" in text
+        assert text.splitlines()[1].startswith("name")
+
+    def test_format_table_large_and_tiny_numbers(self):
+        text = format_table(["v"], [(123456.0,), (0.000012,)])
+        assert "1.23e" in text or "123456" in text
+
+    def test_format_bar_chart(self):
+        chart = format_bar_chart({"root": 10.0, "leaf": 5.0}, title="cpu")
+        lines = chart.splitlines()
+        assert lines[0] == "cpu"
+        root_line = next(l for l in lines if l.startswith("root"))
+        leaf_line = next(l for l in lines if l.startswith("leaf"))
+        assert root_line.count("#") > leaf_line.count("#")
+
+    def test_format_bar_chart_empty(self):
+        assert format_bar_chart({}, title="t") == "t"

@@ -1,0 +1,94 @@
+"""Tests for ingest trace recording and replay."""
+
+import pytest
+
+from repro.bench.trace import (
+    IngestTrace,
+    TraceRecord,
+    TraceRecorder,
+    record_federation_trace,
+    replay_trace,
+)
+from repro.core.gmetad import Gmetad
+from repro.core.tree import GmetadConfig
+from repro.net.fabric import Fabric
+from repro.net.tcp import TcpNetwork
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_federation_trace(hosts_per_cluster=6, cycles=4)
+
+
+def fresh_gmetad():
+    engine = Engine()
+    fabric = Fabric()
+    tcp = TcpNetwork(engine, fabric)
+    config = GmetadConfig(name="replay", host="gmeta-replay",
+                          archive_mode="account")
+    return Gmetad(engine, fabric, tcp, config)
+
+
+class TestRecording:
+    def test_trace_captures_every_source_poll(self, trace):
+        # sdsc polls 3 local clusters + the attic child
+        assert set(trace.sources()) == {"sdsc-c0", "sdsc-c1", "sdsc-c2", "attic"}
+        assert len(trace.records) >= 4 * 4  # >= cycles * sources
+        assert trace.total_bytes > 10_000
+
+    def test_records_are_time_ordered(self, trace):
+        times = [r.sim_time for r in trace.records]
+        assert times == sorted(times)
+
+    def test_double_attach_rejected(self):
+        daemon = fresh_gmetad()
+        TraceRecorder(daemon)
+        with pytest.raises(RuntimeError):
+            TraceRecorder(daemon)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, trace, tmp_path):
+        trace.save(tmp_path / "trace")
+        loaded = IngestTrace.load(tmp_path / "trace")
+        assert len(loaded.records) == len(trace.records)
+        assert loaded.total_bytes == trace.total_bytes
+        assert loaded.records[0].xml == trace.records[0].xml
+        assert loaded.records[-1].source == trace.records[-1].source
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            IngestTrace.load(tmp_path / "nothing")
+
+
+class TestReplay:
+    def test_replay_reproduces_datastore_state(self, trace):
+        daemon = fresh_gmetad()
+        result = replay_trace(trace, daemon)
+        assert result.parse_errors == 0
+        assert result.polls == len(trace.records)
+        assert result.megabytes_per_second > 0
+        # the replayed daemon holds the recorded federation's state
+        assert set(daemon.datastore.source_names()) == set(trace.sources())
+        assert daemon.datastore.source("sdsc-c0").summary.hosts_total == 6
+        # the attic grid came through as a summary-form source
+        assert daemon.datastore.source("attic").kind == "grid"
+
+    def test_repeated_replay_stays_monotonic(self, trace):
+        daemon = fresh_gmetad()
+        result = replay_trace(trace, daemon, repeats=3)
+        assert result.polls == 3 * len(trace.records)
+        assert result.parse_errors == 0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            replay_trace(IngestTrace(), fresh_gmetad())
+
+    def test_replay_charges_cpu_like_live_ingest(self, trace):
+        daemon = fresh_gmetad()
+        replay_trace(trace, daemon)
+        breakdown = daemon.cpu.window.by_category
+        assert breakdown["parse"] > 0
+        assert breakdown["summarize"] > 0
+        assert breakdown["archive"] > 0

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExperimentCommand:
+    def test_fig5_tiny(self, capsys):
+        code = main([
+            "experiment", "fig5", "--hosts", "5",
+            "--window", "35", "--warmup", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "root" in out and "attic" in out
+
+    def test_table1_tiny(self, capsys):
+        code = main([
+            "experiment", "table1", "--hosts", "5", "--warmup", "45",
+        ])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_nlevel(self, capsys):
+        code = main([
+            "run", "--hosts", "5", "--window", "35", "--warmup", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gmetad root" in out
+        assert "hosts up" in out
+
+    def test_1level(self, capsys):
+        code = main([
+            "run", "--design", "1level", "--hosts", "5",
+            "--window", "35", "--warmup", "20",
+        ])
+        assert code == 0
+        assert "1level federation" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_host_query(self, capsys):
+        code = main([
+            "query", "/sdsc-c0/sdsc-c0-0-2", "--hosts", "5",
+            "--warmup", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'HOST NAME="sdsc-c0-0-2"' in out
+
+    def test_unknown_gmetad_errors(self, capsys):
+        code = main([
+            "query", "/x", "--at", "nowhere", "--hosts", "5",
+            "--warmup", "20",
+        ])
+        assert code == 2
+        assert "unknown gmetad" in capsys.readouterr().err
+
+
+class TestConfCommands:
+    def test_check_gmetad_conf(self, tmp_path, capsys):
+        path = tmp_path / "gmetad.conf"
+        path.write_text(
+            'gridname "G"\nscalability off\ndata_source "c" 20 h1 h2\n'
+        )
+        assert main(["check-gmetad-conf", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1level" in out
+        assert "h1:8649 h2:8649" in out
+
+    def test_check_gmetad_conf_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "gmetad.conf"
+        path.write_text("warp_drive on\n")
+        assert main(["check-gmetad-conf", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_check_gmetad_conf_missing_file(self, capsys):
+        assert main(["check-gmetad-conf", "/no/such/file"]) == 2
+
+    def test_check_gmond_conf(self, tmp_path, capsys):
+        path = tmp_path / "gmond.conf"
+        path.write_text('name "Meteor"\nheartbeat 30\n')
+        assert main(["check-gmond-conf", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Meteor" in out
+        assert "every 30s" in out
+
+
+class TestParser:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestGstatCommand:
+    def test_federation_status(self, capsys):
+        code = main([
+            "gstat", "--at", "root", "--hosts", "4", "--warmup", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GRID sdsc" in out
+
+    def test_cluster_detail(self, capsys):
+        code = main([
+            "gstat", "--at", "attic", "--source", "attic-c0",
+            "--hosts-detail", "--hosts", "3", "--warmup", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CLUSTER attic-c0" in out
+        assert "attic-c0-0-0" in out
+
+    def test_unknown_gmetad(self, capsys):
+        assert main([
+            "gstat", "--at", "mars", "--hosts", "3", "--warmup", "20",
+        ]) == 2

@@ -1,0 +1,132 @@
+"""Tests for gmetad.conf / gmond.conf parsing."""
+
+import pytest
+
+from repro.config.gmetadconf import ConfigError, parse_gmetad_conf
+from repro.config.gmondconf import parse_gmond_conf
+from repro.net.address import Address
+
+GMETAD_SAMPLE = """
+# SDSC gmetad configuration
+gridname "SDSC"
+authority "http://gmeta.sdsc.edu:8651/"
+xml_port 8651
+scalability on
+trusted_hosts gmeta-root gmeta-backup
+rrd_rootdir "/var/lib/ganglia/rrds"
+
+data_source "meteor" 15 meteor-0-0:8649 meteor-0-1 meteor-0-2
+data_source "my other cluster" nashi-head
+data_source "attic" 30 gmeta-attic:8651
+"""
+
+
+class TestGmetadConf:
+    def test_full_sample(self):
+        parsed = parse_gmetad_conf(GMETAD_SAMPLE)
+        assert parsed.gridname == "SDSC"
+        assert parsed.authority == "http://gmeta.sdsc.edu:8651/"
+        assert parsed.xml_port == 8651
+        assert parsed.scalability is True
+        assert parsed.design == "nlevel"
+        assert parsed.trusted_hosts == ["gmeta-root", "gmeta-backup"]
+        assert parsed.rrd_rootdir == "/var/lib/ganglia/rrds"
+        assert len(parsed.data_sources) == 3
+
+    def test_data_source_details(self):
+        parsed = parse_gmetad_conf(GMETAD_SAMPLE)
+        meteor = parsed.data_sources[0]
+        assert meteor.name == "meteor"
+        assert meteor.poll_interval == 15.0
+        assert meteor.addresses == [
+            Address("meteor-0-0", 8649),
+            Address("meteor-0-1", 8649),  # default port applied
+            Address("meteor-0-2", 8649),
+        ]
+        # interval omitted -> default 15
+        assert parsed.data_sources[1].poll_interval == 15.0
+        assert parsed.data_sources[1].name == "my other cluster"
+        # child gmetad endpoint with explicit port
+        assert parsed.data_sources[2].addresses == [Address("gmeta-attic", 8651)]
+
+    def test_scalability_off_selects_1level(self):
+        parsed = parse_gmetad_conf('scalability off\ndata_source "c" h1\n')
+        assert parsed.design == "1level"
+
+    def test_inline_comments(self):
+        parsed = parse_gmetad_conf('data_source "c" 20 h1  # the cluster\n')
+        assert parsed.data_sources[0].poll_interval == 20.0
+        assert len(parsed.data_sources[0].addresses) == 1
+
+    def test_to_gmetad_config(self):
+        parsed = parse_gmetad_conf(GMETAD_SAMPLE)
+        config = parsed.to_gmetad_config(host="gmeta-sdsc", archive_mode="account")
+        assert config.name == "SDSC"
+        assert config.host == "gmeta-sdsc"
+        assert config.authority_url == parsed.authority
+        assert [s.name for s in config.data_sources] == [
+            "meteor", "my other cluster", "attic",
+        ]
+
+    @pytest.mark.parametrize(
+        "bad,fragment",
+        [
+            ("data_source\n", "needs a name"),
+            ('data_source "c"\n', "no endpoints"),
+            ('data_source "c" 15\n', "no endpoints"),
+            ('data_source "c" h1:notaport\n', "bad port"),
+            ('data_source "c" h1\ndata_source "c" h2\n', "duplicate"),
+            ("gridname\n", "one value"),
+            ("scalability maybe\n", "on|off"),
+            ("warp_drive on\n", "unknown directive"),
+            ('data_source "c" :8649\n', "empty host"),
+        ],
+    )
+    def test_errors_with_line_numbers(self, bad, fragment):
+        with pytest.raises(ConfigError) as excinfo:
+            parse_gmetad_conf(bad)
+        assert fragment in str(excinfo.value)
+        assert "line" in str(excinfo.value)
+
+    def test_empty_config_is_valid(self):
+        parsed = parse_gmetad_conf("# nothing but comments\n\n")
+        assert parsed.data_sources == []
+
+
+GMOND_SAMPLE = """
+name          "Meteor Cluster"
+owner         "SDSC"
+url           "http://meteor.sdsc.edu/"
+mcast_channel 239.2.11.71
+mcast_port    8649
+host_dmax     3600
+heartbeat     20
+"""
+
+
+class TestGmondConf:
+    def test_full_sample(self):
+        config = parse_gmond_conf(GMOND_SAMPLE)
+        assert config.cluster_name == "Meteor Cluster"
+        assert config.owner == "SDSC"
+        assert config.multicast_group == "239.2.11.71:8649"
+        assert config.host_dmax == 3600.0
+        assert config.heartbeat_interval == 20.0
+        assert config.heartbeat_window == 80.0
+
+    def test_name_required(self):
+        with pytest.raises(ConfigError):
+            parse_gmond_conf('owner "x"\n')
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_gmond_conf('name "c"\nflux_capacitor 88\n')
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_gmond_conf('name "c"\nhost_dmax soon\n')
+
+    def test_defaults(self):
+        config = parse_gmond_conf('name "c"\n')
+        assert config.heartbeat_interval == 20.0
+        assert config.host_dmax == 0.0

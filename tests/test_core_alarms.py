@@ -1,0 +1,188 @@
+"""Unit tests for the alarm engine and regex query language (§4)."""
+
+import pytest
+
+from repro.core.alarms import AlarmEngine, AlarmRule, AlarmState, standard_rules
+from repro.core.gmetad import Gmetad
+from repro.core.query_regex import (
+    RegexQuery,
+    RegexQueryEngine,
+    RegexQueryError,
+    is_regex_query,
+)
+from repro.core.tree import GmetadConfig
+from repro.gmond.pseudo import PseudoGmond
+from repro.metrics.catalog import MetricDef
+from repro.metrics.types import MetricType
+
+
+@pytest.fixture
+def monitored(engine, fabric, tcp, rngs):
+    """A gmetad watching one pseudo cluster with controllable values."""
+    defs = [
+        MetricDef("load_one", MetricType.FLOAT, collect_every=15,
+                  tmax=70, value_range=(0.0, 1.0)),
+        MetricDef("temp", MetricType.FLOAT, collect_every=15,
+                  tmax=70, value_range=(90.0, 95.0)),  # always "hot"
+    ]
+    pseudo = PseudoGmond(
+        engine, fabric, tcp, "meteor", num_hosts=4,
+        rng=rngs.stream("pg"), metric_defs=defs,
+    )
+    config = GmetadConfig(name="sdsc", host="gmeta-sdsc", archive_mode="account")
+    config.add_source("meteor", [pseudo.address])
+    daemon = Gmetad(engine, fabric, tcp, config)
+    daemon.start()
+    engine.run_for(40.0)
+    return daemon, pseudo
+
+
+class TestRegexQuery:
+    def test_parse_depths(self):
+        assert RegexQuery.parse("~/a").depth == 1
+        assert RegexQuery.parse("~/a/b").depth == 2
+        assert RegexQuery.parse("~/a/b/c").depth == 3
+
+    @pytest.mark.parametrize("bad", ["", "~", "~/a/b/c/d", "~/[unclosed"])
+    def test_bad_queries_rejected(self, bad):
+        with pytest.raises(RegexQueryError):
+            RegexQuery.parse(bad)
+
+    def test_segments_anchored(self, monitored):
+        daemon, _ = monitored
+        engine = RegexQueryEngine(daemon.datastore)
+        # "meteo" must NOT match "meteor" (anchored), ".*" must
+        assert engine.search("~/meteo") == []
+        assert len(engine.search("~/meteo.*")) == 1
+
+    def test_metric_level_search(self, monitored):
+        daemon, _ = monitored
+        engine = RegexQueryEngine(daemon.datastore)
+        hits = engine.search(r"~/meteor/meteor-0-[01]/load_one|temp")
+        names = {h.path[2] for h in hits}
+        assert names == {"load_one", "temp"}
+        assert len(hits) == 4  # 2 hosts x 2 metrics
+
+    def test_host_level_search(self, monitored):
+        daemon, _ = monitored
+        engine = RegexQueryEngine(daemon.datastore)
+        hits = engine.search(r"~/.*/meteor-0-\d+")
+        assert len(hits) == 4
+        assert all(len(h.path) == 2 for h in hits)
+
+    def test_is_regex_query(self):
+        assert is_regex_query("~/a/b")
+        assert not is_regex_query("/a/b")
+
+
+class TestAlarmRules:
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            AlarmRule(name="r", selector="~/a", op="~=", threshold=1.0)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            AlarmRule(name="r", selector="~/a", op=">", threshold=1, hold_seconds=-1)
+
+    def test_condition_operators(self):
+        rule = AlarmRule(name="r", selector="~/a", op=">=", threshold=5.0)
+        assert rule.condition(5.0)
+        assert not rule.condition(4.9)
+
+
+class TestAlarmEngine:
+    def test_fires_on_threshold(self, monitored, engine):
+        daemon, _ = monitored
+        alarms = AlarmEngine(daemon, interval=15.0)
+        alarms.add_rule(
+            AlarmRule(name="hot", selector=r"~/meteor/.*/temp",
+                      op=">", threshold=80.0, severity="critical")
+        )
+        alarms.start()
+        engine.run_for(40.0)
+        assert len(alarms.firing()) == 4  # every host is hot
+        fires = [n for n in alarms.notifications if n.kind == "fire"]
+        assert len(fires) == 4
+        assert all(n.severity == "critical" for n in fires)
+
+    def test_does_not_fire_below_threshold(self, monitored, engine):
+        daemon, _ = monitored
+        alarms = AlarmEngine(daemon, interval=15.0)
+        alarms.add_rule(
+            AlarmRule(name="impossible", selector=r"~/meteor/.*/load_one",
+                      op=">", threshold=100.0)
+        )
+        alarms.start()
+        engine.run_for(100.0)
+        assert alarms.firing() == []
+        assert alarms.notifications == []
+
+    def test_hold_time_delays_firing(self, monitored, engine):
+        daemon, _ = monitored
+        alarms = AlarmEngine(daemon, interval=10.0)
+        alarms.add_rule(
+            AlarmRule(name="hot", selector=r"~/meteor/meteor-0-0/temp",
+                      op=">", threshold=80.0, hold_seconds=25.0)
+        )
+        alarms.start()
+        engine.run_for(12.0)  # one evaluation: PENDING, not firing
+        assert len(alarms.pending()) == 1
+        assert alarms.firing() == []
+        engine.run_for(30.0)  # hold satisfied
+        assert len(alarms.firing()) == 1
+
+    def test_resolve_notification_on_recovery(self, monitored, engine):
+        daemon, pseudo = monitored
+        alarms = AlarmEngine(daemon, interval=15.0)
+        alarms.add_rule(
+            AlarmRule(name="silent", selector=r"~/meteor/.*",
+                      op=">", threshold=60.0)  # host TN > 60s
+        )
+        alarms.start()
+        pseudo.set_host_down(2)
+        engine.run_for(120.0)
+        assert len(alarms.firing()) == 1
+        pseudo.set_host_down(2, down=False)
+        engine.run_for(60.0)
+        assert alarms.firing() == []
+        kinds = [n.kind for n in alarms.notifications]
+        assert kinds.count("fire") == 1
+        assert kinds.count("resolve") == 1
+
+    def test_notify_callback_invoked(self, monitored, engine):
+        daemon, _ = monitored
+        seen = []
+        alarms = AlarmEngine(daemon, interval=15.0, notify=seen.append)
+        alarms.add_rule(
+            AlarmRule(name="hot", selector=r"~/meteor/.*/temp",
+                      op=">", threshold=80.0)
+        )
+        alarms.start()
+        engine.run_for(20.0)
+        assert len(seen) == 4
+        assert "hot" in seen[0].render()
+
+    def test_duplicate_rule_name_rejected(self, monitored):
+        daemon, _ = monitored
+        alarms = AlarmEngine(daemon)
+        alarms.add_rule(AlarmRule(name="r", selector="~/a", op=">", threshold=1))
+        with pytest.raises(ValueError):
+            alarms.add_rule(AlarmRule(name="r", selector="~/b", op=">", threshold=1))
+
+    def test_stop_halts_evaluation(self, monitored, engine):
+        daemon, _ = monitored
+        alarms = AlarmEngine(daemon, interval=15.0)
+        alarms.add_rule(
+            AlarmRule(name="hot", selector=r"~/meteor/.*/temp",
+                      op=">", threshold=80.0)
+        )
+        alarms.start()
+        engine.run_for(20.0)
+        count = len(alarms.notifications)
+        alarms.stop()
+        engine.run_for(100.0)
+        assert len(alarms.notifications) == count
+
+    def test_standard_rules_well_formed(self):
+        rules = standard_rules()
+        assert {r.name for r in rules} == {"high-load", "host-silent"}

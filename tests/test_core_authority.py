@@ -1,0 +1,75 @@
+"""Tests for authority-pointer navigation (the multi-resolution walk)."""
+
+import pytest
+
+from repro.core.authority import (
+    AuthorityNavigator,
+    NavigationError,
+    parse_authority_url,
+)
+from repro.net.address import Address
+
+
+class TestUrlParsing:
+    def test_host_and_port(self):
+        assert parse_authority_url("http://gmeta-sdsc:8651/") == Address(
+            "gmeta-sdsc", 8651
+        )
+
+    def test_default_port(self):
+        assert parse_authority_url("http://gmeta-x/").port == 8651
+
+    def test_https_accepted(self):
+        assert parse_authority_url("https://h:9999/path").port == 9999
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_authority_url("not a url")
+
+
+@pytest.fixture
+def navigator(warm_nlevel_federation):
+    federation = warm_nlevel_federation
+    if not federation.fabric.has_host("nav-client"):
+        federation.fabric.add_host("nav-client")
+    return AuthorityNavigator(
+        federation.engine, federation.tcp, "nav-client"
+    ), federation
+
+
+class TestDrillDown:
+    def test_from_root_to_leaf_cluster(self, navigator):
+        nav, federation = navigator
+        result = nav.drill_down(federation.gmetad("root").address, "attic-c1")
+        assert len(result.cluster.hosts) == federation.hosts_per_cluster
+        assert not result.cluster.is_summary
+        addresses = [str(s.address) for s in result.steps]
+        # walked root -> sdsc -> attic
+        assert addresses[0] == "gmeta-root:8651"
+        assert addresses[-1] == "gmeta-attic:8651"
+        assert result.steps[-1].outcome == "full"
+
+    def test_backtracks_across_subtrees(self, navigator):
+        """math-c0 lives under ucsd; a first guess into sdsc must back
+        out and try the other child."""
+        nav, federation = navigator
+        result = nav.drill_down(federation.gmetad("root").address, "math-c0")
+        assert len(result.cluster.hosts) == federation.hosts_per_cluster
+        assert str(result.steps[-1].address) == "gmeta-math:8651"
+
+    def test_entry_at_authority_is_single_hop(self, navigator):
+        nav, federation = navigator
+        result = nav.drill_down(federation.gmetad("attic").address, "attic-c0")
+        assert result.hops == 1
+        assert result.steps[0].outcome == "full"
+
+    def test_unknown_cluster_raises(self, navigator):
+        nav, federation = navigator
+        with pytest.raises(NavigationError):
+            nav.drill_down(federation.gmetad("root").address, "ghost-cluster")
+
+    def test_hop_budget_respected(self, navigator):
+        nav, federation = navigator
+        nav.max_hops = 1
+        with pytest.raises(NavigationError):
+            nav.drill_down(federation.gmetad("root").address, "attic-c1")

@@ -1,0 +1,165 @@
+"""Unit tests for the gmetad hash-table datastore."""
+
+import pytest
+
+from repro.core.datastore import Datastore, SourceSnapshot
+from repro.metrics.types import MetricType
+from repro.wire.model import (
+    ClusterElement,
+    GridElement,
+    HostElement,
+    MetricElement,
+    MetricSummary,
+    SummaryInfo,
+)
+
+
+def cluster_snapshot(name="meteor", load=1.0):
+    cluster = ClusterElement(name=name)
+    host = HostElement(name=f"{name}-h0", tn=0.0)
+    host.add_metric(MetricElement("load_one", str(load), MetricType.FLOAT))
+    cluster.add_host(host)
+    summary = SummaryInfo(hosts_up=1)
+    summary.add_metric(
+        MetricSummary("load_one", total=load, num=1, mtype=MetricType.FLOAT)
+    )
+    return SourceSnapshot(
+        name=name, kind="cluster", summary=summary, cluster=cluster,
+        authority="http://me:8651/",
+    )
+
+
+def grid_snapshot(name="attic"):
+    grid = GridElement(name=name.upper(), authority=f"http://{name}:8651/")
+    nested = ClusterElement(name=f"{name}-c0")
+    nested.summary = SummaryInfo(hosts_up=3)
+    grid.add_cluster(nested)
+    summary = SummaryInfo(hosts_up=3)
+    return SourceSnapshot(
+        name=name, kind="grid", summary=summary, grid=grid,
+        authority=grid.authority,
+    )
+
+
+class TestSnapshotValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSnapshot(name="x", kind="blob", summary=SummaryInfo())
+
+    def test_cluster_kind_requires_cluster(self):
+        with pytest.raises(ValueError):
+            SourceSnapshot(name="x", kind="cluster", summary=SummaryInfo())
+
+    def test_grid_kind_requires_grid(self):
+        with pytest.raises(ValueError):
+            SourceSnapshot(name="x", kind="grid", summary=SummaryInfo())
+
+
+class TestInstallAndLookup:
+    def test_install_and_level_lookups(self):
+        store = Datastore()
+        store.install(cluster_snapshot(), now=10.0)
+        assert store.source("meteor").up
+        assert store.source("meteor").last_success == 10.0
+        assert store.find_cluster("meteor").name == "meteor"
+        assert store.find_host("meteor", "meteor-h0") is not None
+        metric = store.find_metric("meteor", "meteor-h0", "load_one")
+        assert metric.numeric() == 1.0
+
+    def test_missing_lookups_return_none(self):
+        store = Datastore()
+        store.install(cluster_snapshot(), now=0.0)
+        assert store.source("nope") is None
+        assert store.find_cluster("nope") is None
+        assert store.find_host("meteor", "ghost") is None
+        assert store.find_metric("meteor", "meteor-h0", "ghost") is None
+
+    def test_reinstall_replaces_atomically(self):
+        store = Datastore()
+        store.install(cluster_snapshot(load=1.0), now=0.0)
+        store.install(cluster_snapshot(load=7.0), now=15.0)
+        metric = store.find_metric("meteor", "meteor-h0", "load_one")
+        assert metric.numeric() == 7.0
+        assert store.source("meteor").last_success == 15.0
+
+    def test_generation_bumps_on_install(self):
+        store = Datastore()
+        g0 = store.generation
+        store.install(cluster_snapshot(), now=0.0)
+        assert store.generation == g0 + 1
+
+    def test_find_nested_in_grid_source(self):
+        store = Datastore()
+        store.install(grid_snapshot(), now=0.0)
+        nested = store.find_nested("attic", "attic-c0")
+        assert nested is not None
+        assert nested.summary.hosts_up == 3
+        assert store.find_nested("attic", "ghost") is None
+        # cluster sources have no nested level
+        store.install(cluster_snapshot(), now=0.0)
+        assert store.find_nested("meteor", "anything") is None
+
+
+class TestFailures:
+    def test_mark_failure_keeps_stale_snapshot(self):
+        store = Datastore()
+        store.install(cluster_snapshot(), now=0.0)
+        count = store.mark_failure("meteor", now=30.0, error="timeout")
+        assert count == 1
+        snapshot = store.source("meteor")
+        assert not snapshot.up
+        assert snapshot.last_error == "timeout"
+        # stale data still answerable (forensics)
+        assert store.find_host("meteor", "meteor-h0") is not None
+
+    def test_consecutive_failures_accumulate(self):
+        store = Datastore()
+        store.install(cluster_snapshot(), now=0.0)
+        for i in range(3):
+            count = store.mark_failure("meteor", now=float(i), error="t")
+        assert count == 3
+
+    def test_failure_before_any_success_creates_placeholder(self):
+        store = Datastore()
+        store.mark_failure("never-seen", now=0.0, error="t")
+        assert store.source("never-seen") is not None
+        assert not store.source("never-seen").up
+
+    def test_success_resets_failure_count(self):
+        store = Datastore()
+        store.install(cluster_snapshot(), now=0.0)
+        store.mark_failure("meteor", now=1.0, error="t")
+        store.install(cluster_snapshot(), now=2.0)
+        assert store.source("meteor").consecutive_failures == 0
+        assert store.source("meteor").up
+
+    def test_up_down_source_lists(self):
+        store = Datastore()
+        store.install(cluster_snapshot("a"), now=0.0)
+        store.install(cluster_snapshot("b"), now=0.0)
+        store.mark_failure("b", now=1.0, error="t")
+        assert store.up_sources() == ["a"]
+        assert store.down_sources() == ["b"]
+
+
+class TestRollup:
+    def test_root_summary_merges_sources(self):
+        store = Datastore()
+        store.install(cluster_snapshot("a", load=1.0), now=0.0)
+        store.install(cluster_snapshot("b", load=3.0), now=0.0)
+        merged, operations = store.root_summary()
+        assert merged.hosts_up == 2
+        assert merged.metrics["load_one"].total == pytest.approx(4.0)
+        assert operations > 0
+
+    def test_rollup_cached_until_generation_changes(self):
+        store = Datastore()
+        store.install(cluster_snapshot("a"), now=0.0)
+        first, _ = store.root_summary()
+        second, operations = store.root_summary()
+        assert second is first
+        assert operations == 0
+        store.install(cluster_snapshot("b"), now=1.0)
+        third, operations = store.root_summary()
+        assert third is not first
+        assert operations > 0

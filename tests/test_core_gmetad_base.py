@@ -1,0 +1,134 @@
+"""Tests for the shared gmetad machinery (dynamic sources, bad input)."""
+
+import pytest
+
+from repro.core.gmetad import Gmetad
+from repro.core.tree import DataSourceConfig, GmetadConfig
+from repro.gmond.pseudo import PseudoGmond
+from repro.net.address import Address
+from repro.net.tcp import Response
+
+
+@pytest.fixture
+def daemon(engine, fabric, tcp):
+    config = GmetadConfig(name="mon", host="gmeta-mon", archive_mode="account")
+    gmetad = Gmetad(engine, fabric, tcp, config)
+    gmetad.start()
+    return gmetad
+
+
+class TestDynamicSources:
+    def test_add_source_at_runtime(self, daemon, engine, fabric, tcp, rngs):
+        pseudo = PseudoGmond(
+            engine, fabric, tcp, "late", num_hosts=3, rng=rngs.stream("pg")
+        )
+        daemon.add_data_source(
+            DataSourceConfig("late", [pseudo.address], poll_interval=15.0,
+                             timeout=5.0)
+        )
+        engine.run_for(20.0)
+        assert daemon.datastore.source("late") is not None
+        assert daemon.datastore.source("late").summary.hosts_total == 3
+
+    def test_duplicate_add_rejected(self, daemon, engine, fabric, tcp, rngs):
+        pseudo = PseudoGmond(
+            engine, fabric, tcp, "c", num_hosts=2, rng=rngs.stream("pg")
+        )
+        source = DataSourceConfig("c", [pseudo.address], timeout=5.0)
+        daemon.add_data_source(source)
+        with pytest.raises(ValueError):
+            daemon.add_data_source(
+                DataSourceConfig("c", [pseudo.address], timeout=5.0)
+            )
+
+    def test_remove_source_stops_polling_and_drops_state(
+        self, daemon, engine, fabric, tcp, rngs
+    ):
+        pseudo = PseudoGmond(
+            engine, fabric, tcp, "c", num_hosts=2, rng=rngs.stream("pg")
+        )
+        daemon.add_data_source(
+            DataSourceConfig("c", [pseudo.address], timeout=5.0)
+        )
+        engine.run_for(20.0)
+        requests_before = pseudo.requests
+        generation = daemon.datastore.generation
+        daemon.remove_data_source("c")
+        assert daemon.datastore.source("c") is None
+        assert daemon.datastore.generation == generation + 1
+        engine.run_for(60.0)
+        assert pseudo.requests == requests_before
+
+    def test_remove_unknown_source_is_noop(self, daemon):
+        daemon.remove_data_source("never-existed")  # must not raise
+
+    def test_add_before_start_polls_after_start(self, engine, fabric, tcp, rngs):
+        config = GmetadConfig(name="m2", host="gmeta-m2", archive_mode="account")
+        gmetad = Gmetad(engine, fabric, tcp, config)
+        pseudo = PseudoGmond(
+            engine, fabric, tcp, "c", num_hosts=2, rng=rngs.stream("pg")
+        )
+        gmetad.add_data_source(
+            DataSourceConfig("c", [pseudo.address], timeout=5.0)
+        )
+        engine.run_for(40.0)
+        assert pseudo.requests == 0  # not started yet
+        gmetad.start()
+        engine.run_for(40.0)
+        assert pseudo.requests >= 1
+
+
+class TestBadInput:
+    def test_garbage_xml_marks_source_failed(self, daemon, engine, fabric, tcp):
+        fabric.add_host("liar")
+        tcp.listen(
+            Address.gmond("liar"),
+            lambda client, request: Response("this is not XML at all <<<"),
+        )
+        daemon.add_data_source(
+            DataSourceConfig(
+                "liar-source", [Address.gmond("liar")], timeout=5.0
+            )
+        )
+        engine.run_for(40.0)
+        assert daemon.parse_errors >= 1
+        snapshot = daemon.datastore.source("liar-source")
+        assert snapshot is not None and not snapshot.up
+        assert "parse error" in snapshot.last_error
+
+    def test_recovers_when_source_starts_speaking_xml(
+        self, daemon, engine, fabric, tcp, rngs
+    ):
+        fabric.add_host("flaky")
+        state = {"good": False}
+        pseudo = PseudoGmond(
+            engine, fabric, tcp, "flaky-cluster", num_hosts=2,
+            rng=rngs.stream("pg"), server_host="flaky-real",
+        )
+
+        def handler(client, request):
+            if state["good"]:
+                return Response(pseudo.current_xml())
+            return Response("garbage")
+
+        tcp.listen(Address.gmond("flaky"), handler)
+        daemon.add_data_source(
+            DataSourceConfig("flaky-cluster", [Address.gmond("flaky")],
+                             timeout=5.0)
+        )
+        engine.run_for(40.0)
+        assert not daemon.datastore.source("flaky-cluster").up
+        state["good"] = True
+        engine.run_for(40.0)
+        assert daemon.datastore.source("flaky-cluster").up
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, daemon):
+        with pytest.raises(RuntimeError):
+            daemon.start()
+
+    def test_stop_closes_listener(self, daemon, tcp):
+        assert tcp.is_listening(daemon.address)
+        daemon.stop()
+        assert not tcp.is_listening(daemon.address)

@@ -1,0 +1,143 @@
+"""Unit tests for data-source polling, fail-over and retry."""
+
+import pytest
+
+from repro.core.poller import DataSourcePoller
+from repro.core.tree import DataSourceConfig
+from repro.net.address import Address
+from repro.net.tcp import Response
+
+
+@pytest.fixture
+def world(engine, fabric, tcp):
+    fabric.add_host("gmeta")
+    for i in range(3):
+        fabric.add_host(f"node{i}")
+    return tcp
+
+
+def serve(tcp, host, payload="<xml/>"):
+    return tcp.listen(Address.gmond(host), lambda c, r: Response(payload))
+
+
+def make_poller(engine, tcp, nodes=3, poll_interval=15.0, timeout=4.0,
+                on_data=None, on_down=None):
+    received, downs = [], []
+    config = DataSourceConfig(
+        "meteor",
+        [Address.gmond(f"node{i}") for i in range(nodes)],
+        poll_interval=poll_interval,
+        timeout=timeout,
+    )
+    poller = DataSourcePoller(
+        engine,
+        tcp,
+        "gmeta",
+        config,
+        on_data=on_data or (lambda name, xml, rtt: received.append((name, xml))),
+        on_source_down=on_down or (lambda name, err: downs.append(name)),
+    )
+    return poller, received, downs
+
+
+class TestHappyPath:
+    def test_polls_at_interval(self, engine, world):
+        serve(world, "node0")
+        poller, received, _ = make_poller(engine, world)
+        poller.start()
+        engine.run_for(61.0)
+        assert len(received) == 4  # t=15,30,45,60
+        assert poller.successes == 4
+        assert received[0] == ("meteor", "<xml/>")
+
+    def test_sticks_to_first_address_while_healthy(self, engine, world):
+        serve(world, "node0")
+        serve(world, "node1")
+        poller, _, _ = make_poller(engine, world)
+        poller.start()
+        engine.run_for(100.0)
+        assert poller.current_address == Address.gmond("node0")
+        assert poller.failovers == 0
+
+    def test_double_start_rejected(self, engine, world):
+        poller, _, _ = make_poller(engine, world)
+        poller.start()
+        with pytest.raises(RuntimeError):
+            poller.start()
+
+    def test_stop_halts_polling(self, engine, world):
+        serve(world, "node0")
+        poller, received, _ = make_poller(engine, world)
+        poller.start()
+        engine.run_for(20.0)
+        poller.stop()
+        engine.run_for(100.0)
+        assert len(received) == 1
+
+
+class TestFailover:
+    def test_fails_over_to_next_node(self, engine, fabric, world):
+        """Fig. 1: 'gmeta can fail over between nodes.'"""
+        serve(world, "node0")
+        serve(world, "node1")
+        poller, received, downs = make_poller(engine, world)
+        poller.start()
+        engine.run_for(20.0)
+        fabric.set_host_up("node0", False)
+        engine.run_for(50.0)
+        assert poller.current_address == Address.gmond("node1")
+        # polls keep succeeding via the replacement node
+        assert len(received) >= 3
+        assert downs == []  # source never fully down
+
+    def test_source_down_after_all_addresses_fail(self, engine, fabric, world):
+        for i in range(3):
+            serve(world, f"node{i}")
+            fabric.set_host_up(f"node{i}", False)
+        poller, received, downs = make_poller(engine, world)
+        poller.start()
+        engine.run_for(70.0)
+        assert received == []
+        assert len(downs) >= 1
+        assert poller.down_reports >= 1
+
+    def test_retries_at_steady_frequency_after_down(self, engine, fabric, world):
+        """'the monitor will attempt to re-establish contact at a steady
+        frequency' -- and recovers when the cluster returns."""
+        serve(world, "node0")
+        fabric.set_host_up("node0", False)
+        poller, received, downs = make_poller(engine, world, nodes=1)
+        poller.start()
+        engine.run_for(70.0)
+        polls_during_outage = poller.polls
+        assert polls_during_outage >= 4
+        fabric.set_host_up("node0", True)
+        engine.run_for(31.0)
+        assert len(received) >= 1
+
+    def test_failover_cycle_wraps_around(self, engine, fabric, world):
+        serve(world, "node2")
+        fabric.set_host_up("node0", False)
+        fabric.set_host_up("node1", False)
+        poller, received, _ = make_poller(engine, world)
+        poller.start()
+        engine.run_for(60.0)
+        assert poller.current_address == Address.gmond("node2")
+        assert len(received) >= 1
+
+
+class TestOverlapProtection:
+    def test_in_flight_poll_skips_next_tick(self, engine, world):
+        """A response slower than the poll interval must not pile up."""
+        slow = Response("<xml/>", service_seconds=20.0)
+        world.listen(Address.gmond("node0"), lambda c, r: slow)
+        # timeout must be < poll interval per config validation, so use
+        # a short poll interval and a server that answers after 2 ticks
+        poller, received, _ = make_poller(
+            engine, world, nodes=1, poll_interval=15.0, timeout=14.0,
+        )
+        poller.start()
+        engine.run_for(100.0)
+        # every request times out at 14s (service takes 20s) but is never
+        # doubled up: polls <= elapsed / poll_interval
+        assert poller.polls <= 7

@@ -1,0 +1,168 @@
+"""Unit tests for the MDS-style self-organizing tree (§4)."""
+
+import pytest
+
+from repro.core.gmetad import Gmetad
+from repro.core.selforg import (
+    Certificate,
+    CertificateAuthority,
+    JoinAnnouncer,
+    JoinListener,
+    JoinMessage,
+)
+from repro.core.tree import GmetadConfig
+from repro.gmond.pseudo import PseudoGmond
+
+
+@pytest.fixture
+def parent(engine, fabric, tcp):
+    config = GmetadConfig(name="root", host="gmeta-root", archive_mode="account")
+    daemon = Gmetad(engine, fabric, tcp, config)
+    daemon.start()
+    return daemon
+
+
+def make_child(engine, fabric, tcp, rngs, name="child"):
+    pseudo = PseudoGmond(
+        engine, fabric, tcp, f"{name}-cluster", num_hosts=3,
+        rng=rngs.stream(f"pg-{name}"),
+    )
+    config = GmetadConfig(
+        name=name, host=f"gmeta-{name}", archive_mode="account"
+    )
+    config.add_source(f"{name}-cluster", [pseudo.address])
+    daemon = Gmetad(engine, fabric, tcp, config)
+    daemon.start()
+    return daemon
+
+
+class TestCertificateAuthority:
+    def test_issue_and_verify(self):
+        ca = CertificateAuthority("WORLD")
+        cert = ca.issue("child")
+        assert ca.verify(cert, now=0.0)
+
+    def test_wrong_realm_rejected(self):
+        good, evil = CertificateAuthority("WORLD"), CertificateAuthority("EVIL")
+        assert not good.verify(evil.issue("child"), now=0.0)
+
+    def test_tampered_signature_rejected(self):
+        ca = CertificateAuthority("WORLD")
+        cert = ca.issue("child")
+        forged = Certificate(
+            subject="other", realm=cert.realm,
+            not_after=cert.not_after, signature=cert.signature,
+        )
+        assert not ca.verify(forged, now=0.0)
+
+    def test_expired_certificate_rejected(self):
+        ca = CertificateAuthority("WORLD")
+        cert = ca.issue("child", not_after=100.0)
+        assert ca.verify(cert, now=99.0)
+        assert not ca.verify(cert, now=101.0)
+
+
+class TestJoinProtocol:
+    def test_verified_join_adds_data_source(
+        self, engine, fabric, tcp, rngs, parent
+    ):
+        ca = CertificateAuthority("WORLD")
+        listener = JoinListener(parent, ca).start()
+        child = make_child(engine, fabric, tcp, rngs)
+        announcer = JoinAnnouncer(
+            engine, tcp, child, "gmeta-root", ca.issue("child"), interval=20.0
+        ).start()
+        engine.run_for(60.0)
+        assert "child" in parent.pollers
+        assert "child" in parent.datastore.source_names()
+        assert announcer.acks >= 2
+        assert listener.active_children() == ["child"]
+
+    def test_parent_state_includes_joined_child_data(
+        self, engine, fabric, tcp, rngs, parent
+    ):
+        ca = CertificateAuthority("WORLD")
+        JoinListener(parent, ca).start()
+        child = make_child(engine, fabric, tcp, rngs)
+        JoinAnnouncer(
+            engine, tcp, child, "gmeta-root", ca.issue("child"), interval=20.0
+        ).start()
+        engine.run_for(80.0)
+        rollup, _ = parent.datastore.root_summary()
+        assert rollup.hosts_total == 3
+
+    def test_invalid_certificate_never_joins(
+        self, engine, fabric, tcp, rngs, parent
+    ):
+        ca = CertificateAuthority("WORLD")
+        listener = JoinListener(parent, ca).start()
+        child = make_child(engine, fabric, tcp, rngs, name="mallory")
+        evil = CertificateAuthority("EVIL")
+        announcer = JoinAnnouncer(
+            engine, tcp, child, "gmeta-root", evil.issue("mallory"), interval=20.0
+        ).start()
+        engine.run_for(60.0)
+        assert "mallory" not in parent.pollers
+        assert announcer.naks >= 2
+        assert listener.joins_rejected >= 2
+
+    def test_subject_mismatch_rejected(self, engine, fabric, tcp, rngs, parent):
+        ca = CertificateAuthority("WORLD")
+        listener = JoinListener(parent, ca).start()
+        child = make_child(engine, fabric, tcp, rngs, name="imposter")
+        # valid cert, wrong subject
+        JoinAnnouncer(
+            engine, tcp, child, "gmeta-root", ca.issue("somebody-else"),
+            interval=20.0,
+        ).start()
+        engine.run_for(50.0)
+        assert "imposter" not in parent.pollers
+        assert listener.joins_rejected >= 1
+
+    def test_silent_child_pruned(self, engine, fabric, tcp, rngs, parent):
+        """'Nodes are automatically pruned from the tree if their join
+        messages cease.'"""
+        ca = CertificateAuthority("WORLD")
+        listener = JoinListener(parent, ca, lease_seconds=60.0,
+                                prune_interval=20.0).start()
+        child = make_child(engine, fabric, tcp, rngs)
+        announcer = JoinAnnouncer(
+            engine, tcp, child, "gmeta-root", ca.issue("child"), interval=20.0
+        ).start()
+        engine.run_for(60.0)
+        assert "child" in parent.pollers
+        announcer.stop()
+        engine.run_for(120.0)
+        assert "child" not in parent.pollers
+        assert "child" not in parent.datastore.source_names()
+        assert listener.pruned == ["child"]
+
+    def test_rejoin_after_prune(self, engine, fabric, tcp, rngs, parent):
+        ca = CertificateAuthority("WORLD")
+        JoinListener(parent, ca, lease_seconds=60.0, prune_interval=20.0).start()
+        child = make_child(engine, fabric, tcp, rngs)
+        announcer = JoinAnnouncer(
+            engine, tcp, child, "gmeta-root", ca.issue("child"), interval=20.0
+        ).start()
+        engine.run_for(60.0)
+        announcer.stop()
+        engine.run_for(120.0)
+        assert "child" not in parent.pollers
+        # the child comes back
+        announcer2 = JoinAnnouncer(
+            engine, tcp, child, "gmeta-root", ca.issue("child"), interval=20.0
+        ).start()
+        engine.run_for(60.0)
+        assert "child" in parent.pollers
+
+    def test_malformed_join_message_nak(self, engine, fabric, tcp, parent):
+        ca = CertificateAuthority("WORLD")
+        listener = JoinListener(parent, ca).start()
+        fabric.add_host("random-sender")
+        responses = []
+        tcp.request(
+            "random-sender", listener.address, "not-a-join-message",
+            lambda p, rtt: responses.append(str(p)),
+        )
+        engine.run_for(2.0)
+        assert responses and responses[0].startswith("NAK")

@@ -1,0 +1,145 @@
+"""Unit tests for the additive summarizer (§2.2)."""
+
+import pytest
+
+from repro.core.summarize import merge_summaries, summarize_cluster, summarize_grid
+from repro.metrics.catalog import Slope
+from repro.metrics.types import MetricType
+from repro.wire.model import (
+    ClusterElement,
+    GridElement,
+    HostElement,
+    MetricElement,
+    MetricSummary,
+    SummaryInfo,
+)
+
+
+def make_cluster(loads, tn=1.0):
+    cluster = ClusterElement(name="meteor")
+    for i, load in enumerate(loads):
+        host = HostElement(name=f"h{i}", tn=tn)
+        host.add_metric(
+            MetricElement("load_one", str(load), MetricType.FLOAT)
+        )
+        host.add_metric(
+            MetricElement("cpu_num", "2", MetricType.UINT16, units="CPUs",
+                          slope=Slope.ZERO)
+        )
+        host.add_metric(MetricElement("os_name", "Linux", MetricType.STRING))
+        cluster.add_host(host)
+    return cluster
+
+
+class TestSummarizeCluster:
+    def test_sum_and_num(self):
+        summary, samples = summarize_cluster(make_cluster([0.5, 1.0, 1.5]))
+        load = summary.metrics["load_one"]
+        assert load.total == pytest.approx(3.0)
+        assert load.num == 3
+        assert load.mean() == pytest.approx(1.0)
+        assert summary.metrics["cpu_num"].total == 6
+        assert samples == 6  # 2 numeric metrics x 3 hosts
+
+    def test_paper_example_shape(self):
+        """Fig. 3: cpu_num SUM=20 NUM=10 for a 10-host dual-CPU grid."""
+        summary, _ = summarize_cluster(make_cluster([0.1] * 10))
+        assert summary.metrics["cpu_num"].total == 20
+        assert summary.metrics["cpu_num"].num == 10
+
+    def test_string_metrics_excluded(self):
+        """'Non-numeric metrics are only visible in the highest-resolution
+        cluster views.'"""
+        summary, _ = summarize_cluster(make_cluster([1.0]))
+        assert "os_name" not in summary.metrics
+
+    def test_up_down_counting(self):
+        cluster = make_cluster([1.0, 1.0])
+        cluster.add_host(HostElement(name="dead", tn=500.0))
+        summary, _ = summarize_cluster(cluster, heartbeat_window=80.0)
+        assert summary.hosts_up == 2
+        assert summary.hosts_down == 1
+
+    def test_down_host_values_excluded(self):
+        """A silent host's stale values must not pollute the reduction."""
+        cluster = make_cluster([1.0, 1.0])
+        dead = HostElement(name="dead", tn=500.0)
+        dead.add_metric(MetricElement("load_one", "99.0", MetricType.FLOAT))
+        cluster.add_host(dead)
+        summary, _ = summarize_cluster(cluster)
+        assert summary.metrics["load_one"].total == pytest.approx(2.0)
+        assert summary.metrics["load_one"].num == 2
+
+    def test_malformed_value_skipped(self):
+        cluster = ClusterElement(name="c")
+        host = HostElement(name="h", tn=0.0)
+        host.add_metric(MetricElement("m", "not-a-number", MetricType.FLOAT))
+        cluster.add_host(host)
+        summary, samples = summarize_cluster(cluster)
+        assert "m" not in summary.metrics
+        assert samples == 0
+
+    def test_summary_form_passthrough_is_free(self):
+        cluster = ClusterElement(name="c")
+        cluster.summary = SummaryInfo(hosts_up=5)
+        summary, samples = summarize_cluster(cluster)
+        assert summary is cluster.summary
+        assert samples == 0
+
+    def test_empty_cluster(self):
+        summary, samples = summarize_cluster(ClusterElement(name="c"))
+        assert summary.hosts_total == 0
+        assert samples == 0
+
+
+class TestSummarizeGrid:
+    def test_rolls_up_clusters_and_subgrids(self):
+        grid = GridElement(name="g", authority="u")
+        grid.add_cluster(make_cluster([1.0, 2.0]))
+        sub = GridElement(
+            name="sub", authority="u2",
+            summary=SummaryInfo(hosts_up=4, hosts_down=1),
+        )
+        sub.summary.add_metric(
+            MetricSummary("load_one", total=8.0, num=4, mtype=MetricType.FLOAT)
+        )
+        grid.add_grid(sub)
+        summary, _ = summarize_grid(grid)
+        assert summary.hosts_up == 6
+        assert summary.hosts_down == 1
+        assert summary.metrics["load_one"].total == pytest.approx(11.0)
+        assert summary.metrics["load_one"].num == 6
+
+    def test_summary_form_grid_passthrough(self):
+        grid = GridElement(
+            name="g", authority="u", summary=SummaryInfo(hosts_up=2)
+        )
+        summary, samples = summarize_grid(grid)
+        assert summary is grid.summary
+        assert samples == 0
+
+
+class TestMergeSummaries:
+    def test_merge_counts_operations(self):
+        a = SummaryInfo(hosts_up=1)
+        a.add_metric(MetricSummary("x", 1.0, 1))
+        b = SummaryInfo(hosts_up=2)
+        b.add_metric(MetricSummary("x", 2.0, 1))
+        b.add_metric(MetricSummary("y", 5.0, 2))
+        merged, operations = merge_summaries([a, b])
+        assert merged.hosts_up == 3
+        assert merged.metrics["x"].total == 3.0
+        assert merged.metrics["y"].num == 2
+        assert operations == 3
+
+    def test_merge_empty_list(self):
+        merged, operations = merge_summaries([])
+        assert merged.hosts_total == 0
+        assert operations == 0
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary("a", 1.0, 1).merged(MetricSummary("b", 1.0, 1))
+
+    def test_mean_of_empty_summary_is_zero(self):
+        assert MetricSummary("x", 0.0, 0).mean() == 0.0

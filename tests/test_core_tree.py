@@ -1,0 +1,116 @@
+"""Unit tests for monitoring-tree configuration."""
+
+import pytest
+
+from repro.core.tree import DataSourceConfig, GmetadConfig, MonitorTree
+from repro.net.address import Address
+
+
+def address(n=0):
+    return Address(f"host{n}", 8649)
+
+
+class TestDataSourceConfig:
+    def test_valid(self):
+        source = DataSourceConfig("meteor", [address()])
+        assert source.poll_interval == 15.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            DataSourceConfig("", [address()])
+
+    def test_no_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            DataSourceConfig("m", [])
+
+    def test_timeout_must_undercut_poll_interval(self):
+        with pytest.raises(ValueError):
+            DataSourceConfig("m", [address()], poll_interval=10.0, timeout=10.0)
+
+    def test_bad_poll_interval_rejected(self):
+        with pytest.raises(ValueError):
+            DataSourceConfig("m", [address()], poll_interval=0.0)
+
+
+class TestGmetadConfig:
+    def test_defaults_derived(self):
+        config = GmetadConfig(name="sdsc", host="gmeta-sdsc")
+        assert config.gridname == "sdsc"
+        assert "gmeta-sdsc" in config.authority_url
+
+    def test_add_source_inherits_intervals(self):
+        config = GmetadConfig(name="x", host="h", poll_interval=30.0, timeout=5.0)
+        source = config.add_source("c", [address()])
+        assert source.poll_interval == 30.0
+        assert source.timeout == 5.0
+
+
+class TestMonitorTree:
+    def build(self):
+        tree = MonitorTree()
+        for name in ("root", "ucsd", "sdsc", "physics"):
+            tree.add_gmetad(GmetadConfig(name=name, host=f"gmeta-{name}"))
+        tree.add_trust("root", "ucsd")
+        tree.add_trust("root", "sdsc")
+        tree.add_trust("ucsd", "physics")
+        return tree
+
+    def test_duplicate_gmetad_rejected(self):
+        tree = MonitorTree()
+        tree.add_gmetad(GmetadConfig(name="a", host="h"))
+        with pytest.raises(ValueError):
+            tree.add_gmetad(GmetadConfig(name="a", host="h2"))
+
+    def test_trust_adds_data_source_to_parent(self):
+        tree = self.build()
+        root_sources = [s.name for s in tree.config("root").data_sources]
+        assert root_sources == ["ucsd", "sdsc"]
+        # and the address points at the child's gmetad port
+        source = tree.config("root").data_sources[0]
+        assert source.addresses[0] == Address.gmetad("gmeta-ucsd")
+
+    def test_parent_children_accessors(self):
+        tree = self.build()
+        assert tree.parent("physics") == "ucsd"
+        assert tree.parent("root") is None
+        assert tree.children("root") == ["ucsd", "sdsc"]
+        assert tree.roots() == ["root"]
+
+    def test_second_parent_rejected(self):
+        tree = self.build()
+        with pytest.raises(ValueError):
+            tree.add_trust("sdsc", "physics")
+
+    def test_cycle_rejected(self):
+        tree = MonitorTree()
+        tree.add_gmetad(GmetadConfig(name="a", host="ha"))
+        tree.add_gmetad(GmetadConfig(name="b", host="hb"))
+        tree.add_trust("a", "b")
+        with pytest.raises(ValueError):
+            tree.add_trust("b", "a")
+
+    def test_self_trust_rejected(self):
+        tree = MonitorTree()
+        tree.add_gmetad(GmetadConfig(name="a", host="ha"))
+        with pytest.raises(ValueError):
+            tree.add_trust("a", "a")
+
+    def test_unknown_nodes_rejected(self):
+        tree = self.build()
+        with pytest.raises(KeyError):
+            tree.add_trust("root", "nowhere")
+        with pytest.raises(KeyError):
+            tree.add_trust("nowhere", "root")
+
+    def test_walk_children_before_parents(self):
+        tree = self.build()
+        order = list(tree.walk_depth_first())
+        assert order.index("physics") < order.index("ucsd")
+        assert order.index("ucsd") < order.index("root")
+        assert order.index("sdsc") < order.index("root")
+        assert sorted(order) == ["physics", "root", "sdsc", "ucsd"]
+
+    def test_is_leaf(self):
+        tree = self.build()
+        assert tree.is_leaf_gmetad("physics")
+        assert not tree.is_leaf_gmetad("root")

@@ -1,0 +1,128 @@
+"""Tests for fault injection and declarative schedules."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedules import FaultEvent, FaultSchedule
+from repro.gmond.pseudo import PseudoGmond
+
+
+@pytest.fixture
+def injector(engine, fabric):
+    for name in ("a", "b", "c"):
+        fabric.add_host(name)
+    return FaultInjector(engine, fabric)
+
+
+class TestInjector:
+    def test_crash_and_auto_recover(self, injector, engine, fabric):
+        injector.crash_host("a", at=10.0, duration=20.0)
+        engine.run_for(15.0)
+        assert not fabric.host("a").up
+        engine.run_for(20.0)
+        assert fabric.host("a").up
+        actions = [entry[1] for entry in injector.log]
+        assert actions == ["crash", "recover"]
+
+    def test_permanent_crash(self, injector, engine, fabric):
+        injector.crash_host("a", at=5.0)
+        engine.run_for(1000.0)
+        assert not fabric.host("a").up
+
+    def test_explicit_recover(self, injector, engine, fabric):
+        injector.crash_host("a", at=1.0)
+        injector.recover_host("a", at=50.0)
+        engine.run_for(60.0)
+        assert fabric.host("a").up
+
+    def test_flapping(self, injector, engine, fabric):
+        injector.flap_host("a", period=20.0, down_fraction=0.5)
+        up_samples, down_samples = 0, 0
+        for _ in range(40):
+            engine.run_for(2.5)
+            if fabric.host("a").up:
+                up_samples += 1
+            else:
+                down_samples += 1
+        assert up_samples > 5
+        assert down_samples > 5
+        injector.stop_flapping()
+        engine.run_for(100.0)
+        assert fabric.host("a").up
+
+    def test_bad_down_fraction_rejected(self, injector):
+        with pytest.raises(ValueError):
+            injector.flap_host("a", period=10.0, down_fraction=1.5)
+
+    def test_partition_and_heal(self, injector, engine, fabric):
+        injector.partition(["a"], ["b", "c"], at=5.0, duration=10.0)
+        engine.run_for(7.0)
+        assert not fabric.reachable("a", "b")
+        assert fabric.reachable("b", "c")
+        engine.run_for(10.0)
+        assert fabric.reachable("a", "b")
+
+    def test_kill_pseudo_host(self, injector, engine, fabric, tcp, rngs):
+        pseudo = PseudoGmond(
+            engine, fabric, tcp, "m", num_hosts=4, rng=rngs.stream("pg")
+        )
+        injector.kill_pseudo_host(pseudo, 2, at=5.0, duration=30.0)
+        engine.run_for(10.0)
+        assert pseudo.down_hosts == {2}
+        engine.run_for(30.0)
+        assert pseudo.down_hosts == set()
+
+
+class TestFaultEvents:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, action="explode", host="a")
+
+    def test_crash_requires_host(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, action="crash")
+
+    def test_partition_requires_groups(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, action="partition", group_a=["a"])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=-1.0, action="crash", host="a")
+
+
+class TestFaultSchedule:
+    def test_apply_executes_all_events(self, injector, engine, fabric):
+        schedule = FaultSchedule()
+        schedule.add(FaultEvent(at=5.0, action="crash", host="a", duration=10.0))
+        schedule.add(
+            FaultEvent(at=8.0, action="partition",
+                       group_a=("b",), group_b=("c",), duration=5.0)
+        )
+        schedule.apply(injector)
+        engine.run_for(9.0)
+        assert not fabric.host("a").up
+        assert not fabric.reachable("b", "c")
+        engine.run_for(20.0)
+        assert fabric.host("a").up
+        assert fabric.reachable("b", "c")
+
+    def test_horizon(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(at=10.0, action="crash", host="a", duration=50.0),
+                FaultEvent(at=30.0, action="crash", host="b"),
+            ]
+        )
+        assert schedule.horizon() == 60.0
+
+    def test_flap_event(self, injector, engine, fabric):
+        schedule = FaultSchedule(
+            [FaultEvent(at=1.0, action="flap", host="a", period=10.0)]
+        )
+        schedule.apply(injector)
+        saw_down = False
+        for _ in range(20):
+            engine.run_for(2.0)
+            saw_down = saw_down or not fabric.host("a").up
+        assert saw_down

@@ -1,0 +1,168 @@
+"""Tests for the web-frontend emulation: cost model, views, viewer."""
+
+import pytest
+
+from repro.frontend.costmodel import PhpSaxCostModel
+from repro.frontend.viewer import ViewError, WebFrontend
+from repro.frontend.views import (
+    ClusterView,
+    HostView,
+    MetaView,
+    ViewBuildError,
+    build_view,
+)
+from repro.net.address import Address
+from repro.wire.parser import parse_document
+
+
+class TestCostModel:
+    def test_parse_seconds_linear_in_bytes(self):
+        costs = PhpSaxCostModel()
+        small = costs.parse_seconds(1000, 10)
+        big = costs.parse_seconds(2_001_000, 10)
+        assert big > small
+        assert big - small == pytest.approx(
+            costs.seconds_per_byte * 2_000_000
+        )
+
+    def test_events_contribute(self):
+        costs = PhpSaxCostModel()
+        assert costs.parse_seconds(0, 1000) > costs.parse_seconds(0, 0)
+
+    def test_one_level_full_dump_costs_about_two_seconds(self):
+        """Calibration anchor: ~2.5 MB + ~41k events -> ~2 s (paper 2.09)."""
+        costs = PhpSaxCostModel()
+        seconds = costs.parse_seconds(2_470_000, 41_000)
+        assert 1.5 < seconds < 2.6
+
+
+class TestViewBuilding:
+    @pytest.fixture
+    def sdsc_full_doc(self, warm_1level_federation):
+        xml, _ = warm_1level_federation.gmetad("sdsc").serve_query("/")
+        return parse_document(xml)
+
+    @pytest.fixture
+    def sdsc_summary_doc(self, warm_nlevel_federation):
+        xml, _ = warm_nlevel_federation.gmetad("sdsc").serve_query(
+            "/?filter=summary"
+        )
+        return parse_document(xml)
+
+    def test_meta_view_from_full_dump_computes_summaries(self, sdsc_full_doc):
+        view = build_view(sdsc_full_doc, "meta")
+        assert isinstance(view, MetaView)
+        assert len(view.rows) == 6  # sdsc's subtree: 3 local + 3 attic clusters
+        assert view.samples_summarized > 0  # frontend did the reductions
+        up, down = view.total_hosts
+        assert up == 6 * 8
+
+    def test_meta_view_from_summaries_is_free(self, sdsc_summary_doc):
+        view = build_view(sdsc_summary_doc, "meta")
+        assert view.samples_summarized == 0  # gmetad already reduced
+        assert len(view.rows) == 4  # 3 local clusters + attic grid
+        grid_rows = [r for r in view.rows if r.kind == "grid"]
+        assert len(grid_rows) == 1
+        assert grid_rows[0].hosts_up == 3 * 8
+        assert grid_rows[0].authority  # pointer for drill-down
+
+    def test_cluster_view(self, sdsc_full_doc):
+        view = build_view(sdsc_full_doc, "cluster", cluster="sdsc-c0")
+        assert isinstance(view, ClusterView)
+        assert len(view.hosts) == 8
+        assert view.up_count == 8
+        assert view.hosts[0].load_one is not None
+
+    def test_cluster_view_missing_cluster_raises(self, sdsc_full_doc):
+        with pytest.raises(ViewBuildError):
+            build_view(sdsc_full_doc, "cluster", cluster="ghost")
+
+    def test_host_view(self, sdsc_full_doc):
+        view = build_view(
+            sdsc_full_doc, "host", cluster="sdsc-c0", host="sdsc-c0-0-3"
+        )
+        assert isinstance(view, HostView)
+        assert view.up
+        assert "load_one" in view.metrics
+        assert len(view.metrics) == 33
+
+    def test_host_view_missing_host_raises(self, sdsc_full_doc):
+        with pytest.raises(ViewBuildError):
+            build_view(sdsc_full_doc, "host", cluster="sdsc-c0", host="nope")
+
+    def test_view_kind_validation(self, sdsc_full_doc):
+        with pytest.raises(ValueError):
+            build_view(sdsc_full_doc, "dashboard")
+        with pytest.raises(ValueError):
+            build_view(sdsc_full_doc, "cluster")  # missing cluster name
+        with pytest.raises(ValueError):
+            build_view(sdsc_full_doc, "host", cluster="c")  # missing host
+
+
+class TestWebFrontend:
+    def test_query_selection_by_design(self, warm_nlevel_federation):
+        federation = warm_nlevel_federation
+        viewer = WebFrontend(
+            federation.engine, federation.fabric, federation.tcp,
+            target=federation.gmetad("sdsc").address, design="nlevel",
+            host="wf-test-1",
+        )
+        assert viewer.query_for("meta") == "/?filter=summary"
+        assert viewer.query_for("cluster", "c") == "/c"
+        assert viewer.query_for("host", "c", "h") == "/c/h"
+        one_level = WebFrontend(
+            federation.engine, federation.fabric, federation.tcp,
+            target=federation.gmetad("sdsc").address, design="1level",
+            host="wf-test-2",
+        )
+        for view in ("meta", "cluster", "host"):
+            assert one_level.query_for(view, "c", "h") == "/"
+
+    def test_bad_design_rejected(self, warm_nlevel_federation):
+        federation = warm_nlevel_federation
+        with pytest.raises(ValueError):
+            WebFrontend(
+                federation.engine, federation.fabric, federation.tcp,
+                target=Address("gmeta-root", 8651), design="2level",
+                host="wf-test-3",
+            )
+
+    def test_render_view_returns_page_and_timing(self, warm_nlevel_federation):
+        federation = warm_nlevel_federation
+        viewer = WebFrontend(
+            federation.engine, federation.fabric, federation.tcp,
+            target=federation.gmetad("sdsc").address, design="nlevel",
+            host="wf-test-4",
+        )
+        page, timing = viewer.render_view("host", cluster="sdsc-c1",
+                                          host="sdsc-c1-0-2")
+        assert isinstance(page, HostView)
+        assert timing.total_seconds > 0
+        assert timing.bytes_received < 10_000  # one host only
+        assert timing.download_seconds > 0
+        assert timing.parse_seconds > 0
+
+    def test_host_view_much_cheaper_than_cluster_view(
+        self, warm_nlevel_federation
+    ):
+        federation = warm_nlevel_federation
+        viewer = WebFrontend(
+            federation.engine, federation.fabric, federation.tcp,
+            target=federation.gmetad("sdsc").address, design="nlevel",
+            host="wf-test-5",
+        )
+        _, host_timing = viewer.render_view(
+            "host", cluster="sdsc-c1", host="sdsc-c1-0-2"
+        )
+        _, cluster_timing = viewer.render_view("cluster", cluster="sdsc-c1")
+        assert host_timing.total_seconds < cluster_timing.total_seconds
+
+    def test_timeout_surfaces_as_view_error(self, warm_nlevel_federation):
+        federation = warm_nlevel_federation
+        viewer = WebFrontend(
+            federation.engine, federation.fabric, federation.tcp,
+            target=Address("gmeta-sdsc", 9999),  # nothing listens here
+            design="nlevel", host="wf-test-6", request_timeout=2.0,
+        )
+        with pytest.raises(ViewError):
+            viewer.render_view("meta")

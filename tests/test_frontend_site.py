@@ -1,0 +1,79 @@
+"""Tests for static site generation."""
+
+import pytest
+
+from repro.bench.topology import build_paper_tree
+from repro.frontend.site import generate_federation_site, generate_gmetad_pages
+
+
+@pytest.fixture(scope="module")
+def federation():
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=4, archive_mode="account"
+    )
+    federation.start()
+    federation.engine.run_for(60.0)
+    yield federation
+    federation.stop()
+
+
+class TestGmetadPages:
+    def test_pages_written(self, federation, tmp_path):
+        sdsc = federation.gmetad("sdsc")
+        count = generate_gmetad_pages(sdsc, tmp_path)
+        # index + 3 local clusters + 3*4 hosts
+        assert count == 1 + 3 + 12
+        assert (tmp_path / "index.html").exists()
+        assert (tmp_path / "cluster-sdsc-c0.html").exists()
+        assert (tmp_path / "host-sdsc-c0-sdsc-c0-0-3.html").exists()
+
+    def test_index_links_local_clusters(self, federation, tmp_path):
+        generate_gmetad_pages(federation.gmetad("sdsc"), tmp_path)
+        index = (tmp_path / "index.html").read_text()
+        assert 'href="cluster-sdsc-c1.html"' in index
+
+    def test_grid_rows_link_externally_without_map(self, federation, tmp_path):
+        generate_gmetad_pages(federation.gmetad("sdsc"), tmp_path)
+        index = (tmp_path / "index.html").read_text()
+        assert "http://gmeta-attic:8651/" in index
+
+    def test_host_page_contents(self, federation, tmp_path):
+        generate_gmetad_pages(federation.gmetad("attic"), tmp_path)
+        page = (tmp_path / "host-attic-c2-attic-c2-0-0.html").read_text()
+        assert "load_one" in page
+        assert "cpu_num" in page
+
+    def test_aggregator_writes_only_index(self, federation, tmp_path):
+        count = generate_gmetad_pages(federation.gmetad("root"), tmp_path)
+        assert count == 1  # root holds only remote grid summaries
+
+
+class TestFederationSite:
+    def test_whole_tree(self, federation, tmp_path):
+        total = generate_federation_site(federation.gmetads, tmp_path)
+        assert (tmp_path / "index.html").exists()
+        for name in federation.gmetads:
+            assert (tmp_path / name / "index.html").exists()
+        # 6 indexes + federation index + 12 clusters + 12*4 hosts
+        assert total == 1 + 6 + 12 + 48
+
+    def test_authority_links_resolve_internally(self, federation, tmp_path):
+        generate_federation_site(federation.gmetads, tmp_path)
+        root_index = (tmp_path / "root" / "index.html").read_text()
+        assert 'href="../sdsc/index.html"' in root_index
+        assert "http://gmeta-sdsc:8651/" not in root_index
+        sdsc_index = (tmp_path / "sdsc" / "index.html").read_text()
+        assert 'href="../attic/index.html"' in sdsc_index
+
+    def test_every_linked_page_exists(self, federation, tmp_path):
+        """No dangling internal links anywhere in the generated site."""
+        import re
+
+        generate_federation_site(federation.gmetads, tmp_path)
+        href_re = re.compile(r'href="([^"]+)"')
+        for page in tmp_path.rglob("*.html"):
+            for href in href_re.findall(page.read_text()):
+                if href.startswith("http"):
+                    continue
+                target = (page.parent / href).resolve()
+                assert target.exists(), f"{page}: dangling link {href}"

@@ -1,0 +1,129 @@
+"""Unit tests for gmond's soft-state cluster view."""
+
+import pytest
+
+from repro.gmond.config import GmondConfig
+from repro.gmond.state import ClusterState
+from repro.metrics.types import MetricSample, MetricType
+
+
+def sample(name="load_one", value=0.5, dmax=0.0):
+    return MetricSample(
+        name=name, value=value, mtype=MetricType.FLOAT, dmax=dmax
+    )
+
+
+@pytest.fixture
+def state():
+    return ClusterState(GmondConfig(cluster_name="meteor"))
+
+
+class TestConfig:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            GmondConfig(cluster_name="")
+
+    def test_bad_heartbeat_rejected(self):
+        with pytest.raises(ValueError):
+            GmondConfig(cluster_name="c", heartbeat_interval=0)
+
+    def test_window_shorter_than_interval_rejected(self):
+        with pytest.raises(ValueError):
+            GmondConfig(
+                cluster_name="c", heartbeat_interval=20, heartbeat_window=10
+            )
+
+
+class TestUpdates:
+    def test_new_host_learned_from_metric(self, state):
+        state.on_metric("h1", sample(), now=10.0, ip="10.0.0.1")
+        record = state.host("h1")
+        assert record is not None
+        assert record.ip == "10.0.0.1"
+        assert record.first_heard == 10.0
+        assert "load_one" in record.metrics
+
+    def test_metric_refresh_updates_value_and_time(self, state):
+        state.on_metric("h1", sample(value=0.5), now=10.0)
+        state.on_metric("h1", sample(value=0.9), now=30.0)
+        record = state.host("h1")
+        assert record.metrics["load_one"].value == 0.9
+        assert record.metrics["load_one"].reported_at == 30.0
+        assert record.last_heard == 30.0
+
+    def test_samples_are_copied_in(self, state):
+        original = sample()
+        state.on_metric("h1", original, now=5.0)
+        original.value = 999.0
+        assert state.host("h1").metrics["load_one"].value == 0.5
+
+    def test_metrics_received_counter(self, state):
+        for i in range(5):
+            state.on_metric("h1", sample(), now=float(i))
+        assert state.metrics_received == 5
+
+
+class TestExpiry:
+    def test_metric_dmax_expiry(self, state):
+        state.on_metric("h1", sample(name="user_metric", dmax=30.0), now=0.0)
+        state.on_metric("h1", sample(name="load_one"), now=0.0)
+        state.expire(now=31.0)
+        record = state.host("h1")
+        assert "user_metric" not in record.metrics
+        assert "load_one" in record.metrics  # dmax=0: kept forever
+
+    def test_host_dmax_removes_silent_hosts(self):
+        config = GmondConfig(cluster_name="c", host_dmax=100.0)
+        state = ClusterState(config)
+        state.on_metric("old", sample(), now=0.0)
+        state.on_metric("fresh", sample(), now=90.0)
+        removed = state.expire(now=120.0)
+        assert removed == 1
+        assert state.host("old") is None
+        assert state.host("fresh") is not None
+
+    def test_zero_host_dmax_keeps_hosts_forever(self, state):
+        state.on_metric("h1", sample(), now=0.0)
+        state.expire(now=1e9)
+        assert state.host("h1") is not None
+
+
+class TestLiveness:
+    def test_up_down_counts(self, state):
+        state.on_metric("alive", sample(), now=100.0)
+        state.on_metric("dead", sample(), now=0.0)
+        up, down = state.up_down_counts(now=110.0)
+        assert (up, down) == (1, 1)
+
+    def test_all_up_when_fresh(self, state):
+        for i in range(4):
+            state.on_metric(f"h{i}", sample(), now=50.0)
+        assert state.up_down_counts(now=60.0) == (4, 0)
+
+
+class TestRendering:
+    def test_to_cluster_element(self, state):
+        state.on_metric("h1", sample(), now=10.0, ip="10.1.1.1")
+        state.on_metric(
+            "h1",
+            MetricSample(name="cpu_num", value=2, mtype=MetricType.UINT16),
+            now=10.0,
+        )
+        cluster = state.to_cluster_element(now=15.0)
+        assert cluster.name == "meteor"
+        assert cluster.localtime == 15.0
+        host = cluster.hosts["h1"]
+        assert host.ip == "10.1.1.1"
+        assert host.tn == 5.0
+        assert host.metrics["load_one"].val == "0.5"
+        assert host.metrics["cpu_num"].val == "2"
+
+    def test_rendered_metric_tn_relative_to_now(self, state):
+        state.on_metric("h1", sample(), now=10.0)
+        cluster = state.to_cluster_element(now=40.0)
+        assert cluster.hosts["h1"].metrics["load_one"].tn == 30.0
+
+    def test_empty_state_renders_empty_cluster(self, state):
+        cluster = state.to_cluster_element(now=0.0)
+        assert cluster.hosts == {}
+        assert not cluster.is_summary  # full form, just empty

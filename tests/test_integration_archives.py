@@ -1,0 +1,105 @@
+"""Integration tests for archiving: RRD content end-to-end.
+
+Runs a federation in full-archive mode and checks that the histories a
+gmetad writes reflect what the cluster reported -- including the
+"zero record during the downtime" forensics the paper highlights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gmetad import Gmetad
+from repro.core.tree import GmetadConfig
+from repro.gmond.pseudo import PseudoGmond
+from repro.metrics.catalog import MetricDef
+from repro.metrics.types import MetricType
+from repro.rrd.store import SUMMARY_HOST, MetricKey
+
+
+@pytest.fixture
+def monitored(engine, fabric, tcp, rngs):
+    defs = [
+        MetricDef("load_one", MetricType.FLOAT, collect_every=15, tmax=70,
+                  value_range=(2.0, 2.0)),  # constant 2.0: easy to assert
+        MetricDef("cpu_num", MetricType.UINT16, collect_every=1200, tmax=1200,
+                  value_range=(2, 2)),
+    ]
+    pseudo = PseudoGmond(
+        engine, fabric, tcp, "meteor", num_hosts=3,
+        rng=rngs.stream("pg"), metric_defs=defs,
+    )
+    config = GmetadConfig(name="mon", host="gmeta-mon", archive_mode="full")
+    config.add_source("meteor", [pseudo.address])
+    daemon = Gmetad(engine, fabric, tcp, config)
+    daemon.start()
+    return daemon, pseudo
+
+
+class TestArchiveContent:
+    def test_host_history_matches_reported_values(self, monitored, engine):
+        daemon, _ = monitored
+        engine.run_for(300.0)
+        key = MetricKey("meteor", "meteor", "meteor-0-0", "load_one")
+        db = daemon.rrd_store.database(key)
+        assert db is not None
+        db.flush(engine.now)
+        times, values, _ = db.fetch(0.0, engine.now)
+        known = values[~np.isnan(values)]
+        assert len(known) >= 10
+        np.testing.assert_allclose(known, 2.0)
+
+    def test_summary_history_tracks_cluster_sum(self, monitored, engine):
+        daemon, _ = monitored
+        engine.run_for(300.0)
+        key = MetricKey("meteor", "meteor", SUMMARY_HOST, "load_one")
+        db = daemon.rrd_store.database(key)
+        db.flush(engine.now)
+        _, values, _ = db.fetch(0.0, engine.now)
+        known = values[~np.isnan(values)]
+        np.testing.assert_allclose(known, 6.0)  # 3 hosts x 2.0
+
+    def test_num_series_tracks_set_size(self, monitored, engine):
+        daemon, _ = monitored
+        engine.run_for(300.0)
+        key = MetricKey("meteor", "meteor", SUMMARY_HOST, "load_one.num")
+        db = daemon.rrd_store.database(key)
+        db.flush(engine.now)
+        _, values, _ = db.fetch(0.0, engine.now)
+        known = values[~np.isnan(values)]
+        np.testing.assert_allclose(known, 3.0)
+
+    def test_zero_records_during_host_downtime(self, monitored, engine):
+        """Time-of-death forensics: the dead host's series goes to zero,
+        the survivors' series keep their values."""
+        daemon, pseudo = monitored
+        engine.run_for(150.0)
+        pseudo.set_host_down(0)
+        death_time = engine.now
+        engine.run_for(400.0)
+        dead_db = daemon.rrd_store.database(
+            MetricKey("meteor", "meteor", "meteor-0-0", "load_one")
+        )
+        alive_db = daemon.rrd_store.database(
+            MetricKey("meteor", "meteor", "meteor-0-1", "load_one")
+        )
+        dead_db.flush(engine.now)
+        alive_db.flush(engine.now)
+        # after the heartbeat window passed, the dead host's archive
+        # shows zeros while the live one shows the real value
+        _, dead_values, _ = dead_db.fetch(death_time + 120.0, engine.now)
+        _, alive_values, _ = alive_db.fetch(death_time + 120.0, engine.now)
+        dead_known = dead_values[~np.isnan(dead_values)]
+        alive_known = alive_values[~np.isnan(alive_values)]
+        assert len(dead_known) > 0
+        np.testing.assert_allclose(dead_known, 0.0)
+        np.testing.assert_allclose(alive_known, 2.0)
+
+    def test_summary_shrinks_when_host_dies(self, monitored, engine):
+        daemon, pseudo = monitored
+        engine.run_for(150.0)
+        pseudo.set_host_down(0)
+        engine.run_for(400.0)
+        snapshot = daemon.datastore.source("meteor")
+        assert snapshot.summary.hosts_down == 1
+        assert snapshot.summary.metrics["load_one"].total == pytest.approx(4.0)
+        assert snapshot.summary.metrics["load_one"].num == 2

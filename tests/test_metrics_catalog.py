@@ -1,0 +1,84 @@
+"""Unit tests for the builtin metric catalog."""
+
+import pytest
+
+from repro.metrics.catalog import (
+    BUILTIN_METRICS,
+    CONSTANT_METRICS,
+    VOLATILE_METRICS,
+    Slope,
+    builtin_catalog,
+    metric_def,
+    user_metric,
+)
+from repro.metrics.types import MetricType
+
+
+class TestBuiltinCatalog:
+    def test_about_thirty_metrics(self):
+        """Fig. 3 caption: 'about 30 monitoring metrics' per node."""
+        assert 28 <= len(BUILTIN_METRICS) <= 40
+
+    def test_names_unique(self):
+        names = [m.name for m in BUILTIN_METRICS]
+        assert len(names) == len(set(names))
+
+    def test_core_gmond_metrics_present(self):
+        names = {m.name for m in BUILTIN_METRICS}
+        for expected in (
+            "cpu_num", "load_one", "load_five", "load_fifteen",
+            "mem_free", "bytes_in", "bytes_out", "heartbeat",
+            "machine_type", "os_name",
+        ):
+            assert expected in names
+
+    def test_constant_plus_volatile_is_everything(self):
+        assert sorted(CONSTANT_METRICS + VOLATILE_METRICS) == sorted(
+            m.name for m in BUILTIN_METRICS
+        )
+
+    def test_constant_metrics_have_zero_slope(self):
+        for name in CONSTANT_METRICS:
+            assert metric_def(name).slope is Slope.ZERO
+
+    def test_heartbeat_is_frequent(self):
+        heartbeat = metric_def("heartbeat")
+        assert heartbeat.tmax <= 30.0
+
+    def test_load_one_reports_often(self):
+        assert metric_def("load_one").collect_every <= 20.0
+
+    def test_every_metric_has_sane_ranges(self):
+        for metric in BUILTIN_METRICS:
+            lo, hi = metric.value_range
+            assert lo <= hi, metric.name
+            assert metric.collect_every > 0
+            assert metric.tmax >= metric.collect_every * 0.5
+
+    def test_builtin_catalog_returns_fresh_list(self):
+        catalog = builtin_catalog()
+        catalog.pop()
+        assert len(builtin_catalog()) == len(BUILTIN_METRICS)
+
+    def test_metric_def_unknown_raises(self):
+        with pytest.raises(KeyError):
+            metric_def("bogus_metric")
+
+
+class TestUserMetrics:
+    def test_user_metric_creation(self):
+        metric = user_metric("app_queue_depth", MetricType.UINT32, units="jobs")
+        assert metric.name == "app_queue_depth"
+        assert metric.units == "jobs"
+
+    def test_user_metric_gets_dmax(self):
+        """gmetric values must expire when the publisher stops (soft state)."""
+        metric = user_metric("ephemeral")
+        assert metric.dmax > 0
+
+    def test_user_metric_explicit_dmax(self):
+        assert user_metric("m", dmax=42.0).dmax == 42.0
+
+    def test_collision_with_builtin_rejected(self):
+        with pytest.raises(ValueError):
+            user_metric("load_one")

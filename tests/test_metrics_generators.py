@@ -1,0 +1,112 @@
+"""Unit tests for the metric value sources."""
+
+import random
+
+import pytest
+
+from repro.metrics.catalog import CONSTANT_METRICS, metric_def
+from repro.metrics.generators import RandomMetricSource, RealisticHostModel
+from repro.metrics.types import MetricType
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestRandomMetricSource:
+    def test_samples_all_builtin_metrics(self, rng):
+        source = RandomMetricSource("h0", rng)
+        samples = source.sample_all(now=10.0)
+        assert len(samples) == len(source.metric_names())
+
+    def test_constants_stable_across_samples(self, rng):
+        source = RandomMetricSource("h0", rng)
+        for name in CONSTANT_METRICS:
+            first = source.sample(name, 0.0).value
+            for t in (10.0, 100.0, 1000.0):
+                assert source.sample(name, t).value == first, name
+
+    def test_volatile_values_vary(self, rng):
+        source = RandomMetricSource("h0", rng)
+        values = {source.sample("load_one", float(t)).value for t in range(20)}
+        assert len(values) > 1
+
+    def test_values_within_declared_range(self, rng):
+        source = RandomMetricSource("h0", rng)
+        for name in source.metric_names():
+            sample = source.sample(name, 5.0)
+            definition = metric_def(name)
+            if definition.mtype is MetricType.STRING:
+                assert isinstance(sample.value, str)
+            else:
+                lo, hi = definition.value_range
+                assert lo <= float(sample.value) <= hi, name
+
+    def test_integral_types_yield_ints(self, rng):
+        source = RandomMetricSource("h0", rng)
+        sample = source.sample("cpu_num", 0.0)
+        assert isinstance(sample.value, int)
+
+    def test_sample_carries_soft_state_fields(self, rng):
+        source = RandomMetricSource("h0", rng)
+        sample = source.sample("load_one", 42.0)
+        assert sample.reported_at == 42.0
+        assert sample.tmax == metric_def("load_one").tmax
+
+    def test_deterministic_given_seed(self):
+        a = RandomMetricSource("h0", random.Random(5)).sample("load_one", 1.0)
+        b = RandomMetricSource("h0", random.Random(5)).sample("load_one", 1.0)
+        assert a.value == b.value
+
+
+class TestRealisticHostModel:
+    def test_load_walk_stays_nonnegative(self, rng):
+        model = RealisticHostModel("h0", rng, baseline_load=0.5)
+        for t in range(0, 3600, 15):
+            sample = model.sample("load_one", float(t))
+            assert float(sample.value) >= 0.0
+
+    def test_load_reverts_toward_baseline(self, rng):
+        model = RealisticHostModel("h0", rng, baseline_load=2.0, burstiness=0.05)
+        values = [
+            float(model.sample("load_one", float(t)).value)
+            for t in range(0, 7200, 15)
+        ]
+        tail_mean = sum(values[-100:]) / 100.0
+        assert 0.5 < tail_mean < 4.0  # pulled toward 2.0, not wandering off
+
+    def test_load_five_smooths_load_one(self, rng):
+        model = RealisticHostModel("h0", rng, burstiness=0.5)
+        ones, fives = [], []
+        for t in range(0, 3600, 15):
+            ones.append(float(model.sample("load_one", float(t)).value))
+            fives.append(float(model.sample("load_five", float(t)).value))
+
+        def variance(xs):
+            mean = sum(xs) / len(xs)
+            return sum((x - mean) ** 2 for x in xs) / len(xs)
+
+        assert variance(fives) < variance(ones)
+
+    def test_cpu_percentages_bounded(self, rng):
+        model = RealisticHostModel("h0", rng, baseline_load=8.0)
+        for t in range(0, 600, 20):
+            for name in ("cpu_user", "cpu_idle", "cpu_system", "cpu_wio"):
+                value = float(model.sample(name, float(t)).value)
+                assert 0.0 <= value <= 100.0, name
+
+    def test_constants_stable(self, rng):
+        model = RealisticHostModel("h0", rng)
+        first = model.sample("cpu_num", 0.0).value
+        assert model.sample("cpu_num", 500.0).value == first
+
+    def test_mem_free_within_range(self, rng):
+        model = RealisticHostModel("h0", rng)
+        lo, hi = metric_def("mem_free").value_range
+        for t in range(0, 1200, 30):
+            assert lo <= float(model.sample("mem_free", float(t)).value) <= hi
+
+    def test_heartbeat_tracks_time(self, rng):
+        model = RealisticHostModel("h0", rng)
+        assert model.sample("heartbeat", 123.0).value == 123

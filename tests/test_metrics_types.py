@@ -1,0 +1,127 @@
+"""Unit tests for metric types, coercion and samples."""
+
+import pytest
+
+from repro.metrics.types import (
+    MetricSample,
+    MetricType,
+    coerce_value,
+    format_value,
+)
+
+
+class TestMetricType:
+    def test_string_not_numeric(self):
+        assert not MetricType.STRING.is_numeric
+
+    @pytest.mark.parametrize(
+        "mtype",
+        [MetricType.INT8, MetricType.UINT32, MetricType.FLOAT, MetricType.DOUBLE],
+    )
+    def test_numeric_types(self, mtype):
+        assert mtype.is_numeric
+
+    def test_integral_excludes_floats(self):
+        assert MetricType.UINT16.is_integral
+        assert not MetricType.FLOAT.is_integral
+        assert not MetricType.STRING.is_integral
+
+    def test_parse_known(self):
+        assert MetricType.parse("float") is MetricType.FLOAT
+        assert MetricType.parse("int") is MetricType.INT
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            MetricType.parse("quaternion")
+
+
+class TestCoerceValue:
+    def test_string_passthrough(self):
+        assert coerce_value("Linux", MetricType.STRING) == "Linux"
+
+    def test_float(self):
+        assert coerce_value("0.89", MetricType.FLOAT) == pytest.approx(0.89)
+
+    def test_integral_from_float_text(self):
+        assert coerce_value("3.7", MetricType.INT32) == 3
+
+    @pytest.mark.parametrize(
+        "mtype,raw,expected",
+        [
+            (MetricType.UINT8, "300", 255),
+            (MetricType.UINT8, "-5", 0),
+            (MetricType.INT8, "-999", -128),
+            (MetricType.UINT32, str(2**40), 2**32 - 1),
+        ],
+    )
+    def test_clamping(self, mtype, raw, expected):
+        assert coerce_value(raw, mtype) == expected
+
+    def test_bad_numeric_raises(self):
+        with pytest.raises(ValueError):
+            coerce_value("abc", MetricType.FLOAT)
+        with pytest.raises(ValueError):
+            coerce_value("abc", MetricType.INT32)
+
+
+class TestFormatValue:
+    def test_integral_no_decimal(self):
+        assert format_value(5.9, MetricType.UINT16) == "5"
+
+    def test_float_trims_trailing_zeros(self):
+        assert format_value(0.8900, MetricType.FLOAT) == "0.89"
+
+    def test_float_integer_value(self):
+        assert format_value(2.0, MetricType.DOUBLE) == "2"
+
+    def test_round_trip_precision(self):
+        text = format_value(17.5612, MetricType.DOUBLE)
+        assert coerce_value(text, MetricType.DOUBLE) == pytest.approx(
+            17.5612, abs=1e-4
+        )
+
+    def test_string(self):
+        assert format_value("x86", MetricType.STRING) == "x86"
+
+
+class TestMetricSample:
+    def make(self, **kwargs) -> MetricSample:
+        defaults = dict(
+            name="load_one",
+            value=0.5,
+            mtype=MetricType.FLOAT,
+            tmax=60.0,
+            dmax=0.0,
+            reported_at=100.0,
+        )
+        defaults.update(kwargs)
+        return MetricSample(**defaults)
+
+    def test_tn_counts_from_report(self):
+        sample = self.make()
+        assert sample.tn(130.0) == 30.0
+        assert sample.tn(50.0) == 0.0  # clock can't be before report
+
+    def test_expired_needs_positive_dmax(self):
+        assert not self.make(dmax=0.0).expired(10_000.0)
+        assert self.make(dmax=60.0).expired(161.0)
+        assert not self.make(dmax=60.0).expired(159.0)
+
+    def test_numeric_value(self):
+        assert self.make(value=3).numeric() == 3.0
+
+    def test_numeric_on_string_raises(self):
+        sample = self.make(mtype=MetricType.STRING, value="hi")
+        with pytest.raises(TypeError):
+            sample.numeric()
+
+    def test_wire_value(self):
+        assert self.make(value=0.25).wire_value() == "0.25"
+
+    def test_copy_is_independent(self):
+        sample = self.make()
+        clone = sample.copy()
+        clone.value = 99.0
+        clone.extra["k"] = 1
+        assert sample.value == 0.5
+        assert "k" not in sample.extra

@@ -1,0 +1,141 @@
+"""Unit tests for topology: addresses, hosts, links, partitions."""
+
+import pytest
+
+from repro.net.address import GMETAD_XML_PORT, GMOND_XML_PORT, Address
+from repro.net.fabric import LAN_LINK, WAN_LINK, Fabric, LinkSpec
+
+
+class TestAddress:
+    def test_construction_and_str(self):
+        address = Address("hostA", 8649)
+        assert str(address) == "hostA:8649"
+
+    def test_gmond_and_gmetad_helpers(self):
+        assert Address.gmond("h").port == GMOND_XML_PORT
+        assert Address.gmetad("h").port == GMETAD_XML_PORT
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError):
+            Address("", 80)
+
+    @pytest.mark.parametrize("port", [0, -1, 65536, 100000])
+    def test_bad_port_rejected(self, port):
+        with pytest.raises(ValueError):
+            Address("h", port)
+
+    def test_hashable_and_ordered(self):
+        a, b = Address("a", 1), Address("b", 1)
+        assert a < b
+        assert len({a, b, Address("a", 1)}) == 2
+
+
+class TestLinkSpec:
+    def test_transfer_time_includes_latency(self):
+        link = LinkSpec(latency=0.01, bandwidth=1000.0)
+        assert link.transfer_time(0) == pytest.approx(0.01)
+        assert link.transfer_time(500) == pytest.approx(0.01 + 0.5)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec().transfer_time(-1)
+
+    def test_wan_slower_than_lan(self):
+        assert WAN_LINK.transfer_time(10_000) > LAN_LINK.transfer_time(10_000)
+
+
+class TestFabricHosts:
+    def test_add_and_lookup(self, fabric):
+        host = fabric.add_host("a", cluster="c1")
+        assert fabric.host("a") is host
+        assert host.cluster == "c1"
+        assert host.up
+
+    def test_duplicate_rejected(self, fabric):
+        fabric.add_host("a")
+        with pytest.raises(ValueError):
+            fabric.add_host("a")
+
+    def test_unknown_lookup_raises(self, fabric):
+        with pytest.raises(KeyError):
+            fabric.host("ghost")
+
+    def test_has_host(self, fabric):
+        fabric.add_host("a")
+        assert fabric.has_host("a")
+        assert not fabric.has_host("b")
+
+    def test_set_host_up(self, fabric):
+        fabric.add_host("a")
+        fabric.set_host_up("a", False)
+        assert not fabric.host("a").up
+
+
+class TestFabricLinks:
+    def test_default_link(self, fabric):
+        fabric.add_host("a")
+        fabric.add_host("b")
+        assert fabric.link("a", "b") is not None
+
+    def test_loopback_is_fast(self, fabric):
+        fabric.add_host("a")
+        loop = fabric.link("a", "a")
+        assert loop.transfer_time(10**6) < LAN_LINK.transfer_time(10**6)
+
+    def test_override_symmetric(self, fabric):
+        fabric.add_host("a")
+        fabric.add_host("b")
+        fabric.set_link("a", "b", WAN_LINK)
+        assert fabric.link("a", "b") is WAN_LINK
+        assert fabric.link("b", "a") is WAN_LINK
+
+
+class TestReachability:
+    @pytest.fixture
+    def populated(self, fabric):
+        for name in ("a", "b", "c", "d"):
+            fabric.add_host(name)
+        return fabric
+
+    def test_up_hosts_reachable(self, populated):
+        assert populated.reachable("a", "b")
+
+    def test_down_destination_unreachable(self, populated):
+        populated.set_host_up("b", False)
+        assert not populated.reachable("a", "b")
+
+    def test_down_source_unreachable(self, populated):
+        populated.set_host_up("a", False)
+        assert not populated.reachable("a", "b")
+
+    def test_unknown_host_unreachable_not_error(self, populated):
+        assert not populated.reachable("a", "ghost")
+        assert not populated.reachable("ghost", "a")
+
+    def test_cut_blocks_both_directions(self, populated):
+        populated.cut("a", "b")
+        assert not populated.reachable("a", "b")
+        assert not populated.reachable("b", "a")
+        assert populated.reachable("a", "c")
+
+    def test_heal_restores(self, populated):
+        populated.cut("a", "b")
+        populated.heal("a", "b")
+        assert populated.reachable("a", "b")
+
+    def test_partition_groups(self, populated):
+        populated.partition(["a", "b"], ["c", "d"])
+        assert not populated.reachable("a", "c")
+        assert not populated.reachable("b", "d")
+        assert populated.reachable("a", "b")
+        assert populated.reachable("c", "d")
+
+    def test_heal_partition(self, populated):
+        populated.partition(["a"], ["c", "d"])
+        populated.heal_partition(["a"], ["c", "d"])
+        assert populated.reachable("a", "c")
+
+    def test_heal_all(self, populated):
+        populated.partition(["a", "b"], ["c", "d"])
+        populated.heal_all()
+        assert populated.reachable("a", "d")

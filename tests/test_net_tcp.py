@@ -1,0 +1,186 @@
+"""Unit tests for simulated TCP request/response exchanges."""
+
+import pytest
+
+from repro.net.address import Address
+from repro.net.tcp import Response, TcpNetwork, TcpTimeout
+
+
+@pytest.fixture
+def world(engine, fabric):
+    fabric.add_host("client")
+    fabric.add_host("server")
+    return TcpNetwork(engine, fabric)
+
+
+ADDRESS = Address("server", 8649)
+
+
+def echo_server(world, service_seconds=0.0):
+    return world.listen(
+        ADDRESS,
+        lambda client, request: Response(f"echo:{request}", service_seconds),
+    )
+
+
+class TestListeners:
+    def test_listen_and_is_listening(self, world):
+        echo_server(world)
+        assert world.is_listening(ADDRESS)
+
+    def test_duplicate_listen_rejected(self, world):
+        echo_server(world)
+        with pytest.raises(ValueError):
+            echo_server(world)
+
+    def test_listen_on_unknown_host_rejected(self, world):
+        with pytest.raises(KeyError):
+            world.listen(Address("ghost", 80), lambda c, r: Response("x"))
+
+    def test_close_unlistens(self, world):
+        echo_server(world)
+        world.close(ADDRESS)
+        assert not world.is_listening(ADDRESS)
+
+
+class TestRequestResponse:
+    def test_round_trip(self, engine, world):
+        echo_server(world)
+        got = {}
+        world.request(
+            "client", ADDRESS, "hi", lambda p, rtt: got.update(p=p, rtt=rtt)
+        )
+        engine.run_for(1.0)
+        assert got["p"] == "echo:hi"
+        assert got["rtt"] > 0
+
+    def test_service_time_adds_to_rtt(self, engine, world):
+        echo_server(world, service_seconds=0.5)
+        got = {}
+        world.request("client", ADDRESS, "q", lambda p, rtt: got.update(rtt=rtt))
+        engine.run_for(2.0)
+        assert got["rtt"] > 0.5
+
+    def test_transfer_time_scales_with_response_size(self, engine, world):
+        world.listen(ADDRESS, lambda c, r: Response("x" * 10_000_000))
+        small_world_rtt = {}
+        world.request(
+            "client", ADDRESS, "q", lambda p, rtt: small_world_rtt.update(rtt=rtt)
+        )
+        engine.run_for(5.0)
+        # 10 MB at 1 Gbit/s = 80 ms minimum
+        assert small_world_rtt["rtt"] > 0.05
+
+    def test_handler_may_return_bare_payload(self, engine, world):
+        world.listen(ADDRESS, lambda c, r: "bare")
+        got = {}
+        world.request("client", ADDRESS, "q", lambda p, rtt: got.update(p=p))
+        engine.run_for(1.0)
+        assert got["p"] == "bare"
+
+    def test_server_sees_client_host(self, engine, world):
+        seen = {}
+        world.listen(
+            ADDRESS, lambda client, r: (seen.update(c=client), Response("ok"))[1]
+        )
+        world.request("client", ADDRESS, "q", lambda p, rtt: None)
+        engine.run_for(1.0)
+        assert seen["c"] == "client"
+
+    def test_requests_served_counter(self, engine, world):
+        server = echo_server(world)
+        for _ in range(3):
+            world.request("client", ADDRESS, "q", lambda p, rtt: None)
+        engine.run_for(1.0)
+        assert server.requests_served == 3
+
+
+class TestTimeouts:
+    def test_no_listener_times_out(self, engine, world):
+        errors = []
+        world.request(
+            "client",
+            ADDRESS,
+            "q",
+            on_response=lambda p, rtt: pytest.fail("unexpected response"),
+            timeout=2.0,
+            on_timeout=errors.append,
+        )
+        engine.run_for(5.0)
+        assert len(errors) == 1
+        assert isinstance(errors[0], TcpTimeout)
+        assert errors[0].timeout == 2.0
+
+    def test_down_server_times_out(self, engine, fabric, world):
+        echo_server(world)
+        fabric.set_host_up("server", False)
+        errors = []
+        world.request(
+            "client", ADDRESS, "q", lambda p, rtt: None,
+            timeout=1.0, on_timeout=errors.append,
+        )
+        engine.run_for(3.0)
+        assert len(errors) == 1
+
+    def test_server_death_mid_flight_times_out(self, engine, fabric, world):
+        echo_server(world, service_seconds=1.0)  # slow response
+        outcomes = []
+        world.request(
+            "client", ADDRESS, "q",
+            on_response=lambda p, rtt: outcomes.append("ok"),
+            timeout=3.0,
+            on_timeout=lambda e: outcomes.append("timeout"),
+        )
+        engine.run_for(0.5)  # request arrived, response pending
+        fabric.set_host_up("server", False)
+        engine.run_for(5.0)
+        assert outcomes == ["timeout"]
+
+    def test_partition_mid_flight_times_out(self, engine, fabric, world):
+        echo_server(world, service_seconds=1.0)
+        outcomes = []
+        world.request(
+            "client", ADDRESS, "q",
+            on_response=lambda p, rtt: outcomes.append("ok"),
+            timeout=3.0,
+            on_timeout=lambda e: outcomes.append("timeout"),
+        )
+        engine.run_for(0.5)
+        fabric.cut("client", "server")
+        engine.run_for(5.0)
+        assert outcomes == ["timeout"]
+
+    def test_exactly_one_callback_fires(self, engine, world):
+        echo_server(world)
+        outcomes = []
+        world.request(
+            "client", ADDRESS, "q",
+            on_response=lambda p, rtt: outcomes.append("ok"),
+            timeout=10.0,
+            on_timeout=lambda e: outcomes.append("timeout"),
+        )
+        engine.run_for(20.0)
+        assert outcomes == ["ok"]
+
+    def test_timeout_without_callback_is_silent(self, engine, world):
+        world.request("client", ADDRESS, "q", lambda p, rtt: None, timeout=1.0)
+        engine.run_for(2.0)  # must not raise
+        assert world.timeouts == 1
+
+    def test_invalid_timeout_rejected(self, world):
+        with pytest.raises(ValueError):
+            world.request("client", ADDRESS, "q", lambda p, rtt: None, timeout=0)
+
+
+class TestStatistics:
+    def test_counters(self, engine, world):
+        echo_server(world)
+        world.request("client", ADDRESS, "q", lambda p, rtt: None)
+        world.request(
+            "client", Address("server", 9999), "q", lambda p, rtt: None,
+            timeout=1.0,
+        )
+        engine.run_for(3.0)
+        assert world.requests_sent == 2
+        assert world.responses_delivered == 1
+        assert world.timeouts == 1

@@ -1,0 +1,144 @@
+"""Unit tests for the multicast channel."""
+
+import random
+
+import pytest
+
+from repro.net.udp import MulticastChannel
+
+
+@pytest.fixture
+def hosts(fabric):
+    for name in ("h1", "h2", "h3"):
+        fabric.add_host(name)
+    return fabric
+
+
+@pytest.fixture
+def channel(engine, hosts):
+    return MulticastChannel(engine, hosts)
+
+
+def collect(channel, host):
+    received = []
+    channel.join(host, lambda src, payload, size: received.append((src, payload)))
+    return received
+
+
+class TestMembership:
+    def test_join_and_members(self, channel):
+        collect(channel, "h1")
+        collect(channel, "h2")
+        assert channel.members() == ["h1", "h2"]
+
+    def test_double_join_rejected(self, channel):
+        collect(channel, "h1")
+        with pytest.raises(ValueError):
+            channel.join("h1", lambda *a: None)
+
+    def test_join_unknown_host_rejected(self, channel):
+        with pytest.raises(KeyError):
+            channel.join("ghost", lambda *a: None)
+
+    def test_leave_is_idempotent(self, channel):
+        collect(channel, "h1")
+        channel.leave("h1")
+        channel.leave("h1")
+        assert channel.members() == []
+
+
+class TestDelivery:
+    def test_delivered_to_all_members_including_sender(self, engine, channel):
+        r1 = collect(channel, "h1")
+        r2 = collect(channel, "h2")
+        r3 = collect(channel, "h3")
+        channel.send("h1", "payload", 100)
+        engine.run_for(1.0)
+        assert r1 == [("h1", "payload")]
+        assert r2 == [("h1", "payload")]
+        assert r3 == [("h1", "payload")]
+
+    def test_delivery_is_delayed_by_link(self, engine, channel):
+        r2 = collect(channel, "h2")
+        channel.send("h1", "m", 100)
+        assert r2 == []  # not synchronous
+        engine.run_for(1.0)
+        assert len(r2) == 1
+
+    def test_down_sender_sends_nothing(self, engine, channel, fabric):
+        r2 = collect(channel, "h2")
+        fabric.set_host_up("h1", False)
+        assert channel.send("h1", "m", 10) == 0
+        engine.run_for(1.0)
+        assert r2 == []
+
+    def test_down_member_misses_datagram(self, engine, channel, fabric):
+        r2 = collect(channel, "h2")
+        r3 = collect(channel, "h3")
+        fabric.set_host_up("h2", False)
+        channel.send("h1", "m", 10)
+        engine.run_for(1.0)
+        assert r2 == []
+        assert len(r3) == 1
+
+    def test_member_that_dies_in_flight_misses(self, engine, channel, fabric):
+        r2 = collect(channel, "h2")
+        channel.send("h1", "m", 10)
+        fabric.set_host_up("h2", False)  # dies before delivery event
+        engine.run_for(1.0)
+        assert r2 == []
+        assert channel.datagrams_dropped >= 1
+
+    def test_member_that_leaves_in_flight_misses(self, engine, channel):
+        r2 = collect(channel, "h2")
+        channel.send("h1", "m", 10)
+        channel.leave("h2")
+        engine.run_for(1.0)
+        assert r2 == []
+
+    def test_partitioned_member_misses(self, engine, channel, fabric):
+        r2 = collect(channel, "h2")
+        fabric.cut("h1", "h2")
+        channel.send("h1", "m", 10)
+        engine.run_for(1.0)
+        assert r2 == []
+
+    def test_invalid_size_rejected(self, channel):
+        collect(channel, "h1")
+        with pytest.raises(ValueError):
+            channel.send("h1", "m", 0)
+
+
+class TestLoss:
+    def test_loss_rate_drops_roughly_that_fraction(self, engine, hosts):
+        channel = MulticastChannel(
+            engine, hosts, loss_rate=0.5, rng=random.Random(7)
+        )
+        r2 = collect(channel, "h2")
+        for _ in range(400):
+            channel.send("h1", "m", 10)
+        engine.run_for(5.0)
+        assert 120 < len(r2) < 280  # ~200 expected
+
+    def test_zero_loss_delivers_everything(self, engine, channel):
+        r2 = collect(channel, "h2")
+        for _ in range(50):
+            channel.send("h1", "m", 10)
+        engine.run_for(5.0)
+        assert len(r2) == 50
+
+    def test_invalid_loss_rate_rejected(self, engine, hosts):
+        with pytest.raises(ValueError):
+            MulticastChannel(engine, hosts, loss_rate=1.0)
+
+
+class TestStatistics:
+    def test_counters(self, engine, channel):
+        collect(channel, "h1")
+        collect(channel, "h2")
+        channel.send("h1", "m", 123)
+        engine.run_for(1.0)
+        assert channel.datagrams_sent == 1
+        assert channel.bytes_sent == 123
+        assert channel.datagrams_delivered == 2
+        assert channel.datagrams_dropped == 0

@@ -1,0 +1,240 @@
+"""Unit tests for the round-robin database stack."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rrd.consolidate import ConsolidationFunction, RowAccumulator
+from repro.rrd.database import (
+    RraSpec,
+    RrdDatabase,
+    compact_rra_specs,
+    default_rra_specs,
+)
+from repro.rrd.rra import RoundRobinArchive
+
+AVG = ConsolidationFunction.AVERAGE
+
+
+class TestRowAccumulator:
+    def test_average(self):
+        acc = RowAccumulator(AVG)
+        for v in (1.0, 2.0, 3.0):
+            acc.add(v)
+        assert acc.result(xff=0.5) == pytest.approx(2.0)
+
+    def test_min_max_last(self):
+        for cf, expected in [
+            (ConsolidationFunction.MIN, 1.0),
+            (ConsolidationFunction.MAX, 3.0),
+            (ConsolidationFunction.LAST, 2.0),
+        ]:
+            acc = RowAccumulator(cf)
+            for v in (3.0, 1.0, 2.0):
+                acc.add(v)
+            assert acc.result(0.5) == expected
+
+    def test_unknowns_respect_xff(self):
+        acc = RowAccumulator(AVG)
+        acc.add(1.0)
+        acc.add(None)
+        acc.add(None)  # 2/3 unknown > 0.5
+        assert math.isnan(acc.result(xff=0.5))
+        assert acc.result(xff=0.9) == pytest.approx(1.0)
+
+    def test_all_unknown_is_nan(self):
+        acc = RowAccumulator(AVG)
+        acc.add(None)
+        assert math.isnan(acc.result(0.99))
+
+    def test_empty_is_nan(self):
+        assert math.isnan(RowAccumulator(AVG).result(0.5))
+
+    def test_nan_input_counts_as_unknown(self):
+        acc = RowAccumulator(AVG)
+        acc.add(float("nan"))
+        acc.add(2.0)
+        assert acc.result(xff=0.6) == pytest.approx(2.0)
+
+    def test_reset(self):
+        acc = RowAccumulator(AVG)
+        acc.add(5.0)
+        acc.reset()
+        assert acc.total == 0
+        assert math.isnan(acc.result(0.5))
+
+
+class TestRoundRobinArchive:
+    def test_row_closes_on_grid_boundary(self):
+        rra = RoundRobinArchive(AVG, pdp_per_row=4, rows=8)
+        closed = [rra.push_pdp(float(i), i) for i in range(8)]
+        assert closed == [False, False, False, True] * 2
+        assert rra.filled_rows == 2
+        np.testing.assert_allclose(rra.recent_rows(), [1.5, 5.5])
+
+    def test_circular_overwrite(self):
+        rra = RoundRobinArchive(AVG, pdp_per_row=1, rows=3)
+        for i in range(10):
+            rra.push_pdp(float(i), i)
+        assert rra.filled_rows == 3
+        np.testing.assert_allclose(rra.recent_rows(), [7.0, 8.0, 9.0])
+        assert rra.rows_written == 10
+
+    def test_push_fill_equivalent_to_loop(self):
+        a = RoundRobinArchive(AVG, pdp_per_row=4, rows=10)
+        b = RoundRobinArchive(AVG, pdp_per_row=4, rows=10)
+        # partial offset start to exercise the slow/bulk/slow path
+        for i in range(2):
+            a.push_pdp(9.0, i)
+            b.push_pdp(9.0, i)
+        a.push_fill(1.5, count=23, first_step=2)
+        for i in range(2, 25):
+            b.push_pdp(1.5, i)
+        np.testing.assert_allclose(a.recent_rows(), b.recent_rows())
+        assert a.rows_written == b.rows_written
+        assert a.pending_pdps == b.pending_pdps
+        assert a.last_row_end_step == b.last_row_end_step
+
+    def test_push_fill_larger_than_capacity(self):
+        rra = RoundRobinArchive(AVG, pdp_per_row=1, rows=4)
+        rra.push_fill(7.0, count=1000, first_step=0)
+        np.testing.assert_allclose(rra.recent_rows(), [7.0] * 4)
+        assert rra.rows_written == 1000
+
+    def test_rows_with_end_steps(self):
+        rra = RoundRobinArchive(AVG, pdp_per_row=2, rows=4)
+        for i in range(6):
+            rra.push_pdp(float(i), i)
+        rows = rra.rows_with_end_steps()
+        assert [s for s, _ in rows] == [2, 4, 6]
+        assert [v for _, v in rows] == [0.5, 2.5, 4.5]
+
+    def test_coverage_steps(self):
+        rra = RoundRobinArchive(AVG, pdp_per_row=3, rows=5)
+        for i in range(9):
+            rra.push_pdp(1.0, i)
+        assert rra.coverage_steps() == 9
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_shape_rejected(self, bad):
+        with pytest.raises(ValueError):
+            RoundRobinArchive(AVG, pdp_per_row=bad, rows=4)
+        with pytest.raises(ValueError):
+            RoundRobinArchive(AVG, pdp_per_row=1, rows=bad)
+
+
+class TestRrdDatabase:
+    def make(self, **kwargs):
+        kwargs.setdefault("step", 15.0)
+        kwargs.setdefault("rra_specs", compact_rra_specs())
+        return RrdDatabase(**kwargs)
+
+    def test_basic_updates_consolidate(self):
+        db = self.make()
+        for i in range(10):
+            db.update(i * 15.0, float(i))
+        db.flush(10 * 15.0)
+        times, values, resolution = db.fetch(0.0, 200.0)
+        assert resolution == 15.0
+        np.testing.assert_allclose(values, [float(i) for i in range(10)])
+
+    def test_multiple_updates_in_step_averaged(self):
+        db = self.make()
+        db.update(0.0, 1.0)
+        db.update(5.0, 3.0)
+        db.update(16.0, 0.0)  # closes step 0
+        finest = db.rras[0]
+        np.testing.assert_allclose(finest.recent_rows(1), [2.0])
+
+    def test_gap_zero_filled_by_default(self):
+        """Paper: 'it keeps a zero record during the downtime'."""
+        db = self.make()
+        db.update(0.0, 5.0)
+        db.update(15.0, 5.0)
+        db.update(150.0, 5.0)  # 8-step gap
+        times, values, _ = db.fetch(0.0, 200.0)
+        assert (values == 0.0).sum() >= 7
+
+    def test_gap_nan_mode(self):
+        db = self.make(downtime_fill="nan")
+        db.update(0.0, 5.0)
+        db.update(150.0, 5.0)
+        times, values, _ = db.fetch(0.0, 200.0)
+        assert np.isnan(values).sum() >= 7
+
+    def test_invalid_fill_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(downtime_fill="purple")
+
+    def test_out_of_order_update_rejected(self):
+        db = self.make()
+        db.update(100.0, 1.0)
+        with pytest.raises(ValueError):
+            db.update(50.0, 1.0)
+
+    def test_none_value_is_unknown_sample(self):
+        db = self.make()
+        db.update(0.0, None)
+        db.update(16.0, 1.0)
+        finest = db.rras[0]
+        assert math.isnan(finest.recent_rows(1)[0])
+
+    def test_fixed_size_never_grows(self):
+        """'The databases ... do not grow in size over time.'"""
+        db = self.make()
+        before = db.memory_rows()
+        for i in range(5000):
+            db.update(i * 15.0, float(i % 7))
+        assert db.memory_rows() == before
+
+    def test_fetch_picks_resolution_by_span(self):
+        """Recent queries get fine rows; long spans get coarse ones."""
+        db = self.make()
+        for i in range(5000):
+            db.update(i * 15.0, 1.0)
+        _, _, fine = db.fetch(5000 * 15.0 - 500, 5000 * 15.0)
+        _, _, coarse = db.fetch(0.0, 5000 * 15.0)
+        assert fine == 15.0
+        assert coarse > fine
+
+    def test_fetch_time_bounds_respected(self):
+        db = self.make()
+        for i in range(20):
+            db.update(i * 15.0, float(i))
+        times, _, _ = db.fetch(60.0, 150.0)
+        assert all(60.0 < t <= 150.0 for t in times)
+
+    def test_fetch_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().fetch(10.0, 5.0)
+
+    def test_latest(self):
+        db = self.make()
+        assert db.latest() is None
+        db.update(0.0, 3.0)
+        db.update(16.0, 4.0)
+        assert db.latest() == pytest.approx(3.0)
+
+    def test_default_specs_cover_a_year(self):
+        specs = default_rra_specs()
+        coarsest = max(specs, key=lambda s: s.pdp_per_row)
+        coverage_seconds = coarsest.pdp_per_row * coarsest.rows * 15.0
+        assert coverage_seconds > 360 * 24 * 3600
+
+    def test_requires_at_least_one_rra(self):
+        with pytest.raises(ValueError):
+            RrdDatabase(rra_specs=[])
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError):
+            RrdDatabase(step=0.0)
+
+    def test_long_downtime_is_cheap_and_correct(self):
+        """Hours of gap fill must not require one call per step."""
+        db = self.make()
+        db.update(0.0, 1.0)
+        db.update(86_400.0, 2.0)  # one-day gap: 5760 steps
+        times, values, _ = db.fetch(80_000.0, 86_500.0)
+        assert len(values) > 0
+        assert (values[~np.isnan(values)] == 0.0).all()

@@ -1,0 +1,148 @@
+"""Unit tests for CPU accounting and the cost model."""
+
+import pytest
+
+from repro.sim.resources import (
+    CATEGORIES,
+    CostModel,
+    CpuAccount,
+    NodeResources,
+    UtilizationWindow,
+)
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        costs = CostModel()
+        assert costs.parse_byte > 0
+        assert costs.rrd_update > costs.summarize_metric > costs.serve_byte
+
+    def test_scaled(self):
+        costs = CostModel().scaled(2.0)
+        base = CostModel()
+        assert costs.parse_byte == 2 * base.parse_byte
+        assert costs.rrd_update == 2 * base.rrd_update
+        assert costs.tcp_connect == 2 * base.tcp_connect
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().parse_byte = 5
+
+
+class TestUtilizationWindow:
+    def test_accumulates_by_category(self):
+        window = UtilizationWindow()
+        window.add(1.0, "parse")
+        window.add(0.5, "parse")
+        window.add(2.0, "archive")
+        assert window.busy_seconds == 3.5
+        assert window.by_category["parse"] == 1.5
+        assert window.by_category["archive"] == 2.0
+
+    def test_unknown_category_goes_to_other(self):
+        window = UtilizationWindow()
+        window.add(1.0, "nonsense")
+        assert window.by_category["other"] == 1.0
+
+    def test_reset(self):
+        window = UtilizationWindow()
+        window.add(1.0, "parse")
+        window.reset(100.0)
+        assert window.busy_seconds == 0.0
+        assert window.start_time == 100.0
+        assert all(v == 0.0 for v in window.by_category.values())
+
+    def test_elapsed(self):
+        window = UtilizationWindow(start_time=10.0)
+        assert window.elapsed(25.0) == 15.0
+
+
+class TestCpuAccount:
+    def test_charge_converts_units_to_seconds(self):
+        cpu = CpuAccount("n", capacity=1000.0)
+        seconds = cpu.charge(500.0, "parse")
+        assert seconds == 0.5
+        assert cpu.total_busy_seconds == 0.5
+
+    def test_charge_seconds(self):
+        cpu = CpuAccount("n", capacity=1000.0)
+        cpu.charge_seconds(0.25, "serve")
+        assert cpu.window.by_category["serve"] == pytest.approx(0.25)
+
+    def test_negative_charge_rejected(self):
+        cpu = CpuAccount("n")
+        with pytest.raises(ValueError):
+            cpu.charge(-1.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CpuAccount("n", capacity=0.0)
+
+    def test_raw_utilization(self):
+        cpu = CpuAccount("n", capacity=100.0)
+        cpu.charge(100.0)  # 1 second busy
+        assert cpu.raw_utilization(now=10.0) == pytest.approx(0.1)
+
+    def test_utilization_zero_before_time_passes(self):
+        cpu = CpuAccount("n")
+        assert cpu.utilization(0.0) == 0.0
+
+    def test_contention_inflates_high_utilization(self):
+        cpu = CpuAccount("n", capacity=100.0, contention_coeff=0.5)
+        cpu.charge(60.0)  # 0.6s busy over a 1s window -> u = 0.6
+        raw = cpu.raw_utilization(1.0)
+        inflated = cpu.utilization(1.0)
+        # below the cap: u * (1 + c*u^2) = 0.6 * 1.18 = 0.708
+        assert inflated == pytest.approx(raw * (1 + 0.5 * raw * raw))
+        assert inflated > raw
+
+    def test_contention_negligible_at_low_utilization(self):
+        cpu = CpuAccount("n", capacity=1000.0, contention_coeff=0.5)
+        cpu.charge(50.0)  # u = 0.05 over 1s
+        assert cpu.utilization(1.0) == pytest.approx(
+            cpu.raw_utilization(1.0), rel=0.01
+        )
+
+    def test_utilization_capped_at_one(self):
+        cpu = CpuAccount("n", capacity=10.0, contention_coeff=1.0)
+        cpu.charge(1000.0)
+        assert cpu.utilization(1.0) == 1.0
+        assert cpu.cpu_percent(1.0) == 100.0
+
+    def test_cpu_percent_scale(self):
+        cpu = CpuAccount("n", capacity=100.0, contention_coeff=0.0)
+        cpu.charge(10.0)  # 0.1s busy over 1s
+        assert cpu.cpu_percent(1.0) == pytest.approx(10.0)
+
+    def test_category_breakdown_sums_to_raw(self):
+        cpu = CpuAccount("n", capacity=100.0)
+        cpu.charge(10.0, "parse")
+        cpu.charge(20.0, "archive")
+        breakdown = cpu.category_breakdown(1.0)
+        assert sum(breakdown.values()) == pytest.approx(
+            100.0 * cpu.raw_utilization(1.0)
+        )
+        assert set(breakdown) == set(CATEGORIES)
+
+    def test_reset_window_starts_fresh_measurement(self):
+        cpu = CpuAccount("n", capacity=100.0)
+        cpu.charge(100.0)
+        cpu.reset_window(now=10.0)
+        assert cpu.raw_utilization(20.0) == 0.0
+        cpu.charge(50.0)
+        assert cpu.raw_utilization(20.0) == pytest.approx(0.05)
+        # lifetime counter survives the reset
+        assert cpu.total_busy_seconds == pytest.approx(1.5)
+
+
+class TestNodeResources:
+    def test_create_bundles_cpu_and_costs(self):
+        resources = NodeResources.create("node-1", capacity=123.0)
+        assert resources.cpu.name == "node-1"
+        assert resources.cpu.capacity == 123.0
+        assert isinstance(resources.costs, CostModel)
+
+    def test_create_with_custom_costs(self):
+        costs = CostModel().scaled(3.0)
+        resources = NodeResources.create("n", costs=costs)
+        assert resources.costs is costs

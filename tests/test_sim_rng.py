@@ -1,0 +1,72 @@
+"""Unit tests for the named RNG stream registry."""
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_root_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(7, "anything") < 2**64
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_object(self):
+        registry = RngRegistry(1)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(9).stream("s")
+        b = RngRegistry(9).stream("s")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_independent(self):
+        """Draws from one stream never affect another."""
+        registry1 = RngRegistry(5)
+        registry2 = RngRegistry(5)
+        # registry1: interleave heavy use of "noise" with "signal"
+        noise = registry1.stream("noise")
+        signal1 = registry1.stream("signal")
+        values1 = []
+        for _ in range(10):
+            noise.random()
+            values1.append(signal1.random())
+        # registry2: only the signal stream
+        signal2 = registry2.stream("signal")
+        values2 = [signal2.random() for _ in range(10)]
+        assert values1 == values2
+
+    def test_adding_new_component_does_not_perturb_existing(self):
+        registry1 = RngRegistry(5)
+        before = [registry1.stream("a").random() for _ in range(5)]
+        registry2 = RngRegistry(5)
+        registry2.stream("brand-new-component")
+        after = [registry2.stream("a").random() for _ in range(5)]
+        assert before == after
+
+    def test_fork_is_independent(self):
+        base = RngRegistry(3)
+        fork = base.fork("child")
+        assert base.stream("s").random() != fork.stream("s").random()
+
+    def test_fork_reproducible(self):
+        a = RngRegistry(3).fork("child").stream("s").random()
+        b = RngRegistry(3).fork("child").stream("s").random()
+        assert a == b
+
+    def test_contains_and_len(self):
+        registry = RngRegistry(0)
+        assert "x" not in registry
+        registry.stream("x")
+        assert "x" in registry
+        assert len(registry) == 1
+
+    def test_root_seed_property(self):
+        assert RngRegistry(77).root_seed == 77

@@ -1,0 +1,194 @@
+"""Tests for the Supermon baseline (S-expressions, mon, supermon)."""
+
+import pytest
+
+from repro.metrics.generators import RandomMetricSource
+from repro.net.address import Address
+from repro.supermon.mon import MON_PORT, MonServer
+from repro.supermon.server import SUPERMON_PORT, SupermonServer
+from repro.supermon.sexpr import (
+    SexprError,
+    SList,
+    Symbol,
+    assoc,
+    assoc_all,
+    parse_sexpr,
+    write_sexpr,
+)
+
+
+class TestSexpr:
+    def test_round_trip_nested(self):
+        expr = SList(
+            [
+                Symbol("mon"),
+                SList([Symbol("name"), "node-1"]),
+                SList([Symbol("vals"), 1, 2.5, "a \"quoted\" str"]),
+            ]
+        )
+        text = write_sexpr(expr)
+        reparsed = parse_sexpr(text)
+        assert write_sexpr(reparsed) == text
+
+    def test_atoms(self):
+        assert parse_sexpr("42") == 42
+        assert parse_sexpr("4.25") == 4.25
+        assert parse_sexpr('"hi there"') == "hi there"
+        assert parse_sexpr("load_one") == Symbol("load_one")
+
+    def test_string_vs_symbol_distinction(self):
+        text = write_sexpr(SList([Symbol("a"), "a"]))
+        assert text == '(a "a")'
+        reparsed = parse_sexpr(text)
+        assert isinstance(reparsed[0], Symbol)
+        assert not isinstance(reparsed[1], Symbol)
+
+    def test_escapes(self):
+        original = 'back\\slash and "quote"'
+        assert parse_sexpr(write_sexpr(original)) == original
+
+    @pytest.mark.parametrize("bad", ["", "(", ")", "(a))", '"open', "(a) b"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SexprError):
+            parse_sexpr(bad)
+
+    def test_assoc_helpers(self):
+        expr = parse_sexpr('(mon (name "x") (m 1) (m 2))')
+        assert assoc(expr, "name")[1] == "x"
+        assert assoc(expr, "ghost") is None
+        assert [m[1] for m in assoc_all(expr, "m")] == [1, 2]
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            write_sexpr(SList([object()]))
+
+
+@pytest.fixture
+def world(engine, fabric, tcp, rngs):
+    class World:
+        def mon(self, name):
+            return MonServer(
+                engine, fabric, tcp,
+                RandomMetricSource(name, rngs.stream(f"m:{name}")),
+            )
+
+        def supermon(self, host, members):
+            return SupermonServer(engine, fabric, tcp, host, members)
+
+    return World()
+
+
+class TestMonServer:
+    def test_report_parses_and_contains_all_metrics(self, world, engine):
+        mon = world.mon("node-0")
+        engine.run_for(5.0)
+        expr = parse_sexpr(mon.report())
+        assert expr[0] == Symbol("mon")
+        assert assoc(expr, "name")[1] == "node-0"
+        metrics = assoc(expr, "metrics")
+        assert len(metrics) - 1 == len(mon.source.metric_names())
+
+    def test_served_over_tcp(self, world, engine, tcp, fabric):
+        mon = world.mon("node-0")
+        fabric.add_host("client")
+        got = {}
+        tcp.request("client", mon.address, "#", lambda p, rtt: got.update(x=p))
+        engine.run_for(1.0)
+        assert got["x"].startswith("(mon ")
+        assert mon.requests == 1
+
+
+class TestSupermonServer:
+    def test_serial_sweep_composes_members(self, world, engine):
+        mons = [world.mon(f"node-{i}") for i in range(4)]
+        supermon = world.supermon("head", [m.address for m in mons])
+        supermon.start()
+        engine.run_for(20.0)
+        expr = parse_sexpr(supermon.latest_report)
+        assert expr[0] == Symbol("supermon")
+        children = assoc_all(expr, "mon")
+        assert {assoc(c, "name")[1] for c in children} == {
+            f"node-{i}" for i in range(4)
+        }
+
+    def test_one_connection_per_member_per_sweep(self, world, engine):
+        mons = [world.mon(f"node-{i}") for i in range(5)]
+        supermon = world.supermon("head", [m.address for m in mons])
+        supermon.start()
+        engine.run_for(16.0)
+        sweep = supermon.last_sweep()
+        assert sweep.connections == 5  # O(H), every sweep
+        assert sweep.successes == 5
+
+    def test_sweeps_are_serial_not_parallel(self, world, engine, tcp, fabric):
+        """Connection i+1 must start only after connection i finished."""
+        mons = [world.mon(f"node-{i}") for i in range(3)]
+        # make each mon slow so serialization is visible in the duration
+        for mon in mons:
+            mon.service_seconds = 0.2
+        supermon = world.supermon("head", [m.address for m in mons])
+        supermon.start()
+        engine.run_for(16.0)
+        sweep = supermon.last_sweep()
+        assert sweep.duration >= 0.6  # 3 x 0.2s strictly sequential
+
+    def test_dead_member_skipped_after_timeout(self, world, engine, fabric):
+        mons = [world.mon(f"node-{i}") for i in range(3)]
+        supermon = world.supermon("head", [m.address for m in mons])
+        fabric.set_host_up("node-1", False)
+        supermon.start()
+        engine.run_for(25.0)
+        sweep = supermon.last_sweep()
+        assert sweep.failures == 1
+        assert sweep.successes == 2
+        # and the timeout stalls the serial sweep for its full duration
+        assert sweep.duration >= supermon.timeout
+
+    def test_no_auto_discovery(self, world, engine):
+        """A new node is invisible until explicitly registered."""
+        mons = [world.mon(f"node-{i}") for i in range(2)]
+        supermon = world.supermon("head", [m.address for m in mons])
+        supermon.start()
+        engine.run_for(16.0)
+        late = world.mon("node-late")
+        engine.run_for(32.0)
+        assert "node-late" not in supermon.latest_report
+        supermon.register(late.address)
+        engine.run_for(16.0)
+        assert "node-late" in supermon.latest_report
+
+    def test_duplicate_registration_rejected(self, world):
+        mon = world.mon("node-0")
+        supermon = world.supermon("head", [mon.address])
+        with pytest.raises(ValueError):
+            supermon.register(mon.address)
+
+    def test_hierarchical_composition(self, world, engine):
+        """A supermon of supermons serves the same recursive format."""
+        cluster_a = [world.mon(f"a-{i}") for i in range(2)]
+        cluster_b = [world.mon(f"b-{i}") for i in range(2)]
+        head_a = world.supermon("head-a", [m.address for m in cluster_a])
+        head_b = world.supermon("head-b", [m.address for m in cluster_b])
+        top = world.supermon("top", [head_a.address, head_b.address])
+        head_a.start()
+        head_b.start()
+        top.start()
+        engine.run_for(40.0)
+        expr = parse_sexpr(top.latest_report)
+        subs = assoc_all(expr, "supermon")
+        assert {assoc(s, "name")[1] for s in subs} == {"head-a", "head-b"}
+        all_mons = [m for s in subs for m in assoc_all(s, "mon")]
+        assert len(all_mons) == 4
+
+    def test_serves_latest_report_over_tcp(self, world, engine, tcp, fabric):
+        mon = world.mon("node-0")
+        supermon = world.supermon("head", [mon.address])
+        supermon.start()
+        engine.run_for(16.0)
+        fabric.add_host("viewer")
+        got = {}
+        tcp.request(
+            "viewer", supermon.address, "#", lambda p, rtt: got.update(x=p)
+        )
+        engine.run_for(1.0)
+        assert got["x"].startswith("(supermon ")

@@ -1,0 +1,97 @@
+"""Tests for the gstat tools and CSV exporters."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench.export import figure5_csv, figure6_csv, table1_csv
+from repro.tools import gstat_from_agent, gstat_from_gmetad
+
+
+def parse_csv(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestGstat:
+    def test_from_agent(self, engine, fabric, tcp, rngs):
+        from repro.gmond.cluster import SimulatedCluster
+
+        cluster = SimulatedCluster.build(
+            engine, fabric, tcp, rngs, name="meteor", num_hosts=4
+        )
+        cluster.start()
+        engine.run_for(30.0)
+        text = gstat_from_agent(cluster.agents[2])
+        assert "CLUSTER meteor -- 4 up, 0 down" in text
+        assert "meteor-0-0" in text
+        assert "busiest:" in text
+
+    def test_from_agent_shows_dead_hosts(self, engine, fabric, tcp, rngs):
+        from repro.gmond.cluster import SimulatedCluster
+
+        cluster = SimulatedCluster.build(
+            engine, fabric, tcp, rngs, name="meteor", num_hosts=3
+        )
+        cluster.start()
+        engine.run_for(30.0)
+        cluster.agents[0].stop()
+        fabric.set_host_up("meteor-0-0", False)
+        engine.run_for(120.0)
+        text = gstat_from_agent(cluster.agents[1])
+        assert "2 up, 1 down" in text
+        assert "DOWN meteor-0-0" in text
+
+    def test_from_gmetad_federation(self, warm_nlevel_federation):
+        root = warm_nlevel_federation.gmetad("root")
+        text = gstat_from_gmetad(root)
+        assert "GRID sdsc" in text
+        assert "GRID ucsd" in text
+        assert "detail at http://gmeta-sdsc:8651/" in text
+
+    def test_from_gmetad_single_cluster(self, warm_nlevel_federation):
+        sdsc = warm_nlevel_federation.gmetad("sdsc")
+        text = gstat_from_gmetad(sdsc, source="sdsc-c1", show_hosts=True)
+        assert "CLUSTER sdsc-c1" in text
+        assert "sdsc-c1-0-0" in text
+
+    def test_unknown_source(self, warm_nlevel_federation):
+        root = warm_nlevel_federation.gmetad("root")
+        assert "unknown" in gstat_from_gmetad(root, source="ghost")
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    from repro.bench.experiments import run_figure5, run_figure6, run_table1
+
+    return {
+        "fig5": run_figure5(hosts_per_cluster=5, window=45.0, warmup=20.0),
+        "fig6": run_figure6(sizes=(5, 10), window=35.0, warmup=20.0),
+        "table1": run_table1(hosts_per_cluster=5, warmup=45.0, samples=1),
+    }
+
+
+class TestCsvExport:
+    def test_figure5_csv(self, small_results):
+        rows = parse_csv(figure5_csv(small_results["fig5"]))
+        assert rows[0][:3] == ["gmetad", "cpu_1level", "cpu_nlevel"]
+        assert len(rows) == 1 + 6
+        root = next(r for r in rows if r[0] == "root")
+        assert float(root[1]) > float(root[2])  # 1-level root busier
+
+    def test_figure6_csv(self, small_results):
+        rows = parse_csv(figure6_csv(small_results["fig6"]))
+        assert rows[0][0] == "cluster_size"
+        assert [r[0] for r in rows[1:]] == ["5", "10"]
+        for row in rows[1:]:
+            assert float(row[2]) < float(row[1])  # nlevel cheaper
+
+    def test_table1_csv(self, small_results):
+        rows = parse_csv(table1_csv(small_results["table1"]))
+        assert rows[0][0] == "design"
+        designs = {r[0] for r in rows[1:]}
+        assert designs == {"1level", "nlevel", "speedup"}
+        speedup_rows = [r for r in rows if r[0] == "speedup"]
+        assert len(speedup_rows) == 3
+        for row in speedup_rows:
+            assert float(row[2]) > 1.0

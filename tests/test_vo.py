@@ -1,0 +1,173 @@
+"""Tests for the VO policy layer and per-VO views."""
+
+import pytest
+
+from repro.core.gmetad import Gmetad
+from repro.core.tree import GmetadConfig
+from repro.gmond.pseudo import PseudoGmond
+from repro.vo.policy import ClusterSlice, VirtualOrganization, VoPolicy
+from repro.vo.service import VoDirectory, VoError
+from repro.wire.parser import parse_document
+
+
+class TestClusterSlice:
+    def test_exactly_one_grant_kind(self):
+        with pytest.raises(ValueError):
+            ClusterSlice(cluster="c")
+        with pytest.raises(ValueError):
+            ClusterSlice(cluster="c", prefix="a", fraction=0.5)
+
+    def test_explicit_hosts(self):
+        s = ClusterSlice(cluster="c", hosts=frozenset({"h1", "h2"}))
+        assert s.admits("vo", "h1")
+        assert not s.admits("vo", "h3")
+
+    def test_prefix(self):
+        s = ClusterSlice(cluster="c", prefix="gpu-")
+        assert s.admits("vo", "gpu-7")
+        assert not s.admits("vo", "cpu-7")
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ClusterSlice(cluster="c", fraction=0.0)
+        with pytest.raises(ValueError):
+            ClusterSlice(cluster="c", fraction=1.5)
+
+    def test_fraction_is_stable_and_roughly_sized(self):
+        s = ClusterSlice(cluster="c", fraction=0.5)
+        hosts = [f"h{i}" for i in range(400)]
+        admitted = {h for h in hosts if s.admits("vo", h)}
+        assert admitted == {h for h in hosts if s.admits("vo", h)}  # stable
+        assert 120 < len(admitted) < 280  # ~200 expected
+
+    def test_different_vos_get_different_samples(self):
+        s = ClusterSlice(cluster="c", fraction=0.5)
+        hosts = [f"h{i}" for i in range(200)]
+        a = {h for h in hosts if s.admits("atlas", h)}
+        b = {h for h in hosts if s.admits("cms", h)}
+        assert a != b
+
+
+class TestVoPolicy:
+    def test_duplicate_vo_rejected(self):
+        policy = VoPolicy()
+        policy.add(VirtualOrganization("a"))
+        with pytest.raises(ValueError):
+            policy.add(VirtualOrganization("a"))
+
+    def test_duplicate_grant_rejected(self):
+        vo = VirtualOrganization("a")
+        vo.grant(ClusterSlice(cluster="c", fraction=0.5))
+        with pytest.raises(ValueError):
+            vo.grant(ClusterSlice(cluster="c", fraction=0.2))
+
+    def test_partition_is_disjoint_and_complete(self):
+        policy = VoPolicy()
+        policy.partition_cluster("c", {"atlas": 0.5, "cms": 0.3, "ops": 0.2})
+        hosts = [f"h{i}" for i in range(500)]
+        owners = {}
+        for host in hosts:
+            for name in policy.names():
+                if policy.vo(name).admits("c", host):
+                    assert host not in owners, "overlapping slices"
+                    owners[host] = name
+        assert set(owners) == set(hosts)  # shares sum to 1 -> full cover
+        by_vo = {n: sum(1 for v in owners.values() if v == n) for n in policy.names()}
+        assert by_vo["atlas"] > by_vo["cms"] > by_vo["ops"]
+
+    def test_partition_over_one_rejected(self):
+        policy = VoPolicy()
+        with pytest.raises(ValueError):
+            policy.partition_cluster("c", {"a": 0.7, "b": 0.5})
+
+
+@pytest.fixture
+def directory(engine, fabric, tcp, rngs):
+    pseudo = PseudoGmond(
+        engine, fabric, tcp, "meteor", num_hosts=20, rng=rngs.stream("pg")
+    )
+    config = GmetadConfig(name="mon", host="gmeta-mon", archive_mode="account")
+    config.add_source("meteor", [pseudo.address])
+    gmetad = Gmetad(engine, fabric, tcp, config)
+    gmetad.start()
+    engine.run_for(40.0)
+    policy = VoPolicy()
+    atlas = policy.add(VirtualOrganization("atlas"))
+    atlas.grant(
+        ClusterSlice(
+            cluster="meteor",
+            hosts=frozenset({f"meteor-0-{i}" for i in range(5)}),
+        )
+    )
+    policy.partition_cluster("shared", {"atlas": 0.5})  # grant on absent cluster
+    return VoDirectory(gmetad, policy), gmetad
+
+
+class TestVoDirectory:
+    def test_filtered_cluster_contains_only_slice(self, directory):
+        vo_dir, _ = directory
+        filtered = vo_dir.filtered_cluster("atlas", "meteor")
+        assert set(filtered.hosts) == {f"meteor-0-{i}" for i in range(5)}
+
+    def test_unknown_vo_rejected(self, directory):
+        vo_dir, _ = directory
+        with pytest.raises(VoError):
+            vo_dir.filtered_cluster("ghost-vo", "meteor")
+
+    def test_ungranted_cluster_rejected(self, directory):
+        vo_dir, _ = directory
+        with pytest.raises(VoError):
+            vo_dir.filtered_cluster("atlas", "other-cluster")
+
+    def test_vo_summary_counts_slice_only(self, directory):
+        vo_dir, _ = directory
+        summary, included = vo_dir.vo_summary("atlas")
+        assert included == ["meteor"]
+        assert summary.hosts_total == 5
+        assert summary.metrics["cpu_num"].num == 5
+
+    def test_summary_charges_cpu(self, directory):
+        vo_dir, gmetad = directory
+        before = gmetad.cpu.total_busy_seconds
+        vo_dir.vo_summary("atlas")
+        assert gmetad.cpu.total_busy_seconds > before
+
+
+class TestVoQueries:
+    def test_summary_query(self, directory):
+        vo_dir, _ = directory
+        xml, seconds = vo_dir.serve("/vo/atlas")
+        assert seconds > 0
+        doc = parse_document(xml, validate=True)
+        grid = doc.grids["vo:atlas"]
+        assert grid.summary.hosts_total == 5
+
+    def test_cluster_query_enforces_slice(self, directory):
+        vo_dir, _ = directory
+        xml, _ = vo_dir.serve("/vo/atlas/meteor")
+        doc = parse_document(xml, validate=True)
+        hosts = set(doc.clusters["meteor"].hosts)
+        assert hosts == {f"meteor-0-{i}" for i in range(5)}
+        assert "meteor-0-7" not in hosts  # outside the grant, never visible
+
+    def test_host_query_inside_slice(self, directory):
+        vo_dir, _ = directory
+        xml, _ = vo_dir.serve("/vo/atlas/meteor/meteor-0-3")
+        doc = parse_document(xml, validate=True)
+        assert list(doc.clusters["meteor"].hosts) == ["meteor-0-3"]
+
+    def test_host_query_outside_slice_rejected(self, directory):
+        vo_dir, _ = directory
+        with pytest.raises(VoError):
+            vo_dir.serve("/vo/atlas/meteor/meteor-0-9")
+
+    @pytest.mark.parametrize("bad", ["/vo", "/vo/", "/x/atlas", "/vo/a/b/c/d"])
+    def test_malformed_vo_queries_rejected(self, directory, bad):
+        vo_dir, _ = directory
+        with pytest.raises(VoError):
+            vo_dir.serve(bad)
+
+    def test_is_vo_query(self, directory):
+        vo_dir, _ = directory
+        assert vo_dir.is_vo_query("/vo/atlas")
+        assert not vo_dir.is_vo_query("/meteor")

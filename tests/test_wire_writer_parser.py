@@ -1,0 +1,270 @@
+"""Unit tests for the Ganglia XML writer and streaming parser."""
+
+import pytest
+
+from repro.metrics.catalog import Slope
+from repro.metrics.types import MetricType
+from repro.wire.dtd import DtdError, check_element
+from repro.wire.escape import escape_attr, unescape_attr
+from repro.wire.model import (
+    ClusterElement,
+    GangliaDocument,
+    GridElement,
+    HostElement,
+    MetricElement,
+    MetricSummary,
+    SummaryInfo,
+)
+from repro.wire.parser import (
+    CountingHandler,
+    GangliaParser,
+    ParseError,
+    TreeBuilder,
+    parse_document,
+)
+from repro.wire.writer import write_document, write_fragment
+
+
+def sample_document() -> GangliaDocument:
+    doc = GangliaDocument(version="2.5.4", source="gmetad")
+    grid = GridElement(name="SDSC", authority="http://gmeta-sdsc:8651/")
+    cluster = ClusterElement(name="Meteor", owner="SDSC", localtime=120.0)
+    host = HostElement(name="compute-0-0", ip="10.0.0.1", reported=118.0, tn=2.0)
+    host.add_metric(
+        MetricElement("load_one", "0.89", MetricType.FLOAT, tn=5.0, tmax=70.0)
+    )
+    host.add_metric(
+        MetricElement("cpu_num", "2", MetricType.UINT16, units="CPUs",
+                      slope=Slope.ZERO)
+    )
+    host.add_metric(MetricElement("os_name", "Linux", MetricType.STRING))
+    cluster.add_host(host)
+    grid.add_cluster(cluster)
+    nested = GridElement(
+        name="ATTIC",
+        authority="http://gmeta-attic:8651/",
+        summary=SummaryInfo(hosts_up=10, hosts_down=1),
+    )
+    nested.summary.add_metric(
+        MetricSummary("load_one", total=17.56, num=10, mtype=MetricType.FLOAT)
+    )
+    nested.summary.add_metric(
+        MetricSummary("cpu_num", total=20, num=10, mtype=MetricType.UINT16)
+    )
+    grid.add_grid(nested)
+    doc.add_grid(grid)
+    return doc
+
+
+class TestEscape:
+    def test_round_trip(self):
+        original = 'a & b < c > d "quoted" \'single\''
+        assert unescape_attr(escape_attr(original)) == original
+
+    def test_plain_text_unchanged(self):
+        assert escape_attr("load_one") == "load_one"
+        assert unescape_attr("load_one") == "load_one"
+
+    def test_ampersand_first(self):
+        assert escape_attr("&lt;") == "&amp;lt;"
+        assert unescape_attr("&amp;lt;") == "&lt;"
+
+
+class TestDtd:
+    def test_root_must_be_ganglia_xml(self):
+        with pytest.raises(DtdError):
+            check_element("GRID", {"NAME": "x", "AUTHORITY": "y"}, None)
+
+    def test_containment_enforced(self):
+        with pytest.raises(DtdError):
+            check_element("HOST", {"NAME": "h"}, "GRID")
+
+    def test_required_attrs_enforced(self):
+        with pytest.raises(DtdError):
+            check_element("METRIC", {"NAME": "x", "VAL": "1"}, "HOST")
+
+    def test_unknown_attr_rejected(self):
+        with pytest.raises(DtdError):
+            check_element(
+                "HOSTS", {"UP": "1", "DOWN": "0", "COLOR": "red"}, "GRID"
+            )
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(DtdError):
+            check_element("BANANA", {}, "GRID")
+
+    def test_valid_passes(self):
+        check_element(
+            "METRIC", {"NAME": "x", "VAL": "1", "TYPE": "float"}, "HOST"
+        )
+
+
+class TestWriter:
+    def test_document_round_trips(self):
+        doc = sample_document()
+        xml = write_document(doc)
+        parsed = parse_document(xml)  # validating parse
+        assert parsed.version == "2.5.4"
+        meteor = parsed.grids["SDSC"].clusters["Meteor"]
+        assert meteor.hosts["compute-0-0"].metrics["load_one"].numeric() == 0.89
+        attic = parsed.grids["SDSC"].grids["ATTIC"]
+        assert attic.is_summary
+        assert attic.summary.hosts_up == 10
+        assert attic.summary.metrics["load_one"].mean() == pytest.approx(1.756)
+
+    def test_write_is_deterministic(self):
+        assert write_document(sample_document()) == write_document(
+            sample_document()
+        )
+
+    def test_serialization_stable_after_round_trip(self):
+        xml = write_document(sample_document())
+        assert write_document(parse_document(xml)) == xml
+
+    def test_summary_only_cluster(self):
+        cluster = ClusterElement(name="c")
+        cluster.summary = SummaryInfo(hosts_up=3, hosts_down=0)
+        fragment = write_fragment(cluster)
+        assert "<HOSTS UP=\"3\" DOWN=\"0\"/>" in fragment
+        assert "<HOST " not in fragment
+
+    def test_summary_only_without_summary_raises(self):
+        from repro.wire.writer import XmlWriter
+
+        with pytest.raises(ValueError):
+            XmlWriter().cluster(ClusterElement(name="c"), summary_only=True)
+
+    def test_escaping_in_attribute(self):
+        host = HostElement(name='evil"host<>')
+        fragment = write_fragment(host)
+        assert '"evil&quot;host&lt;&gt;"' in fragment
+
+    def test_fragment_types(self):
+        assert write_fragment(sample_document()).startswith("<?xml")
+        metric = MetricElement("m", "1", MetricType.FLOAT)
+        assert write_fragment(metric).startswith("<METRIC")
+        with pytest.raises(TypeError):
+            write_fragment(42)
+
+
+class TestParser:
+    def test_counting_handler(self):
+        xml = write_document(sample_document())
+        counter = CountingHandler()
+        events = GangliaParser().parse(xml, counter)
+        assert counter.starts == counter.ends
+        assert events == counter.starts + counter.ends
+        assert counter.by_element["METRIC"] == 3
+        assert counter.by_element["METRICS"] == 2
+        assert counter.by_element["HOSTS"] == 1
+
+    def test_validate_and_fast_paths_agree(self):
+        xml = write_document(sample_document())
+        strict = TreeBuilder()
+        GangliaParser(validate=True).parse(xml, strict)
+        fast = TreeBuilder()
+        GangliaParser(validate=False).parse(xml, fast)
+        assert write_document(strict.document) == write_document(fast.document)
+
+    def test_prolog_and_comments_skipped(self):
+        xml = (
+            '<?xml version="1.0"?>\n'
+            "<!-- a comment -->\n"
+            '<GANGLIA_XML VERSION="1" SOURCE="t"></GANGLIA_XML>'
+        )
+        doc = parse_document(xml)
+        assert doc.version == "1"
+
+    def test_whitespace_tolerant(self):
+        xml = (
+            '<GANGLIA_XML   VERSION="1"   SOURCE="t" >\n\n'
+            '  <CLUSTER NAME="c" LOCALTIME="0">\n'
+            '    <HOST NAME="h" REPORTED="0" TN="0" TMAX="20" DMAX="0"/>\n'
+            "  </CLUSTER>\n"
+            "</GANGLIA_XML>\n"
+        )
+        doc = parse_document(xml)
+        assert "h" in doc.clusters["c"].hosts
+
+    @pytest.mark.parametrize(
+        "xml",
+        [
+            "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">",          # unclosed
+            "</GANGLIA_XML>",                                     # unmatched close
+            "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\"></CLUSTER>", # mismatch
+            "",                                                    # empty
+            "<>",                                                  # empty tag
+        ],
+    )
+    def test_structural_errors_raise_in_both_modes(self, xml):
+        for validate in (True, False):
+            with pytest.raises(ParseError):
+                parse_document(xml, validate=validate)
+
+    def test_text_content_rejected_when_validating(self):
+        xml = '<GANGLIA_XML VERSION="1" SOURCE="t">bad text</GANGLIA_XML>'
+        with pytest.raises(ParseError):
+            parse_document(xml, validate=True)
+
+    def test_two_roots_rejected(self):
+        xml = (
+            '<GANGLIA_XML VERSION="1" SOURCE="t"></GANGLIA_XML>'
+            '<GANGLIA_XML VERSION="1" SOURCE="t"></GANGLIA_XML>'
+        )
+        with pytest.raises(ParseError):
+            parse_document(xml, validate=False)
+
+    def test_bad_metric_type_rejected(self):
+        xml = (
+            '<GANGLIA_XML VERSION="1" SOURCE="t"><CLUSTER NAME="c">'
+            '<HOST NAME="h"><METRIC NAME="m" VAL="1" TYPE="nope"/></HOST>'
+            "</CLUSTER></GANGLIA_XML>"
+        )
+        with pytest.raises(ParseError):
+            parse_document(xml, validate=False)
+
+    def test_bad_numeric_attr_rejected(self):
+        xml = (
+            '<GANGLIA_XML VERSION="1" SOURCE="t"><CLUSTER NAME="c">'
+            '<HOST NAME="h" TN="abc"/></CLUSTER></GANGLIA_XML>'
+        )
+        with pytest.raises(ParseError):
+            parse_document(xml)
+
+    def test_metric_outside_host_rejected(self):
+        xml = (
+            '<GANGLIA_XML VERSION="1" SOURCE="t"><CLUSTER NAME="c">'
+            '<METRIC NAME="m" VAL="1" TYPE="float"/></CLUSTER></GANGLIA_XML>'
+        )
+        with pytest.raises(ParseError):
+            parse_document(xml, validate=False)
+
+    def test_hosts_counts_parsed(self):
+        xml = (
+            '<GANGLIA_XML VERSION="1" SOURCE="t">'
+            '<GRID NAME="g" AUTHORITY="u"><HOSTS UP="7" DOWN="2"/></GRID>'
+            "</GANGLIA_XML>"
+        )
+        doc = parse_document(xml)
+        assert doc.grids["g"].summary.hosts_up == 7
+        assert doc.grids["g"].summary.hosts_down == 2
+
+    def test_duplicate_metrics_entries_merge(self):
+        """Two METRICS lines for the same name combine additively."""
+        xml = (
+            '<GANGLIA_XML VERSION="1" SOURCE="t">'
+            '<GRID NAME="g" AUTHORITY="u">'
+            '<METRICS NAME="x" SUM="5" NUM="2"/>'
+            '<METRICS NAME="x" SUM="7" NUM="3"/>'
+            "</GRID></GANGLIA_XML>"
+        )
+        doc = parse_document(xml)
+        summary = doc.grids["g"].summary.metrics["x"]
+        assert summary.total == 12.0
+        assert summary.num == 5
+
+    def test_position_reported_in_errors(self):
+        xml = '<GANGLIA_XML VERSION="1" SOURCE="t"><BAD></GANGLIA_XML>'
+        with pytest.raises(ParseError) as excinfo:
+            parse_document(xml, validate=True)
+        assert excinfo.value.position >= 0
