@@ -29,16 +29,24 @@ Layout:
   query engines, alarms, self-organizing tree
 - :mod:`repro.frontend` -- web-frontend emulation (Table 1)
 - :mod:`repro.faults` -- failure injection
+- :mod:`repro.pubsub` -- push delivery: delta-encoded publish-subscribe
 - :mod:`repro.bench` -- experiment drivers for every figure and table
 """
 
-from repro.bench.experiments import run_figure5, run_figure6, run_table1
+from repro.bench.experiments import (
+    run_figure5,
+    run_figure6,
+    run_pubsub_comparison,
+    run_table1,
+)
 from repro.bench.topology import Federation, build_paper_tree
 from repro.core.gmetad import Gmetad
 from repro.core.gmetad_1level import OneLevelGmetad
 from repro.core.query import GmetadQuery
 from repro.core.tree import DataSourceConfig, GmetadConfig, MonitorTree
-from repro.frontend.viewer import WebFrontend
+from repro.frontend.viewer import PushFrontend, WebFrontend
+from repro.pubsub.broker import PubSubBroker
+from repro.pubsub.client import PushClient
 from repro.gmond.cluster import SimulatedCluster
 from repro.gmond.pseudo import PseudoGmond
 from repro.net.address import Address
@@ -69,9 +77,13 @@ __all__ = [
     "DataSourceConfig",
     "MonitorTree",
     "WebFrontend",
+    "PushFrontend",
+    "PubSubBroker",
+    "PushClient",
     "Federation",
     "build_paper_tree",
     "run_figure5",
     "run_figure6",
+    "run_pubsub_comparison",
     "run_table1",
 ]

@@ -17,7 +17,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.reporting import format_bar_chart, format_table
-from repro.bench.topology import PAPER_GMETA_ORDER, build_paper_tree
+from repro.bench.topology import (
+    Federation,
+    PAPER_GMETA_ORDER,
+    build_paper_tree,
+)
 from repro.frontend.costmodel import PhpSaxCostModel
 from repro.frontend.viewer import ViewTiming, WebFrontend
 from repro.sim.resources import CostModel
@@ -302,3 +306,231 @@ def run_table1(
             timings[design][view] = mean
         federation.stop()
     return Table1Result(hosts_per_cluster=hosts_per_cluster, timings=timings)
+
+
+# ---------------------------------------------------------------------------
+# Experiment 4 (extension): push vs poll delivery at equal freshness
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PubSubResult:
+    """Push (repro.pubsub) vs poll (WebFrontend) at equal freshness.
+
+    One viewer per cluster watches its cluster view.  Poll mode
+    re-downloads the view every ``view_interval`` seconds; push mode
+    subscribes once and receives delta notifications.  ``*_bytes`` count
+    everything the viewers put on the wire (responses + requests for
+    poll; notifications + control traffic for push) during the window.
+    """
+
+    cluster_counts: Tuple[int, ...]
+    hosts_per_cluster: int
+    window: float
+    view_interval: float
+    refresh_interval: float
+    poll_bytes: List[int]
+    push_bytes: List[int]
+    poll_root_cpu: List[float]
+    push_root_cpu: List[float]
+    push_deltas: List[int]
+    push_full_syncs: List[int]
+
+    def savings(self, i: int) -> float:
+        """Fraction of poll bytes that push delivery avoided."""
+        return 1.0 - self.push_bytes[i] / max(1, self.poll_bytes[i])
+
+    def report(self) -> str:
+        rows = [
+            (
+                count,
+                self.poll_bytes[i],
+                self.push_bytes[i],
+                100.0 * self.savings(i),
+                self.poll_root_cpu[i],
+                self.push_root_cpu[i],
+            )
+            for i, count in enumerate(self.cluster_counts)
+        ]
+        table = format_table(
+            [
+                "clusters",
+                "poll bytes",
+                "push bytes",
+                "saved %",
+                "poll root %CPU",
+                "push root %CPU",
+            ],
+            rows,
+            title=(
+                "Push vs poll delivery at equal freshness "
+                f"({self.hosts_per_cluster}-host clusters, "
+                f"view every {self.view_interval:.0f}s, values change every "
+                f"{self.refresh_interval:.0f}s, {self.window:.0f}s window)"
+            ),
+        )
+        chart = format_bar_chart(
+            {
+                f"{count} poll": self.poll_bytes[i]
+                for i, count in enumerate(self.cluster_counts)
+            }
+            | {
+                f"{count} push": self.push_bytes[i]
+                for i, count in enumerate(self.cluster_counts)
+            },
+            title="bytes on wire (viewer-facing):",
+            unit=" B",
+        )
+        return f"{table}\n\n{chart}"
+
+
+def _star_federation(
+    clusters: int,
+    hosts_per_cluster: int,
+    seed: int,
+    poll_interval: float,
+    refresh_interval: float,
+    costs: Optional[CostModel],
+) -> Federation:
+    """C pseudo clusters under a single root gmetad."""
+    return build_paper_tree(
+        "nlevel",
+        hosts_per_cluster=hosts_per_cluster,
+        seed=seed,
+        poll_interval=poll_interval,
+        archive_mode="account",
+        costs=costs,
+        attachment={"root": clusters},
+        trust_edges=[],
+        refresh_interval=refresh_interval,
+    )
+
+
+def run_pubsub_comparison(
+    cluster_counts: Sequence[int] = (2, 4, 8),
+    hosts_per_cluster: int = 16,
+    window: float = 240.0,
+    warmup: float = 60.0,
+    view_interval: float = 15.0,
+    refresh_interval: float = 240.0,
+    seed: int = 14,
+    poll_interval: float = 15.0,
+    costs: Optional[CostModel] = None,
+    php_costs: Optional[PhpSaxCostModel] = None,
+) -> PubSubResult:
+    """Sweep federation width; measure both delivery modes.
+
+    Low change rate by construction: pseudo-gmond values re-randomize
+    every ``refresh_interval`` (240 s) while poll-mode viewers refresh
+    every ``view_interval`` (15 s) -- the regime where delta encoding
+    pays, since most poll downloads carry unchanged values.
+    """
+    if warmup < 2.0 * poll_interval:
+        raise ValueError(
+            f"warmup ({warmup:g}s) must cover at least two poll cycles "
+            f"({2.0 * poll_interval:g}s) so cluster views are populated"
+        )
+    poll_bytes: List[int] = []
+    push_bytes: List[int] = []
+    poll_root_cpu: List[float] = []
+    push_root_cpu: List[float] = []
+    push_deltas: List[int] = []
+    push_full_syncs: List[int] = []
+
+    for count in cluster_counts:
+        # -- poll mode ----------------------------------------------------
+        federation = _star_federation(
+            count, hosts_per_cluster, seed, poll_interval,
+            refresh_interval, costs,
+        )
+        federation.start()
+        engine = federation.engine
+        root = federation.gmetad("root")
+        viewers = [
+            WebFrontend(
+                engine,
+                federation.fabric,
+                federation.tcp,
+                target=root.address,
+                design="nlevel",
+                host=f"viewer-{i}",
+                costs=php_costs,
+            )
+            for i in range(count)
+        ]
+        engine.run_for(warmup)
+        federation.reset_cpu_windows()
+        total = 0
+        end = engine.now + window
+        while engine.now < end:
+            for i, viewer in enumerate(viewers):
+                _, timing = viewer.render_view(
+                    "cluster", cluster=f"root-c{i}"
+                )
+                total += timing.bytes_received + len(timing.query)
+            remaining = end - engine.now
+            if remaining <= 0:
+                break
+            engine.run_for(min(view_interval, remaining))
+        poll_bytes.append(total)
+        poll_root_cpu.append(root.cpu.cpu_percent(engine.now))
+        federation.stop()
+
+        # -- push mode ----------------------------------------------------
+        federation = _star_federation(
+            count, hosts_per_cluster, seed, poll_interval,
+            refresh_interval, costs,
+        )
+        federation.start()
+        engine = federation.engine
+        root = federation.gmetad("root")
+        broker = root.attach_pubsub()
+        from repro.pubsub.client import PushClient
+
+        clients = [
+            PushClient(
+                engine,
+                federation.fabric,
+                federation.tcp,
+                broker.address,
+                path=f"/root-c{i}",
+                host=f"push-viewer-{i}",
+                sub_id=f"push-viewer-{i}",
+                costs=php_costs,
+            ).start()
+            for i in range(count)
+        ]
+        engine.run_for(warmup)
+        federation.reset_cpu_windows()
+        before = sum(c.bytes_received + c.control_bytes_sent for c in clients)
+        before_deltas = sum(c.deltas_received for c in clients)
+        before_fulls = sum(c.full_syncs_received for c in clients)
+        engine.run_for(window)
+        push_bytes.append(
+            sum(c.bytes_received + c.control_bytes_sent for c in clients)
+            - before
+        )
+        push_deltas.append(
+            sum(c.deltas_received for c in clients) - before_deltas
+        )
+        push_full_syncs.append(
+            sum(c.full_syncs_received for c in clients) - before_fulls
+        )
+        push_root_cpu.append(root.cpu.cpu_percent(engine.now))
+        for client in clients:
+            client.stop()
+        broker.stop()
+        federation.stop()
+
+    return PubSubResult(
+        cluster_counts=tuple(cluster_counts),
+        hosts_per_cluster=hosts_per_cluster,
+        window=window,
+        view_interval=view_interval,
+        refresh_interval=refresh_interval,
+        poll_bytes=poll_bytes,
+        push_bytes=push_bytes,
+        poll_root_cpu=poll_root_cpu,
+        push_root_cpu=push_root_cpu,
+        push_deltas=push_deltas,
+        push_full_syncs=push_full_syncs,
+    )

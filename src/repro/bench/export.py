@@ -16,6 +16,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.bench.experiments import (
         Figure5Result,
         Figure6Result,
+        PubSubResult,
         Table1Result,
     )
 
@@ -99,6 +100,36 @@ def table1_csv(result: "Table1Result") -> str:
         [
             "design", "view", "total_s", "download_s", "parse_s",
             "bytes", "sax_events",
+        ],
+        rows,
+    )
+
+
+def pubsub_csv(result: "PubSubResult") -> str:
+    """One row per cluster count: bytes and root CPU for both modes."""
+    rows = [
+        [
+            count,
+            result.poll_bytes[i],
+            result.push_bytes[i],
+            f"{result.savings(i):.4f}",
+            f"{result.poll_root_cpu[i]:.4f}",
+            f"{result.push_root_cpu[i]:.4f}",
+            result.push_deltas[i],
+            result.push_full_syncs[i],
+        ]
+        for i, count in enumerate(result.cluster_counts)
+    ]
+    return _csv(
+        [
+            "clusters",
+            "poll_bytes",
+            "push_bytes",
+            "bytes_saved_frac",
+            "poll_root_cpu",
+            "push_root_cpu",
+            "push_deltas",
+            "push_full_syncs",
         ],
         rows,
     )

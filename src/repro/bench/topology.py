@@ -21,7 +21,7 @@ gmetad's :class:`~repro.sim.resources.CpuAccount`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.gmetad import Gmetad
 from repro.core.gmetad_1level import OneLevelGmetad
@@ -134,6 +134,8 @@ def build_paper_tree(
     engine: Optional[Engine] = None,
     attachment: Optional[Dict[str, int]] = None,
     freeze_values: bool = False,
+    trust_edges: Optional[List[Tuple[str, str]]] = None,
+    refresh_interval: Optional[float] = None,
 ) -> Federation:
     """Build the Fig. 2 federation for one design.
 
@@ -147,6 +149,13 @@ def build_paper_tree(
     but the emulator skips re-randomizing, which speeds up the largest
     sweeps.  Only use it for CPU measurements, never for archive
     content.
+
+    ``attachment`` and ``trust_edges`` together describe a custom
+    topology (e.g. a star of C clusters under one root for the pub-sub
+    benchmarks); they default to the paper's Fig. 2 tree.
+    ``refresh_interval`` overrides how often pseudo-gmond metric values
+    change -- the *change rate* knob the delta-encoding experiments
+    sweep (default: once per poll interval).
     """
     engine = engine or Engine()
     fabric = Fabric()
@@ -154,6 +163,8 @@ def build_paper_tree(
     rngs = RngRegistry(seed)
     tree = MonitorTree()
     attachment = attachment or PAPER_CLUSTER_ATTACHMENT
+    if trust_edges is None:
+        trust_edges = PAPER_TRUST_EDGES
 
     configs: Dict[str, GmetadConfig] = {}
     for name in attachment:
@@ -177,12 +188,20 @@ def build_paper_tree(
                 cluster_name,
                 hosts_per_cluster,
                 rngs.stream(f"pseudo:{cluster_name}"),
-                refresh_interval=float("inf") if freeze_values else poll_interval,
+                refresh_interval=(
+                    float("inf")
+                    if freeze_values
+                    else (
+                        refresh_interval
+                        if refresh_interval is not None
+                        else poll_interval
+                    )
+                ),
             )
             pseudos[cluster_name] = pseudo
             configs[gmeta_name].add_source(cluster_name, [pseudo.address])
 
-    for parent, child in PAPER_TRUST_EDGES:
+    for parent, child in trust_edges:
         tree.add_trust(parent, child)
 
     cls = _gmetad_class(design)

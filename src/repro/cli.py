@@ -4,6 +4,8 @@ Subcommands:
 
 - ``experiment {fig5,fig6,table1,all}`` -- run the paper's experiments
   and print the paper-style reports;
+- ``pubsub`` -- compare push (repro.pubsub) against poll delivery at
+  equal freshness across federation widths;
 - ``run`` -- run the Fig. 2 federation for a while and print the meta
   view and per-gmetad CPU;
 - ``query`` -- build the federation, issue one path query against a
@@ -68,6 +70,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             ).report()
         )
     print("\n\n".join(reports))
+    return 0
+
+
+def _cmd_pubsub(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import run_pubsub_comparison
+    from repro.bench.export import pubsub_csv
+
+    try:
+        result = run_pubsub_comparison(
+            cluster_counts=tuple(args.clusters),
+            hosts_per_cluster=args.hosts,
+            window=args.window,
+            warmup=args.warmup,
+            refresh_interval=args.change_interval,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.report())
+    if args.csv:
+        try:
+            with open(args.csv, "w") as handle:
+                handle.write(pubsub_csv(result))
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"\nwrote {args.csv}")
     return 0
 
 
@@ -209,6 +239,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--paper-sizes", action="store_true",
                    help="fig6: use the paper's 10..500 host sizes (slow)")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "pubsub", help="compare push vs poll delivery at equal freshness"
+    )
+    p.add_argument("--clusters", type=int, nargs="+", default=[2, 4, 8],
+                   help="federation widths to sweep (default 2 4 8)")
+    p.add_argument("--change-interval", type=float, default=240.0,
+                   help="seconds between metric value changes (default 240)")
+    p.add_argument("--csv", default=None,
+                   help="also write the series to this CSV file")
+    _add_common(p)
+    p.set_defaults(func=_cmd_pubsub)
 
     p = sub.add_parser("run", help="run the Fig. 2 federation once")
     p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")

@@ -140,3 +140,14 @@ class Gmetad(GmetadBase):
     def resolve(self, query_text: str):
         """Resolve a query to model elements without serialization."""
         return self.query_engine.resolve(GmetadQuery.parse(query_text))
+
+    def attach_pubsub(self, **kwargs):
+        """Create and start a pub-sub broker riding on this daemon.
+
+        Keyword arguments are forwarded to
+        :class:`repro.pubsub.broker.PubSubBroker` (``lease``,
+        ``max_queue``, ``upstreams``, ...).
+        """
+        from repro.pubsub.broker import PubSubBroker
+
+        return PubSubBroker(self, **kwargs).start()

@@ -119,6 +119,10 @@ class GmetadBase:
         #: optional tap called as (source, xml, sim_time) before every
         #: ingest -- used by the trace recorder (repro.bench.trace)
         self.ingest_tap = None
+        #: hooks called as (source, sim_time) after every datastore
+        #: change -- successful ingest or failure marking.  The pub-sub
+        #: broker (repro.pubsub) registers here to publish deltas.
+        self.publish_hooks: List = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -200,15 +204,22 @@ class GmetadBase:
         except ParseError as exc:
             self.parse_errors += 1
             self.datastore.mark_failure(source, now, f"parse error: {exc}")
+            self._publish(source, now)
             return
         self.charge(
             self.costs.hash_insert * document_element_count(doc), "parse"
         )
         self.polls_ingested += 1
         self.ingest(source, doc, now)
+        self._publish(source, now)
 
     def _on_source_down(self, source: str, error: str) -> None:
         self.datastore.mark_failure(source, self.engine.now, error)
+        self._publish(source, self.engine.now)
+
+    def _publish(self, source: str, now: float) -> None:
+        for hook in self.publish_hooks:
+            hook(source, now)
 
     # -- serving path (query timescale) -----------------------------------
 

@@ -17,7 +17,7 @@ failures do not cause permanent fissures in the monitoring tree".
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.core.tree import DataSourceConfig
 from repro.net.address import Address
@@ -58,6 +58,11 @@ class DataSourcePoller:
         self.successes = 0
         self.failovers = 0
         self.down_reports = 0
+        #: most recent timeout error (None after a successful poll);
+        #: its ``address`` names the endpoint that failed to answer
+        self.last_timeout: Optional[TcpTimeout] = None
+        #: endpoints that timed out in the current fail-over cycle
+        self._cycle_failures: List[Address] = []
         self._task: Optional[PeriodicTask] = None
         self._initial_delay = (
             initial_delay if initial_delay is not None else config.poll_interval
@@ -110,6 +115,8 @@ class DataSourcePoller:
     def _on_response(self, payload: object, rtt: float) -> None:
         self._in_flight = False
         self._failures_this_cycle = 0
+        self._cycle_failures.clear()
+        self.last_timeout = None
         self.successes += 1
         self.on_data(self.config.name, str(payload), rtt)
 
@@ -117,12 +124,21 @@ class DataSourcePoller:
         self._in_flight = False
         self._failures_this_cycle += 1
         self.failovers += 1
+        self.last_timeout = error
+        self._cycle_failures.append(error.address)
         # advance to the next redundant endpoint for the next attempt
         self._address_index = (self._address_index + 1) % len(
             self.config.addresses
         )
         if self._failures_this_cycle >= len(self.config.addresses):
-            # every endpoint failed: the cluster is unreachable
+            # every endpoint failed: the cluster is unreachable; name
+            # the endpoints tried so the failure is diagnosable from
+            # the datastore's last_error alone
+            tried = ", ".join(str(a) for a in self._cycle_failures)
             self._failures_this_cycle = 0
+            self._cycle_failures.clear()
             self.down_reports += 1
-            self.on_source_down(self.config.name, str(error))
+            self.on_source_down(
+                self.config.name,
+                f"{error} after failing over across [{tried}]",
+            )

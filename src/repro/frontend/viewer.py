@@ -12,7 +12,7 @@ model only converts its work into the paper's PHP-speed seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.frontend.costmodel import PhpSaxCostModel
 from repro.frontend.views import build_view
@@ -156,3 +156,109 @@ class WebFrontend:
             sax_events=events,
         )
         return page, timing
+
+
+class PushFrontend:
+    """Push-mode twin of :class:`WebFrontend` (repro.pubsub delivery).
+
+    Instead of downloading and parsing XML per page view, a push
+    frontend subscribes once to a gmetad's pub-sub broker; delta
+    notifications keep a local mirror current.  ``render_view`` then
+    reads the mirror with **zero download time** -- the transfer and
+    parse work already happened incrementally as deltas arrived.  To
+    keep :class:`ViewTiming` comparable with the polling frontend, each
+    render reports the apply cost and bytes received *since the
+    previous render* (the work push delivery spent keeping this page
+    fresh), priced by the same :class:`PhpSaxCostModel`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        broker: Address,
+        path: str = "/",
+        host: str = "push-frontend",
+        port: Optional[int] = None,
+        **client_kwargs,
+    ) -> None:
+        from repro.pubsub.client import PUSH_NOTIFY_PORT, PushClient
+
+        self.client = PushClient(
+            engine,
+            fabric,
+            tcp,
+            broker,
+            path=path,
+            host=host,
+            port=port if port is not None else PUSH_NOTIFY_PORT,
+            **client_kwargs,
+        )
+        self._accounted_seconds = 0.0
+        self._accounted_bytes = 0
+        self.pages_rendered = 0
+
+    def start(self) -> "PushFrontend":
+        """Subscribe and begin mirroring."""
+        self.client.start()
+        return self
+
+    def stop(self) -> None:
+        self.client.stop()
+
+    @property
+    def connected(self) -> bool:
+        return self.client.connected
+
+    def render_view(
+        self,
+        view: str,
+        cluster: Optional[str] = None,
+        host: Optional[str] = None,
+    ) -> Tuple[Dict[str, str], ViewTiming]:
+        """Read one page out of the mirror; returns ``(rows, timing)``.
+
+        ``rows`` maps flat state paths (see :mod:`repro.pubsub.delta`)
+        to values, scoped exactly like the polling frontend's views:
+        ``meta`` -> source liveness and summaries, ``cluster`` -> one
+        source subtree, ``host`` -> one host subtree.
+        """
+        if view not in ("meta", "cluster", "host"):
+            raise ValueError(f"unknown view {view!r}")
+        if not self.client.stream.synced:
+            raise ViewError(f"push mirror for {self.client.sub_id} not synced")
+        state = self.client.state
+        if view == "meta":
+            # source-level rows only: liveness bits and summaries
+            rows = {
+                k: v
+                for k, v in state.items()
+                if "/" not in k.split("?")[0]
+            }
+        else:
+            if cluster is None:
+                raise ValueError(f"{view} view needs a cluster name")
+            prefix = cluster if host is None else f"{cluster}/{host}"
+            if view == "host" and host is None:
+                raise ValueError("host view needs cluster and host names")
+            rows = {
+                k: v
+                for k, v in state.items()
+                if k == prefix or k.startswith(prefix + "/")
+                or k.startswith(prefix + "?")
+            }
+        self.pages_rendered += 1
+        seconds = self.client.apply_seconds_total - self._accounted_seconds
+        received = self.client.bytes_received - self._accounted_bytes
+        self._accounted_seconds = self.client.apply_seconds_total
+        self._accounted_bytes = self.client.bytes_received
+        timing = ViewTiming(
+            view=view,
+            query=self.client.path,
+            download_seconds=0.0,
+            parse_seconds=seconds,
+            bytes_received=received,
+            sax_events=len(rows),
+        )
+        return rows, timing

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 GMOND_XML_PORT = 8649
 #: Port on which gmetad serves federation XML and path queries.
 GMETAD_XML_PORT = 8651
+#: Port on which a gmetad's pub-sub broker accepts subscriptions.
+GMETAD_PUBSUB_PORT = 8652
 
 
 @dataclass(frozen=True, order=True)
@@ -41,3 +43,8 @@ class Address:
     def gmetad(cls, host: str) -> "Address":
         """The gmetad XML/query endpoint on ``host``."""
         return cls(host, GMETAD_XML_PORT)
+
+    @classmethod
+    def pubsub(cls, host: str) -> "Address":
+        """The pub-sub broker endpoint on ``host``."""
+        return cls(host, GMETAD_PUBSUB_PORT)

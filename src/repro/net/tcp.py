@@ -27,12 +27,25 @@ from repro.sim.engine import Engine, Event
 
 
 class TcpTimeout(Exception):
-    """Raised/reported when a request sees no response within the timeout."""
+    """Raised/reported when a request sees no response within the timeout.
 
-    def __init__(self, address: Address, timeout: float) -> None:
-        super().__init__(f"timeout after {timeout}s connecting to {address}")
+    Carries the diagnostic context a caller needs to react without
+    keeping its own bookkeeping: the target :class:`Address` that never
+    answered, the client host that asked, and the timeout that elapsed.
+    The poller's fail-over and the pub-sub reconnect logic both key off
+    ``address``.
+    """
+
+    def __init__(
+        self, address: Address, timeout: float, client: Optional[str] = None
+    ) -> None:
+        who = f" (from {client})" if client else ""
+        super().__init__(
+            f"timeout after {timeout}s connecting to {address}{who}"
+        )
         self.address = address
         self.timeout = timeout
+        self.client = client
 
 
 @dataclass
@@ -135,7 +148,7 @@ class TcpNetwork:
             timed_out["flag"] = True
             self.timeouts += 1
             if on_timeout is not None:
-                on_timeout(TcpTimeout(address, timeout))
+                on_timeout(TcpTimeout(address, timeout, client))
 
         timeout_event: Event = self._engine.call_later(timeout, fire_timeout)
 

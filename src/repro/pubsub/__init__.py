@@ -1,0 +1,51 @@
+"""Hierarchical publish-subscribe delivery with delta-encoded updates.
+
+The paper's N-level design (§2.2-2.3) still makes every consumer *poll*:
+gmetad re-fetches whole child XML trees on a period, and frontend
+viewers re-download the subtree they display even when nothing changed.
+This package replaces the consumer-facing half of that pull loop with an
+interest-scoped push overlay, following the hierarchical pub-sub shape
+evaluated by Zuzak et al. (PAPERS.md) and R-GMA's producer/consumer
+split:
+
+- :mod:`repro.pubsub.registry` -- subscriptions keyed by query-engine
+  paths (exact ``/meteor/compute-0-0`` or regex ``~/...`` paths) with
+  lease-based soft-state expiry mirroring gmond heartbeats;
+- :mod:`repro.pubsub.delta` -- diffs successive datastore snapshots into
+  compact delta operations, with sequence numbers and full-sync
+  fallback for subscribers that miss updates;
+- :mod:`repro.pubsub.folding` -- in-tree subscription aggregation: an
+  interior broker folds its subscribers' paths into covering paths and
+  holds ONE upstream subscription per covering path, so notification
+  fan-out follows the monitoring tree instead of O(subscribers) root
+  connections;
+- :mod:`repro.pubsub.broker` -- the per-gmetad broker: subscribe /
+  renew / sync service, per-subscriber bounded queues with
+  drop-to-full-sync backpressure, upstream relay links;
+- :mod:`repro.pubsub.client` -- the subscriber side: mirror state,
+  gap detection, reconnect and re-subscribe after lease loss.
+
+The broker charges all of its CPU to the host gmetad's
+:class:`~repro.sim.resources.CpuAccount`, so push-vs-poll comparisons
+(``benchmarks/test_pubsub_vs_poll.py``) use the same accounting as the
+paper's Figure 5/6 experiments.
+"""
+
+from repro.pubsub.broker import PubSubBroker
+from repro.pubsub.client import DeltaStream, PushClient
+from repro.pubsub.delta import DeltaEngine, DeltaOp, diff_states, flatten_datastore
+from repro.pubsub.folding import covering_paths
+from repro.pubsub.registry import Subscription, SubscriptionRegistry
+
+__all__ = [
+    "PubSubBroker",
+    "PushClient",
+    "DeltaStream",
+    "DeltaEngine",
+    "DeltaOp",
+    "diff_states",
+    "flatten_datastore",
+    "covering_paths",
+    "Subscription",
+    "SubscriptionRegistry",
+]

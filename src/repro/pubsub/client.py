@@ -1,0 +1,298 @@
+"""The subscriber side: mirror state, gap detection, reconnection.
+
+:class:`DeltaStream` is the protocol core -- a mirror of the broker's
+flattened state plus the sequence bookkeeping that decides whether an
+incoming message applies cleanly, is a duplicate, or reveals a gap
+(missed sequence numbers) that only a full sync can repair.  It is
+shared by :class:`PushClient` (an end subscriber with its own TCP
+listener) and the broker's upstream relay links
+(:class:`repro.pubsub.broker.UpstreamLink`).
+
+:class:`PushClient` is the failure-handling shell around the stream:
+
+- it renews its lease on a heartbeat-like period;
+- a renewal timeout (the broker is partitioned/dead -- observed through
+  the poller-style per-request ``on_timeout`` diagnostics, which name
+  the endpoint that timed out) marks the client disconnected;
+- once disconnected, every renewal tick attempts a fresh subscribe,
+  whose response is a full sync -- the reconnect-after-partition path;
+- a delta whose ``prev`` does not extend the applied chain triggers an
+  explicit sync request.
+
+Received bytes and apply work are charged through the frontend's
+existing :class:`~repro.frontend.costmodel.PhpSaxCostModel`, so push
+and poll viewers are compared under the same cost accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.frontend.costmodel import PhpSaxCostModel
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.net.tcp import Response, TcpNetwork, TcpTimeout
+from repro.pubsub import messages
+from repro.pubsub.delta import apply_ops
+from repro.sim.engine import Engine, PeriodicTask
+
+#: First port of the range push subscribers listen on.
+PUSH_NOTIFY_PORT = 8700
+
+
+class DeltaStream:
+    """Sequence-tracked mirror of a broker's published state."""
+
+    def __init__(self) -> None:
+        self.mirror: Dict[str, str] = {}
+        self.last_seq: int = -1
+        self.synced = False
+        # outcome counters
+        self.deltas_applied = 0
+        self.duplicates_ignored = 0
+        self.gaps_detected = 0
+        self.full_syncs_applied = 0
+
+    def apply_message(self, message: dict) -> str:
+        """Fold one ``delta``/``full`` message in; returns the outcome.
+
+        Outcomes: ``"synced"`` (full sync installed), ``"applied"``
+        (delta extended the chain), ``"duplicate"`` (already seen,
+        e.g. a retransmit after a lost ack), ``"gap"`` (sequence
+        numbers were missed -- caller must full-sync), ``"unsynced"``
+        (delta before any full sync -- ditto).
+        """
+        kind = message.get("t")
+        if kind == "full":
+            if self.synced and int(message["seq"]) < self.last_seq:
+                # an older sync crossing a newer one in transit
+                self.duplicates_ignored += 1
+                return "duplicate"
+            self.mirror = dict(message["state"])
+            self.last_seq = int(message["seq"])
+            self.synced = True
+            self.full_syncs_applied += 1
+            return "synced"
+        if kind != "delta":
+            raise messages.MessageError(f"not a data message: {kind!r}")
+        if not self.synced:
+            return "unsynced"
+        seq, prev = int(message["seq"]), int(message["prev"])
+        if seq <= self.last_seq:
+            self.duplicates_ignored += 1
+            return "duplicate"
+        if prev != self.last_seq:
+            self.gaps_detected += 1
+            return "gap"
+        apply_ops(self.mirror, messages.ops_of(message))
+        self.last_seq = seq
+        self.deltas_applied += 1
+        return "applied"
+
+
+class PushClient:
+    """One push subscriber: subscribes, listens, renews, recovers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        broker: Address,
+        path: str = "/",
+        host: str = "push-viewer",
+        port: int = PUSH_NOTIFY_PORT,
+        sub_id: Optional[str] = None,
+        lease: float = 60.0,
+        renew_interval: Optional[float] = None,
+        request_timeout: float = 5.0,
+        costs: Optional[PhpSaxCostModel] = None,
+    ) -> None:
+        self.engine = engine
+        self.tcp = tcp
+        self.broker = broker
+        self.path = path
+        self.host = host
+        self.lease = lease
+        self.renew_interval = (
+            renew_interval if renew_interval is not None else lease / 3.0
+        )
+        self.request_timeout = request_timeout
+        self.costs = costs or PhpSaxCostModel()
+        self.sub_id = sub_id or f"{host}:{port}"
+        self.notify_address = Address(host, port)
+        self.stream = DeltaStream()
+        if not fabric.has_host(host):
+            fabric.add_host(host)
+        self.connected = False
+        self._renew_task: Optional[PeriodicTask] = None
+        self._subscribe_in_flight = False
+        self._sync_in_flight = False
+        self._started = False
+        # accounting
+        self.bytes_received = 0
+        self.control_bytes_sent = 0
+        self.deltas_received = 0
+        self.full_syncs_received = 0
+        self.apply_seconds_total = 0.0
+        self.timeouts = 0
+        self.reconnects = 0
+        #: last endpoint that timed out on us (the per-request timeout
+        #: diagnostic carries the target Address)
+        self.last_timeout: Optional[TcpTimeout] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "PushClient":
+        """Listen for notifications, subscribe, arm the renewal task."""
+        if self._started:
+            raise RuntimeError(f"push client {self.sub_id} already started")
+        self._started = True
+        self.tcp.listen(self.notify_address, self._on_notify)
+        self._send_subscribe()
+        self._renew_task = self.engine.every(
+            self.renew_interval, self._renew_tick
+        )
+        return self
+
+    def stop(self) -> None:
+        """Stop renewing and close the listener (best-effort unsubscribe)."""
+        if self._renew_task is not None:
+            self._renew_task.stop()
+            self._renew_task = None
+        if self.connected:
+            self._request(messages.unsubscribe(self.sub_id), lambda m: None)
+        self.tcp.close(self.notify_address)
+        self._started = False
+
+    @property
+    def state(self) -> Dict[str, str]:
+        """The mirrored flat state (see :mod:`repro.pubsub.delta`)."""
+        return self.stream.mirror
+
+    # -- control-plane requests --------------------------------------------
+
+    def _request(self, message: dict, on_reply, *, track_timeout=None) -> None:
+        encoded = messages.encode(message)
+        self.control_bytes_sent += len(encoded)
+
+        def on_response(payload: object, rtt: float) -> None:
+            on_reply(messages.decode(payload))
+
+        def on_timeout(error: TcpTimeout) -> None:
+            self.timeouts += 1
+            self.last_timeout = error
+            if track_timeout is not None:
+                track_timeout(error)
+
+        self.tcp.request(
+            self.host,
+            self.broker,
+            encoded,
+            on_response=on_response,
+            timeout=self.request_timeout,
+            on_timeout=on_timeout,
+            request_size=len(encoded),
+        )
+
+    def _send_subscribe(self) -> None:
+        # a reply racing a stop() must not resurrect the subscription
+        if not self._started or self._subscribe_in_flight:
+            return
+        self._subscribe_in_flight = True
+
+        def on_reply(message: dict) -> None:
+            self._subscribe_in_flight = False
+            if message.get("t") == "full":
+                self._apply_data(message, messages.encode(message))
+                if not self.connected:
+                    self.connected = True
+            else:
+                self.connected = False
+
+        def on_timeout(error: TcpTimeout) -> None:
+            self._subscribe_in_flight = False
+            self.connected = False
+
+        self._request(
+            messages.subscribe(
+                self.sub_id,
+                self.path,
+                self.lease,
+                self.notify_address.host,
+                self.notify_address.port,
+            ),
+            on_reply,
+            track_timeout=on_timeout,
+        )
+
+    def _renew_tick(self) -> None:
+        if not self.connected:
+            self.reconnects += 1
+            self._send_subscribe()
+            return
+
+        def on_reply(message: dict) -> None:
+            if message.get("t") != "ok":
+                # lease expired at the broker (e.g. we sat behind a
+                # partition longer than the lease): re-subscribe,
+                # which also delivers the full sync we now need
+                self.connected = False
+                self.reconnects += 1
+                self._send_subscribe()
+
+        def on_timeout(error: TcpTimeout) -> None:
+            self.connected = False
+
+        self._request(
+            messages.renew(self.sub_id, self.lease),
+            on_reply,
+            track_timeout=on_timeout,
+        )
+
+    def request_sync(self) -> None:
+        """Ask the broker for a full sync (gap recovery)."""
+        if not self._started or self._sync_in_flight:
+            return
+        self._sync_in_flight = True
+
+        def on_reply(message: dict) -> None:
+            self._sync_in_flight = False
+            if message.get("t") == "full":
+                self._apply_data(message, messages.encode(message))
+
+        def on_timeout(error: TcpTimeout) -> None:
+            self._sync_in_flight = False
+            self.connected = False
+
+        self._request(
+            messages.sync_request(self.sub_id), on_reply, track_timeout=on_timeout
+        )
+
+    # -- data plane ---------------------------------------------------------
+
+    def _apply_data(self, message: dict, encoded: str) -> float:
+        """Apply a data message, charge the cost model; returns seconds."""
+        self.bytes_received += len(encoded)
+        if message.get("t") == "full":
+            events = len(message.get("state", ()))
+            self.full_syncs_received += 1
+        else:
+            events = len(message.get("ops", ()))
+            self.deltas_received += 1
+        seconds = self.costs.parse_seconds(len(encoded), events)
+        self.apply_seconds_total += seconds
+        outcome = self.stream.apply_message(message)
+        if outcome in ("gap", "unsynced"):
+            self.request_sync()
+        return seconds
+
+    def _on_notify(self, client: str, payload: object) -> Response:
+        message = messages.decode(payload)
+        if message.get("t") not in ("delta", "full"):
+            return Response(messages.encode(messages.error("not-a-notification")))
+        seconds = self._apply_data(message, str(payload))
+        return Response(
+            messages.encode(messages.ok(self.stream.last_seq)),
+            service_seconds=seconds,
+        )

@@ -1,0 +1,193 @@
+"""Delta encoding of datastore changes.
+
+The gmetad datastore (§2.3.2) is three levels of hash tables; this
+module flattens it into a canonical ``{path: value}`` map and diffs
+successive maps into compact *delta operations* -- the unit of pub-sub
+notification.  Flat paths reuse the query engine's addressing:
+
+========================================  ================================
+``source``                                source liveness + kind
+``source?summary``                        summary host counts (up|down)
+``source?summary/metric``                 one additive reduction (sum|num)
+``source/host``                           host membership + heartbeat state
+``source/host/metric``                    one full-resolution metric value
+``source/nested?summary[...]``            grid sources: nested summaries
+========================================  ================================
+
+Deliberately *excluded* are the pure-bookkeeping attributes that change
+on every poll even when nothing happened (``TN``, ``REPORTED``,
+``LOCALTIME``): a delta subscriber cares whether a value or membership
+changed, and heartbeat freshness is already folded into the up/down
+bit.  This is what makes the delta stream scale with the *change rate*
+rather than the poll rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.core.datastore import Datastore, SourceSnapshot
+from repro.wire.model import ClusterElement, GridElement, SummaryInfo
+
+#: Suffix marking a summary-form path segment.
+SUMMARY_MARK = "?summary"
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One atomic change: set a flat path to a value, or delete it."""
+
+    op: str  # "set" | "del"
+    path: str
+    value: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in ("set", "del"):
+            raise ValueError(f"bad delta op {self.op!r}")
+
+    def wire(self) -> list:
+        """The compact list form used on the wire."""
+        if self.op == "set":
+            return ["s", self.path, self.value]
+        return ["d", self.path]
+
+
+def key_segments(key: str) -> Tuple[str, ...]:
+    """Logical path segments of a flat key (summary marks stripped).
+
+    ``"sdsc/attic-c0?summary/load_one"`` -> ``("sdsc", "attic-c0",
+    "load_one")`` -- the same segments the query grammar addresses, so
+    subscription paths match both full and summary resolution keys.
+    """
+    return tuple(
+        seg[: -len(SUMMARY_MARK)] if seg.endswith(SUMMARY_MARK) else seg
+        for seg in key.split("/")
+    )
+
+
+# -- flattening ------------------------------------------------------------
+
+
+def _summary_items(prefix: str, summary: SummaryInfo) -> Iterator[Tuple[str, str]]:
+    yield (
+        prefix + SUMMARY_MARK,
+        f"hosts|{summary.hosts_up}|{summary.hosts_down}",
+    )
+    for name, metric in summary.metrics.items():
+        yield (
+            f"{prefix}{SUMMARY_MARK}/{name}",
+            f"{metric.total:.10g}|{metric.num}",
+        )
+
+
+def _cluster_items(
+    prefix: str, cluster: ClusterElement, heartbeat_window: float
+) -> Iterator[Tuple[str, str]]:
+    for host in cluster.hosts.values():
+        state = "up" if host.is_up(heartbeat_window) else "down"
+        yield f"{prefix}/{host.name}", f"host|{state}"
+        for metric in host.metrics.values():
+            yield f"{prefix}/{host.name}/{metric.name}", metric.val
+
+
+def flatten_snapshot(
+    snapshot: SourceSnapshot, heartbeat_window: float = 80.0
+) -> Dict[str, str]:
+    """Flatten one source snapshot into delta paths."""
+    state: Dict[str, str] = {
+        snapshot.name: f"src|{snapshot.kind}|{'up' if snapshot.up else 'down'}"
+    }
+    state.update(_summary_items(snapshot.name, snapshot.summary))
+    if snapshot.kind == "cluster" and snapshot.cluster is not None:
+        state.update(
+            _cluster_items(snapshot.name, snapshot.cluster, heartbeat_window)
+        )
+    elif snapshot.grid is not None:
+        nested: Dict[str, object] = dict(snapshot.grid.clusters)
+        nested.update(snapshot.grid.grids)
+        for name, element in nested.items():
+            summary = getattr(element, "summary", None)
+            if summary is not None:
+                state.update(_summary_items(f"{snapshot.name}/{name}", summary))
+    return state
+
+
+def flatten_datastore(
+    datastore: Datastore,
+    heartbeat_window: float = 80.0,
+    exclude_sources: Iterable[str] = (),
+) -> Dict[str, str]:
+    """Flatten the whole datastore; ``exclude_sources`` are skipped.
+
+    An interior broker excludes sources covered by an upstream relay
+    link: for those the child's (higher-resolution) feed is canonical
+    and the local summary keys would fight it.
+    """
+    excluded = set(exclude_sources)
+    state: Dict[str, str] = {}
+    for name, snapshot in datastore.sources.items():
+        if name in excluded:
+            continue
+        state.update(flatten_snapshot(snapshot, heartbeat_window))
+    return state
+
+
+# -- diffing ---------------------------------------------------------------
+
+
+def diff_states(old: Dict[str, str], new: Dict[str, str]) -> List[DeltaOp]:
+    """Ops turning ``old`` into ``new``, sorted by path (deterministic)."""
+    ops: List[DeltaOp] = []
+    for path, value in new.items():
+        if old.get(path) != value:
+            ops.append(DeltaOp("set", path, value))
+    for path in old:
+        if path not in new:
+            ops.append(DeltaOp("del", path))
+    ops.sort(key=lambda op: op.path)
+    return ops
+
+
+def apply_ops(state: Dict[str, str], ops: Iterable[DeltaOp]) -> None:
+    """Apply delta ops to a mutable state map in place."""
+    for op in ops:
+        if op.op == "set":
+            state[op.path] = op.value
+        else:
+            state.pop(op.path, None)
+
+
+class DeltaEngine:
+    """Tracks the last flattened snapshot and emits diffs on demand.
+
+    One engine per broker.  ``advance`` re-flattens the datastore and
+    returns the ops since the previous call; the caller charges CPU for
+    ``keys_scanned`` (the flatten+diff pass touches every key once,
+    mirroring the hash-table walk the query engine's full dump does).
+    """
+
+    def __init__(
+        self, datastore: Datastore, heartbeat_window: float = 80.0
+    ) -> None:
+        self.datastore = datastore
+        self.heartbeat_window = heartbeat_window
+        self._state: Dict[str, str] = {}
+        self.diffs_computed = 0
+        self.keys_scanned = 0
+
+    @property
+    def state(self) -> Dict[str, str]:
+        """The engine's current flattened view (do not mutate)."""
+        return self._state
+
+    def advance(self, exclude_sources: Iterable[str] = ()) -> List[DeltaOp]:
+        """Diff the live datastore against the last published state."""
+        new = flatten_datastore(
+            self.datastore, self.heartbeat_window, exclude_sources
+        )
+        ops = diff_states(self._state, new)
+        self.diffs_computed += 1
+        self.keys_scanned += len(new) + len(ops)
+        self._state = new
+        return ops

@@ -1,0 +1,78 @@
+"""In-tree subscription folding: covering paths and key translation.
+
+"Interest aggregation": an interior gmetad does not forward each of its
+subscribers' interests upstream individually.  It folds them into the
+minimal set of *covering paths* (a path is removed if an ancestor path
+is also subscribed) and holds one upstream subscription per covering
+path, so the notification fan-out from a leaf follows the monitoring
+tree -- each change crosses a tree edge once, regardless of how many
+end subscribers sit behind the parent.  This is the in-tree aggregation
+that lets push delivery beat O(subscribers) root connections in the
+hierarchical pub-sub evaluation of Zuzak et al. (PAPERS.md).
+
+Translation helpers map between the two namespaces: a parent-side path
+``/attic/attic-c0/host7`` becomes the child-side path
+``/attic-c0/host7`` (the first segment names the data source the child
+*is*), and child flat keys come back prefixed with the source name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.query_regex import is_regex_query
+
+
+def _segments(path: str) -> Tuple[str, ...]:
+    return tuple(s for s in path.strip().split("/") if s)
+
+
+def covering_paths(paths: Iterable[str]) -> List[str]:
+    """The minimal prefix set covering every input path.
+
+    Regex paths cannot be folded structurally, so any regex input (or a
+    root path ``/``) collapses the cover to ``["/"]`` -- subscribe to
+    everything once rather than per-pattern.
+    """
+    exact: List[Tuple[str, ...]] = []
+    for path in paths:
+        if is_regex_query(path):
+            return ["/"]
+        segs = _segments(path)
+        if not segs:
+            return ["/"]
+        exact.append(segs)
+    exact = sorted(set(exact), key=lambda s: (len(s), s))
+    cover: List[Tuple[str, ...]] = []
+    for segs in exact:
+        if any(segs[: len(kept)] == kept for kept in cover):
+            continue  # an ancestor already covers this path
+        cover.append(segs)
+    return ["/" + "/".join(segs) for segs in sorted(cover)]
+
+
+def child_scope(path: str, source: str) -> Optional[str]:
+    """Translate a parent-side path into the child broker's namespace.
+
+    Returns None when the path does not fall under ``source``.  The
+    root path ``/`` (and any regex path) covers every source and
+    translates to the child's own root.
+    """
+    if is_regex_query(path):
+        return "/"
+    segs = _segments(path)
+    if not segs:
+        return "/"
+    if segs[0] != source:
+        return None
+    return "/" + "/".join(segs[1:])
+
+
+def prefix_key(key: str, source: str) -> str:
+    """Translate a child flat key up into the parent namespace."""
+    return f"{source}/{key}"
+
+
+def prefix_state(state: dict, source: str) -> dict:
+    """Translate a whole child state map up into the parent namespace."""
+    return {prefix_key(k, source): v for k, v in state.items()}

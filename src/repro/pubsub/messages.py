@@ -1,0 +1,124 @@
+"""The pub-sub wire protocol: compact JSON control and data messages.
+
+Everything the broker and its subscribers exchange travels over the
+simulated TCP fabric as an encoded string, so ``len(encoded)`` is the
+honest bytes-on-wire figure the push-vs-poll benchmark compares against
+XML download sizes.  Messages are flat JSON objects with single-letter
+field names; the ``t`` field carries the type:
+
+========  =======================================================
+``sub``   subscribe: id, path, lease, notify host/port
+``renew`` refresh a lease before it expires (gmond-style soft state)
+``unsub`` drop a subscription
+``sync``  request a full-sync snapshot for one subscription
+``delta`` pushed notification: seq, prev-seq, list of ops
+``full``  full-sync payload: seq plus the whole scoped state map
+``ok``    acknowledgement (optionally carrying the broker seq)
+``err``   refusal, e.g. renewing an expired/unknown subscription
+========  =======================================================
+
+Delta operations are 2/3-element lists: ``["s", path, value]`` sets a
+path, ``["d", path]`` deletes one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.pubsub.delta import DeltaOp
+
+
+class MessageError(ValueError):
+    """Malformed or unexpected pub-sub message."""
+
+
+def encode(message: dict) -> str:
+    """Serialize a message dict to its compact wire form."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True)
+
+
+def decode(payload: object) -> dict:
+    """Parse a wire string back into a message dict."""
+    if isinstance(payload, dict):  # already decoded (loopback convenience)
+        return payload
+    if not isinstance(payload, str):
+        raise MessageError(f"expected str payload, got {type(payload).__name__}")
+    try:
+        message = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise MessageError(f"bad message: {exc}") from None
+    if not isinstance(message, dict) or "t" not in message:
+        raise MessageError("message must be an object with a 't' field")
+    return message
+
+
+# -- constructors ----------------------------------------------------------
+
+
+def subscribe(
+    sub_id: str, path: str, lease: float, notify_host: str, notify_port: int
+) -> dict:
+    return {
+        "t": "sub",
+        "id": sub_id,
+        "path": path,
+        "lease": lease,
+        "nh": notify_host,
+        "np": notify_port,
+    }
+
+
+def renew(sub_id: str, lease: float) -> dict:
+    return {"t": "renew", "id": sub_id, "lease": lease}
+
+
+def unsubscribe(sub_id: str) -> dict:
+    return {"t": "unsub", "id": sub_id}
+
+
+def sync_request(sub_id: str) -> dict:
+    return {"t": "sync", "id": sub_id}
+
+
+def delta(sub_id: str, seq: int, prev_seq: int, ops: Sequence[DeltaOp]) -> dict:
+    return {
+        "t": "delta",
+        "id": sub_id,
+        "seq": seq,
+        "prev": prev_seq,
+        "ops": [op.wire() for op in ops],
+    }
+
+
+def full_sync(sub_id: str, seq: int, state: Dict[str, str]) -> dict:
+    return {"t": "full", "id": sub_id, "seq": seq, "state": state}
+
+
+def ok(seq: Optional[int] = None) -> dict:
+    message = {"t": "ok"}
+    if seq is not None:
+        message["seq"] = seq
+    return message
+
+
+def error(reason: str) -> dict:
+    return {"t": "err", "reason": reason}
+
+
+# -- accessors -------------------------------------------------------------
+
+
+def ops_of(message: dict) -> List[DeltaOp]:
+    """Decode the op list of a ``delta`` message."""
+    ops = []
+    for raw in message.get("ops", ()):
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise MessageError(f"bad delta op {raw!r}")
+        if raw[0] == "s" and len(raw) == 3:
+            ops.append(DeltaOp("set", raw[1], raw[2]))
+        elif raw[0] == "d" and len(raw) == 2:
+            ops.append(DeltaOp("del", raw[1]))
+        else:
+            raise MessageError(f"bad delta op {raw!r}")
+    return ops

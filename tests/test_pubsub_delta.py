@@ -1,0 +1,163 @@
+"""Unit tests for delta encoding: flatten, diff, apply, DeltaStream."""
+
+import pytest
+
+from repro.pubsub import messages
+from repro.pubsub.client import DeltaStream
+from repro.pubsub.delta import (
+    DeltaEngine,
+    DeltaOp,
+    apply_ops,
+    diff_states,
+    flatten_datastore,
+    key_segments,
+)
+
+
+class TestDeltaOp:
+    def test_wire_forms(self):
+        assert DeltaOp("set", "a/b", "1").wire() == ["s", "a/b", "1"]
+        assert DeltaOp("del", "a/b").wire() == ["d", "a/b"]
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaOp("mov", "a")
+
+    def test_roundtrip_through_message(self):
+        ops = [DeltaOp("set", "x", "1"), DeltaOp("del", "y")]
+        msg = messages.decode(messages.encode(messages.delta("s1", 3, 2, ops)))
+        assert messages.ops_of(msg) == ops
+        assert (msg["seq"], msg["prev"]) == (3, 2)
+
+
+class TestKeySegments:
+    def test_summary_mark_stripped(self):
+        assert key_segments("sdsc/c0?summary/load_one") == (
+            "sdsc", "c0", "load_one",
+        )
+
+    def test_plain_path(self):
+        assert key_segments("c0/host/metric") == ("c0", "host", "metric")
+
+
+class TestDiffApply:
+    def test_identical_states_no_ops(self):
+        state = {"a": "1", "b": "2"}
+        assert diff_states(state, dict(state)) == []
+
+    def test_set_and_del_sorted_by_path(self):
+        ops = diff_states({"b": "1", "z": "9"}, {"b": "2", "a": "0"})
+        assert [op.wire() for op in ops] == [
+            ["s", "a", "0"], ["s", "b", "2"], ["d", "z"],
+        ]
+
+    def test_apply_reconstructs_target(self):
+        old = {"a": "1", "b": "2", "c": "3"}
+        new = {"a": "1", "b": "x", "d": "4"}
+        state = dict(old)
+        apply_ops(state, diff_states(old, new))
+        assert state == new
+
+
+class TestFlattenAndEngine:
+    @pytest.fixture
+    def daemon(self, engine, fabric, tcp, rngs):
+        from repro.core.gmetad import Gmetad
+        from repro.core.tree import GmetadConfig
+        from repro.gmond.pseudo import PseudoGmond
+
+        pseudo = PseudoGmond(
+            engine, fabric, tcp, "meteor", num_hosts=3,
+            rng=rngs.stream("pg"),
+            refresh_interval=float("inf"),  # frozen values
+        )
+        config = GmetadConfig(
+            name="sdsc", host="gmeta-sdsc", archive_mode="account"
+        )
+        config.add_source("meteor", [pseudo.address])
+        return Gmetad(engine, fabric, tcp, config).start()
+
+    def test_flatten_covers_all_levels(self, daemon, engine):
+        engine.run_for(40.0)
+        state = flatten_datastore(daemon.datastore)
+        assert state["meteor"].startswith("src|cluster|up")
+        assert state["meteor?summary"].startswith("hosts|3|")
+        assert "meteor?summary/load_one" in state
+        assert state["meteor/meteor-0-0"] == "host|up"
+        assert "meteor/meteor-0-0/load_one" in state
+
+    def test_exclude_sources_drops_subtree(self, daemon, engine):
+        engine.run_for(40.0)
+        state = flatten_datastore(
+            daemon.datastore, exclude_sources=["meteor"]
+        )
+        assert state == {}
+
+    def test_unchanged_values_produce_no_deltas(self, daemon, engine):
+        """The property that makes push cheap: deltas track the change
+        rate, not the poll rate -- repeated polls of frozen values
+        produce zero ops despite TN/REPORTED churning in the XML."""
+        delta_engine = DeltaEngine(daemon.datastore)
+        engine.run_for(20.0)
+        assert len(delta_engine.advance()) > 0  # initial population
+        polls_before = daemon.polls_ingested
+        engine.run_for(45.0)
+        assert daemon.polls_ingested > polls_before  # polling continued
+        assert delta_engine.advance() == []
+
+
+class TestDeltaStream:
+    def full(self, seq, state):
+        return messages.full_sync("s1", seq, state)
+
+    def delta(self, seq, prev, ops):
+        return messages.delta("s1", seq, prev, ops)
+
+    def test_delta_before_sync_is_unsynced(self):
+        stream = DeltaStream()
+        outcome = stream.apply_message(
+            self.delta(1, 0, [DeltaOp("set", "a", "1")])
+        )
+        assert outcome == "unsynced"
+        assert not stream.synced
+
+    def test_full_then_deltas(self):
+        stream = DeltaStream()
+        assert stream.apply_message(self.full(2, {"a": "1"})) == "synced"
+        assert stream.apply_message(
+            self.delta(3, 2, [DeltaOp("set", "b", "2")])
+        ) == "applied"
+        assert stream.mirror == {"a": "1", "b": "2"}
+        assert stream.last_seq == 3
+
+    def test_duplicate_ignored(self):
+        stream = DeltaStream()
+        stream.apply_message(self.full(5, {}))
+        msg = self.delta(5, 4, [DeltaOp("set", "a", "1")])
+        assert stream.apply_message(msg) == "duplicate"
+        assert stream.mirror == {}
+
+    def test_missed_sequence_detected_as_gap(self):
+        stream = DeltaStream()
+        stream.apply_message(self.full(1, {"a": "1"}))
+        # seq 2 lost in transit; seq 3 arrives with prev=2
+        outcome = stream.apply_message(
+            self.delta(3, 2, [DeltaOp("set", "a", "3")])
+        )
+        assert outcome == "gap"
+        assert stream.mirror == {"a": "1"}  # not applied
+        assert stream.gaps_detected == 1
+
+    def test_full_sync_repairs_gap(self):
+        stream = DeltaStream()
+        stream.apply_message(self.full(1, {"a": "1"}))
+        stream.apply_message(self.delta(3, 2, [DeltaOp("set", "a", "3")]))
+        assert stream.apply_message(self.full(3, {"a": "3"})) == "synced"
+        assert stream.mirror == {"a": "3"}
+        assert stream.last_seq == 3
+
+    def test_stale_full_sync_not_installed(self):
+        stream = DeltaStream()
+        stream.apply_message(self.full(7, {"a": "new"}))
+        assert stream.apply_message(self.full(4, {"a": "old"})) == "duplicate"
+        assert stream.mirror == {"a": "new"}

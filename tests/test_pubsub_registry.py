@@ -1,0 +1,121 @@
+"""Unit tests for the subscription registry and interest folding."""
+
+import pytest
+
+from repro.net.address import Address
+from repro.pubsub.folding import child_scope, covering_paths, prefix_state
+from repro.pubsub.registry import (
+    SubscriptionError,
+    SubscriptionRegistry,
+)
+
+NOTIFY = Address("viewer", 8700)
+
+
+@pytest.fixture
+def registry():
+    return SubscriptionRegistry(default_lease=60.0)
+
+
+class TestPaths:
+    def test_exact_path_canonicalized(self, registry):
+        sub = registry.subscribe("s1", "/sdsc/node7/", NOTIFY, now=0.0)
+        assert sub.path == "/sdsc/node7"
+        assert sub.segments == ("sdsc", "node7")
+        assert not sub.is_regex
+
+    def test_regex_path_accepted(self, registry):
+        sub = registry.subscribe("s1", r"~/meteor|nashi/comp-\d+", NOTIFY, 0.0)
+        assert sub.is_regex
+        assert sub.matches_key("meteor/comp-3")
+        assert not sub.matches_key("attic/comp-3")
+
+    def test_invalid_paths_rejected(self, registry):
+        with pytest.raises(SubscriptionError):
+            registry.subscribe("s1", "/a/b/c/d", NOTIFY, 0.0)  # too deep
+        with pytest.raises(SubscriptionError):
+            registry.subscribe("s1", "~/[bad", NOTIFY, 0.0)  # bad regex
+
+    def test_bad_lease_rejected(self, registry):
+        with pytest.raises(SubscriptionError):
+            registry.subscribe("s1", "/a", NOTIFY, 0.0, lease=-1.0)
+
+
+class TestMatching:
+    def test_prefix_covers_subtree_and_summaries(self, registry):
+        sub = registry.subscribe("s1", "/meteor", NOTIFY, 0.0)
+        assert sub.matches_key("meteor")
+        assert sub.matches_key("meteor?summary")
+        assert sub.matches_key("meteor?summary/load_one")
+        assert sub.matches_key("meteor/host-1/load_one")
+        assert not sub.matches_key("meteorite")
+        assert not sub.matches_key("attic/host-1")
+
+    def test_host_path_scopes_to_one_host(self, registry):
+        sub = registry.subscribe("s1", "/meteor/host-1", NOTIFY, 0.0)
+        assert sub.matches_key("meteor/host-1/load_one")
+        assert sub.matches_key("meteor/host-1")
+        assert not sub.matches_key("meteor")  # parent context not included
+        assert not sub.matches_key("meteor/host-2/load_one")
+
+    def test_regex_matches_structural_context(self, registry):
+        sub = registry.subscribe("s1", r"~/.*/.*/load_one", NOTIFY, 0.0)
+        # shorter keys match their available segments: liveness context
+        assert sub.matches_key("meteor")
+        assert sub.matches_key("meteor/host-1/load_one")
+        assert not sub.matches_key("meteor/host-1/cpu_user")
+
+
+class TestSoftState:
+    def test_lease_expires_without_renewal(self, registry):
+        registry.subscribe("s1", "/a", NOTIFY, now=0.0, lease=10.0)
+        assert registry.expire(now=9.9) == []
+        dead = registry.expire(now=10.0)
+        assert [s.sub_id for s in dead] == ["s1"]
+        assert "s1" not in registry
+        assert registry.expirations == 1
+
+    def test_renew_extends_lease(self, registry):
+        registry.subscribe("s1", "/a", NOTIFY, now=0.0, lease=10.0)
+        assert registry.renew("s1", now=8.0)
+        assert registry.expire(now=15.0) == []  # extended to 18
+        assert registry.expire(now=18.0) != []
+
+    def test_renew_unknown_is_false(self, registry):
+        assert not registry.renew("ghost", now=0.0)
+
+    def test_resubscribe_replaces(self, registry):
+        registry.subscribe("s1", "/a", NOTIFY, now=0.0, lease=10.0)
+        registry.subscribe("s1", "/b", NOTIFY, now=5.0, lease=10.0)
+        assert len(registry) == 1
+        assert registry.get("s1").path == "/b"
+        assert registry.get("s1").expires_at == 15.0
+
+
+class TestFolding:
+    def test_ancestor_absorbs_descendants(self):
+        assert covering_paths(
+            ["/a/b", "/a", "/a/c/d", "/e/f"]
+        ) == ["/a", "/e/f"]
+
+    def test_duplicates_collapse(self):
+        assert covering_paths(["/a/b", "/a/b"]) == ["/a/b"]
+
+    def test_root_or_regex_covers_everything(self):
+        assert covering_paths(["/", "/a/b"]) == ["/"]
+        assert covering_paths(["/a", "~/x.*"]) == ["/"]
+
+    def test_child_scope_translation(self):
+        assert child_scope("/attic/attic-c0/host7", "attic") == (
+            "/attic-c0/host7"
+        )
+        assert child_scope("/attic", "attic") == "/"
+        assert child_scope("/", "attic") == "/"
+        assert child_scope("~/a.*", "attic") == "/"
+        assert child_scope("/math/c0", "attic") is None
+
+    def test_prefix_state_translation(self):
+        assert prefix_state({"c0/h1": "v", "c0": "s"}, "attic") == {
+            "attic/c0/h1": "v",
+            "attic/c0": "s",
+        }
