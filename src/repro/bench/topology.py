@@ -136,6 +136,7 @@ def build_paper_tree(
     freeze_values: bool = False,
     trust_edges: Optional[List[Tuple[str, str]]] = None,
     refresh_interval: Optional[float] = None,
+    incremental: bool = False,
 ) -> Federation:
     """Build the Fig. 2 federation for one design.
 
@@ -156,6 +157,12 @@ def build_paper_tree(
     ``refresh_interval`` overrides how often pseudo-gmond metric values
     change -- the *change rate* knob the delta-encoding experiments
     sweep (default: once per poll interval).
+
+    ``incremental`` turns on the incremental ingest pipeline
+    (conditional polls, delta summarization, memoized serialization) on
+    every gmetad.  Deliberately **off** here by default: this builder
+    backs the paper-figure runners, whose eager behaviour is the
+    baseline being reproduced.  New experiments opt in explicitly.
     """
     engine = engine or Engine()
     fabric = Fabric()
@@ -174,6 +181,7 @@ def build_paper_tree(
             gridname=name.upper(),
             poll_interval=poll_interval,
             archive_mode=archive_mode,
+            incremental=incremental,
         )
         tree.add_gmetad(configs[name])
 

@@ -17,7 +17,7 @@ Archiving policy differences between the designs:
 
 from __future__ import annotations
 
-from typing import Callable, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 from repro.rrd.batch import BatchedRrdStore
 from repro.rrd.store import MetricKey, RrdStore
@@ -29,7 +29,17 @@ ChargeFn = Callable[[float, str], float]
 
 
 class Archiver:
-    """Routes monitoring data into round-robin archives."""
+    """Routes monitoring data into round-robin archives.
+
+    The archiver also remembers the last batch of values written per
+    data source so a NOT-MODIFIED poll can :meth:`replay` them at the
+    new timestamp.  An unchanged gauge still gets an RRD write every
+    step in a real monitor -- skipping it would leave a gap the
+    zero-fill turns into a phantom "host down" record.  Replay re-writes
+    pre-extracted floats, skipping the XML-model walk and per-value
+    string parsing of the eager path; the RRD work itself is charged at
+    full price (the disks don't know the value didn't change).
+    """
 
     def __init__(
         self,
@@ -44,6 +54,11 @@ class Archiver:
         self.heartbeat_window = heartbeat_window
         self.detail_updates = 0
         self.summary_updates = 0
+        self.replayed_updates = 0
+        #: source -> cluster -> last detail batch [(key, value), ...]
+        self._held_detail: Dict[str, Dict[str, List[Tuple[MetricKey, float]]]] = {}
+        #: source -> cluster -> last summary batch [(name, total, num), ...]
+        self._held_summary: Dict[str, Dict[str, List[Tuple[str, float, int]]]] = {}
 
     def archive_cluster_detail(
         self, source: str, cluster: ClusterElement, t: float
@@ -59,6 +74,7 @@ class Archiver:
                 f"cannot archive detail for summary-form cluster {cluster.name!r}"
             )
         updates = 0
+        batch: List[Tuple[MetricKey, float]] = []
         for host in cluster.hosts.values():
             if not host.is_up(self.heartbeat_window):
                 continue
@@ -69,12 +85,11 @@ class Archiver:
                     value = metric.numeric()
                 except ValueError:
                     continue
-                self.store.update(
-                    MetricKey(source, cluster.name, host.name, metric.name),
-                    t,
-                    value,
-                )
+                key = MetricKey(source, cluster.name, host.name, metric.name)
+                self.store.update(key, t, value)
+                batch.append((key, value))
                 updates += 1
+        self._held_detail.setdefault(source, {})[cluster.name] = batch
         self.detail_updates += updates
         self.charge(updates * self.costs.rrd_update, "archive")
         return updates
@@ -84,6 +99,7 @@ class Archiver:
     ) -> int:
         """Two updates (sum, num) per reduced metric."""
         updates = 0
+        batch: List[Tuple[str, float, int]] = []
         for metric_summary in summary.metrics.values():
             self.store.update_summary(
                 source,
@@ -93,10 +109,38 @@ class Archiver:
                 metric_summary.total,
                 metric_summary.num,
             )
+            batch.append(
+                (metric_summary.name, metric_summary.total, metric_summary.num)
+            )
             updates += 2
+        self._held_summary.setdefault(source, {})[cluster] = batch
         self.summary_updates += updates
         self.charge(updates * self.costs.rrd_update, "archive")
         return updates
+
+    def replay(self, source: str, t: float) -> int:
+        """Re-write the source's last-seen values at timestamp ``t``.
+
+        Called on a NOT-MODIFIED poll: the source re-confirmed its data,
+        so the archives advance with the held values instead of gapping.
+        """
+        updates = 0
+        for batch in self._held_detail.get(source, {}).values():
+            for key, value in batch:
+                self.store.update(key, t, value)
+                updates += 1
+        for cluster, batch in self._held_summary.get(source, {}).items():
+            for name, total, num in batch:
+                self.store.update_summary(source, cluster, name, t, total, num)
+                updates += 2
+        self.replayed_updates += updates
+        self.charge(updates * self.costs.rrd_update, "archive")
+        return updates
+
+    def forget(self, source: str) -> None:
+        """Drop the held batches for a removed data source."""
+        self._held_detail.pop(source, None)
+        self._held_summary.pop(source, None)
 
     def flush(self) -> None:
         """Flush write-behind batching, if the store batches."""

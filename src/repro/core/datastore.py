@@ -17,11 +17,30 @@ Snapshots are replaced atomically at the end of each background parse,
 so "queries [sic] results are based only on the latest fully-parsed
 data" and a query arriving during a poll sees the previous snapshot --
 the freshness-for-latency trade of §2.3.1.
+
+Version bookkeeping for the incremental pipeline
+------------------------------------------------
+
+Three monotone counters track change at different granularities:
+
+- ``generation`` bumps on *every* write (install, failure mark,
+  removal) and only guards the root-rollup cache;
+- ``content_version`` bumps when the bytes of a **summary-form** report
+  may have changed (installs, placeholder creation, removals) -- it is
+  the generation token an N-level gmetad serves to its parent;
+- ``detail_version`` additionally bumps on freshness touch-ups
+  (:meth:`patch_localtime`) that are visible only in **full-form**
+  output, so full-dump pollers re-fetch while summary pollers keep
+  getting NOT-MODIFIED.
+
+Each snapshot carries per-source stamps (``detail_stamp`` /
+``summary_stamp``) that key the memoized serialization fragments in
+:mod:`repro.core.query`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.summarize import merge_summaries
@@ -48,6 +67,14 @@ class SourceSnapshot:
     last_success: float = 0.0
     consecutive_failures: int = 0
     last_error: str = ""
+    #: serialization stamps: any byte of this source's full-form (detail)
+    #: or summary-form output may have changed since the stamped value
+    detail_stamp: int = 0
+    summary_stamp: int = 0
+    #: memoized XML fragments keyed by form name -> (stamp, xml)
+    frag_cache: Dict[str, Tuple[int, str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.kind not in ("cluster", "grid"):
@@ -59,13 +86,29 @@ class SourceSnapshot:
 
 
 class Datastore:
-    """Level-1 hash table plus rollup caching."""
+    """Level-1 hash table plus rollup caching and change versioning."""
 
     def __init__(self) -> None:
         self.sources: Dict[str, SourceSnapshot] = {}
-        self.generation = 0  # bumps on every install; invalidates the rollup
+        self.generation = 0  # bumps on every write; invalidates the rollup
+        self.content_version = 0  # summary-form wire identity
+        self.detail_version = 0   # full-form wire identity
+        self._stamp = 0           # per-snapshot serialization stamp source
         self._rollup: Optional[SummaryInfo] = None
         self._rollup_generation = -1
+
+    def _next_stamp(self) -> int:
+        self._stamp += 1
+        return self._stamp
+
+    def _content_changed(self, snapshot: Optional[SourceSnapshot]) -> None:
+        """Record that a source's bytes changed in both forms."""
+        self.content_version += 1
+        self.detail_version += 1
+        if snapshot is not None:
+            stamp = self._next_stamp()
+            snapshot.detail_stamp = stamp
+            snapshot.summary_stamp = stamp
 
     # -- writes (background parsing timescale) ------------------------------
 
@@ -78,28 +121,89 @@ class Datastore:
         snapshot.last_success = now
         self.sources[snapshot.name] = snapshot
         self.generation += 1
+        self._content_changed(snapshot)
 
-    def mark_failure(self, name: str, now: float, error: str) -> int:
+    def mark_failure(
+        self, name: str, now: float, error: str, kind: str = "cluster"
+    ) -> int:
         """Record a poll failure; returns the consecutive-failure count.
 
         The stale snapshot (if any) stays queryable -- "If multiple
         failures render the monitored cluster unreachable, Gmeta keeps a
         set of metric histories that aid in forensic analysis."
+
+        ``kind`` is the *configured* kind of the source (threaded in
+        from the poller), so a grid source that dies before its first
+        successful poll gets a grid-shaped placeholder instead of
+        masquerading as a cluster in meta views.
         """
         snapshot = self.sources.get(name)
         if snapshot is None:
-            snapshot = SourceSnapshot(
-                name=name,
-                kind="cluster",
-                summary=SummaryInfo(),
-                cluster=ClusterElement(name=name),
-            )
+            if kind == "grid":
+                snapshot = SourceSnapshot(
+                    name=name,
+                    kind="grid",
+                    summary=SummaryInfo(),
+                    grid=GridElement(name=name, authority=""),
+                )
+            else:
+                snapshot = SourceSnapshot(
+                    name=name,
+                    kind="cluster",
+                    summary=SummaryInfo(),
+                    cluster=ClusterElement(name=name),
+                )
             self.sources[name] = snapshot
+            self._content_changed(snapshot)  # a new (empty) element appears
         snapshot.up = False
         snapshot.consecutive_failures += 1
         snapshot.last_error = error
         self.generation += 1
         return snapshot.consecutive_failures
+
+    def touch_success(self, name: str, now: float) -> bool:
+        """Refresh liveness bookkeeping after a NOT-MODIFIED poll.
+
+        The content is untouched (that is the point), so no version or
+        stamp moves; only the failure-tracking fields reset, exactly as
+        :meth:`install` would have reset them.
+        """
+        snapshot = self.sources.get(name)
+        if snapshot is None:
+            return False
+        snapshot.up = True
+        snapshot.last_success = now
+        snapshot.consecutive_failures = 0
+        snapshot.last_error = ""
+        return True
+
+    def patch_localtime(self, name: str, localtime: float) -> bool:
+        """Refresh a grid source's report timestamp without a transfer.
+
+        A child gmetad stamps its report with the serve-time LOCALTIME,
+        so the attribute moves every poll even when the data is frozen.
+        A NOT-MODIFIED reply carries the timestamp the child would have
+        written; patching it here keeps full-form output byte-identical
+        to an eager re-download.  Only ``detail_version`` moves: the
+        summary form a parent polls omits nested grid timestamps.
+        """
+        snapshot = self.sources.get(name)
+        if snapshot is None or snapshot.grid is None:
+            return False
+        if snapshot.grid.localtime == localtime:
+            return True
+        snapshot.grid.localtime = localtime
+        snapshot.detail_stamp = self._next_stamp()
+        self.detail_version += 1
+        return True
+
+    def remove_source(self, name: str) -> bool:
+        """Drop a source's state entirely (data-source detach)."""
+        if self.sources.pop(name, None) is None:
+            return False
+        self.generation += 1
+        self._content_changed(None)
+        return True
 
     # -- level-1/2/3 lookups (query timescale) -----------------------------
 
@@ -119,9 +223,22 @@ class Datastore:
         grid snapshot.
         """
         snapshot = self.sources.get(source)
-        if snapshot is None:
+        if snapshot is not None:
+            if snapshot.cluster is not None:
+                return snapshot.cluster
+            if snapshot.grid is not None:
+                # the source is a grid; a same-named nested cluster is
+                # the folded child the docstring promises to resolve
+                return snapshot.grid.clusters.get(source)
             return None
-        return snapshot.cluster
+        # not a top-level source: reach one level into each grid source
+        # for a cluster that was folded into a child gmetad's report
+        for snap in self.sources.values():
+            if snap.grid is not None:
+                found = snap.grid.clusters.get(source)
+                if found is not None:
+                    return found
+        return None
 
     def find_host(self, source: str, host: str) -> Optional[HostElement]:
         """Level-2 lookup: one host of a cluster source."""

@@ -1,0 +1,166 @@
+"""Delta summarization: re-reduce only the hosts that changed.
+
+The eager path (:func:`repro.core.summarize.summarize_cluster`) folds
+every numeric sample of every host into a fresh :class:`SummaryInfo` on
+each poll -- O(H*M) work even when one host moved.  With conditional
+polls most *sources* skip ingest entirely; this tracker makes the
+remaining ingests cheap too: it remembers each host's last summary
+contribution, and when a new snapshot arrives it **subtracts** the stale
+contribution of changed/removed hosts and **adds** the new one, touching
+only the k hosts that differ.
+
+The additive reduction of §2.2 is what makes this sound: a summary is a
+(SUM, NUM) pair per metric, so removing a host's contribution is exact
+integer/float subtraction.  Subtract-then-add accumulation can drift
+from an eager re-fold by a few ulps; the 4-decimal wire formatting
+absorbs that, and the equivalence tests pin the serialized bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.wire.model import (
+    ClusterElement,
+    HostElement,
+    MetricSummary,
+    SummaryInfo,
+)
+
+
+@dataclass
+class HostContribution:
+    """One host's share of the running cluster summary."""
+
+    up: bool
+    #: metric name -> (value, mtype, units, slope); num is always 1
+    metrics: Dict[str, MetricSummary] = field(default_factory=dict)
+
+
+def _host_contribution(
+    host: HostElement, heartbeat_window: float
+) -> HostContribution:
+    """What :func:`summarize_cluster` would fold in for this host."""
+    up = host.is_up(heartbeat_window)
+    contribution = HostContribution(up=up)
+    if not up:
+        return contribution  # stale values are excluded from the sums
+    for metric in host.metrics.values():
+        if not metric.is_numeric:
+            continue
+        try:
+            value = metric.numeric()
+        except ValueError:
+            continue  # malformed value from a broken reporter
+        contribution.metrics[metric.name] = MetricSummary(
+            name=metric.name,
+            total=value,
+            num=1,
+            mtype=metric.mtype,
+            units=metric.units,
+            slope=metric.slope,
+        )
+    return contribution
+
+
+def _contributions_equal(a: HostContribution, b: HostContribution) -> bool:
+    if a.up != b.up:
+        return False
+    if a.metrics.keys() != b.metrics.keys():
+        return False
+    for name, ms in a.metrics.items():
+        other = b.metrics[name]
+        if (
+            ms.total != other.total
+            or ms.mtype != other.mtype
+            or ms.units != other.units
+            or ms.slope != other.slope
+        ):
+            return False
+    return True
+
+
+class ClusterSummaryTracker:
+    """Running summary for one cluster source, updated host-by-host."""
+
+    def __init__(self, heartbeat_window: float = 80.0) -> None:
+        self.heartbeat_window = heartbeat_window
+        self._running = SummaryInfo()
+        self._contributions: Dict[str, HostContribution] = {}
+
+    def _add(self, contribution: HostContribution) -> int:
+        ops = 0
+        if contribution.up:
+            self._running.hosts_up += 1
+        else:
+            self._running.hosts_down += 1
+        for name, ms in contribution.metrics.items():
+            existing = self._running.metrics.get(name)
+            if existing is None:
+                self._running.metrics[name] = ms.copy()
+            else:
+                existing.total += ms.total
+                existing.num += ms.num
+                if not existing.units:
+                    existing.units = ms.units
+            ops += 1
+        return ops
+
+    def _subtract(self, contribution: HostContribution) -> int:
+        ops = 0
+        if contribution.up:
+            self._running.hosts_up -= 1
+        else:
+            self._running.hosts_down -= 1
+        for name, ms in contribution.metrics.items():
+            existing = self._running.metrics[name]
+            existing.total -= ms.total
+            existing.num -= ms.num
+            if existing.num == 0:
+                # last reporter of this metric left; drop the reduction
+                # (an eager re-fold would simply not produce it)
+                del self._running.metrics[name]
+            ops += 1
+        return ops
+
+    def update(self, cluster: ClusterElement) -> Tuple[SummaryInfo, int]:
+        """Fold a fresh full-form snapshot into the running summary.
+
+        Returns ``(summary, samples_changed)`` mirroring the signature
+        of ``summarize_cluster`` -- the second element counts only the
+        samples of hosts that actually changed, which is what the CPU
+        model charges.  The returned summary is an independent clone
+        (the datastore may hold it across later updates).
+        """
+        ops = 0
+        # removed hosts: subtract their stale contributions
+        for name in list(self._contributions):
+            if name not in cluster.hosts:
+                ops += self._subtract(self._contributions.pop(name)) + 1
+        # changed or new hosts: subtract old, add new
+        for name, host in cluster.hosts.items():
+            fresh = _host_contribution(host, self.heartbeat_window)
+            previous = self._contributions.get(name)
+            if previous is not None and _contributions_equal(previous, fresh):
+                continue  # untouched host: zero summarization work
+            if previous is not None:
+                ops += self._subtract(previous)
+            ops += self._add(fresh) + 1
+            self._contributions[name] = fresh
+        return self._running.copy(), ops
+
+    def reset(self) -> None:
+        """Forget all state (source removed or re-pointed)."""
+        self._running = SummaryInfo()
+        self._contributions.clear()
+
+
+def eager_summary(
+    cluster: ClusterElement, heartbeat_window: float = 80.0
+) -> SummaryInfo:
+    """Reference re-fold used by the property tests (no tracker state)."""
+    from repro.core.summarize import summarize_cluster
+
+    summary, _ = summarize_cluster(cluster, heartbeat_window)
+    return summary

@@ -20,7 +20,10 @@ Behaviour per §2.2-2.3 of the paper:
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.core.datastore import SourceSnapshot
+from repro.core.delta_summary import ClusterSummaryTracker
 from repro.core.gmetad_base import GmetadBase
 from repro.core.query import (
     SUMMARY_POLL_QUERY,
@@ -39,12 +42,18 @@ class Gmetad(GmetadBase):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        # memoized serialization rides the same switch as the rest of
+        # the incremental pipeline so the eager baseline's CPU charges
+        # stay paper-faithful
         self.query_engine = QueryEngine(
             self.datastore,
             grid_name=self.config.gridname,
             authority=self.config.authority_url,
             version=self.version,
+            memoize=self.config.incremental,
         )
+        #: per-source delta summarizers (cluster sources only)
+        self._summary_trackers: Dict[str, ClusterSummaryTracker] = {}
 
     # -- polling ------------------------------------------------------------
 
@@ -60,9 +69,18 @@ class Gmetad(GmetadBase):
         already in summary form.
         """
         for cluster in doc.clusters.values():
-            summary, samples = summarize_cluster(
-                cluster, self.config.heartbeat_window
-            )
+            if self.config.incremental:
+                tracker = self._summary_trackers.get(source)
+                if tracker is None:
+                    tracker = ClusterSummaryTracker(self.config.heartbeat_window)
+                    self._summary_trackers[source] = tracker
+                # subtract-old/add-new: work scales with the k hosts
+                # that changed, not the H hosts in the cluster
+                summary, samples = tracker.update(cluster)
+            else:
+                summary, samples = summarize_cluster(
+                    cluster, self.config.heartbeat_window
+                )
             cluster.summary = summary  # element carries both resolutions
             self.charge(self.costs.summarize_metric * samples, "summarize")
             if self.config.archive_local_detail:
@@ -130,10 +148,24 @@ class Gmetad(GmetadBase):
         seconds += self.charge(
             self.costs.hash_insert * stats.hash_lookups, "query"
         )
-        seconds += self.charge(
-            self.costs.serve_byte * stats.bytes_serialized, "serve"
-        )
+        fresh_bytes = stats.bytes_serialized - stats.bytes_from_cache
+        seconds += self.charge(self.costs.serve_byte * fresh_bytes, "serve")
+        if stats.bytes_from_cache:
+            seconds += self.charge(
+                self.costs.serve_byte_cached * stats.bytes_from_cache, "serve"
+            )
         return xml, seconds
+
+    def request_is_summary(self, request: str) -> bool:
+        """Summary-form answers key off content_version (see base)."""
+        try:
+            return GmetadQuery.parse(request).summary
+        except QueryError:
+            return False
+
+    def remove_data_source(self, name: str) -> None:
+        super().remove_data_source(name)
+        self._summary_trackers.pop(name, None)
 
     # -- convenience for tools/alarms -----------------------------------------
 

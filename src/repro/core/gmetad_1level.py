@@ -82,6 +82,27 @@ class OneLevelGmetad(GmetadBase):
         if not marked:
             self.datastore.mark_failure(source, now, error)
 
+    def _on_not_modified(self, source, notice, rtt) -> None:
+        """Refresh liveness for every cluster this source delivered.
+
+        The datastore is keyed by *cluster* name here, so the base
+        class's by-source touch would miss; no localtime patching either
+        -- this design stores clusters verbatim and its dump carries no
+        per-serve timestamp.
+        """
+        now = self.engine.now
+        self.charge(self.costs.tcp_connect, "network")
+        self.polls_not_modified += 1
+        touched = False
+        for cluster, origin in self.cluster_origin.items():
+            if origin == source:
+                self.datastore.touch_success(cluster, now)
+                # this design archives keyed by cluster name, not source
+                self.archiver.replay(cluster, now)
+                touched = True
+        if not touched:
+            self.datastore.touch_success(source, now)
+
     # -- serving -----------------------------------------------------------
 
     def serve_query(self, request: str) -> tuple[str, float]:
@@ -93,11 +114,31 @@ class OneLevelGmetad(GmetadBase):
         writer.open_tag(
             "GANGLIA_XML", [("VERSION", self.version), ("SOURCE", "gmetad")]
         )
+        cached_bytes = 0
         for name in self.datastore.source_names():
             snapshot = self.datastore.sources[name]
-            if snapshot.cluster is not None and not snapshot.cluster.is_summary:
+            if snapshot.cluster is None or snapshot.cluster.is_summary:
+                continue
+            if self.config.incremental:
+                cached = snapshot.frag_cache.get("full")
+                if cached is not None and cached[0] == snapshot.detail_stamp:
+                    writer.raw(cached[1])
+                    cached_bytes += len(cached[1])
+                    continue
+                sub = XmlWriter()
+                sub.cluster(snapshot.cluster)
+                fragment = sub.result()
+                snapshot.frag_cache["full"] = (snapshot.detail_stamp, fragment)
+                writer.raw(fragment)
+            else:
                 writer.cluster(snapshot.cluster)
         writer.close_tag("GANGLIA_XML")
         xml = writer.result()
-        seconds = self.charge(self.costs.serve_byte * len(xml), "serve")
+        seconds = self.charge(
+            self.costs.serve_byte * (len(xml) - cached_bytes), "serve"
+        )
+        if cached_bytes:
+            seconds += self.charge(
+                self.costs.serve_byte_cached * cached_bytes, "serve"
+            )
         return xml, seconds

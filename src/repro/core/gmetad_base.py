@@ -26,6 +26,12 @@ from repro.rrd.database import RraSpec, compact_rra_specs
 from repro.rrd.store import RrdStore
 from repro.sim.engine import Engine
 from repro.sim.resources import DEFAULT_CAPACITY, CostModel, CpuAccount
+from repro.wire.conditional import (
+    NotModified,
+    TaggedXml,
+    next_epoch,
+    split_generation,
+)
 from repro.wire.model import ClusterElement, GangliaDocument, GridElement
 from repro.wire.parser import ParseError, parse_document
 
@@ -109,11 +115,19 @@ class GmetadBase:
                 on_source_down=self._on_source_down,
                 request=self.poll_request(),
                 initial_delay=(i + 1) * stride,  # stagger the poll phase
+                conditional=config.incremental,
+                on_not_modified=self._on_not_modified,
             )
         self._server = tcp.listen(Address.gmetad(config.host), self._serve)
         self._started = False
+        #: serve-side epoch: generation tokens are scoped to this daemon
+        #: instance, so a restart (or fail-over to a twin) can never
+        #: produce a false NOT-MODIFIED match
+        self._serve_epoch = next_epoch(config.name)
         # stats
         self.polls_ingested = 0
+        self.polls_not_modified = 0
+        self.not_modified_served = 0
         self.parse_errors = 0
         self.queries_served = 0
         #: optional tap called as (source, xml, sim_time) before every
@@ -157,6 +171,8 @@ class GmetadBase:
             on_source_down=self._on_source_down,
             request=self.poll_request(),
             initial_delay=initial_delay,
+            conditional=self.config.incremental,
+            on_not_modified=self._on_not_modified,
         )
         self.pollers[source.name] = poller
         self.config.data_sources.append(source)
@@ -172,8 +188,13 @@ class GmetadBase:
         self.config.data_sources = [
             s for s in self.config.data_sources if s.name != name
         ]
-        if self.datastore.sources.pop(name, None) is not None:
-            self.datastore.generation += 1
+        self.datastore.remove_source(name)
+        self.archiver.forget(name)
+
+    def source_kind(self, source: str) -> str:
+        """The configured kind of a source ("cluster" or "grid")."""
+        poller = self.pollers.get(source)
+        return poller.config.kind if poller is not None else "cluster"
 
     @property
     def address(self) -> Address:
@@ -203,7 +224,9 @@ class GmetadBase:
             doc = parse_document(xml, validate=self.validate_xml)
         except ParseError as exc:
             self.parse_errors += 1
-            self.datastore.mark_failure(source, now, f"parse error: {exc}")
+            self.datastore.mark_failure(
+                source, now, f"parse error: {exc}", kind=self.source_kind(source)
+            )
             self._publish(source, now)
             return
         self.charge(
@@ -213,8 +236,29 @@ class GmetadBase:
         self.ingest(source, doc, now)
         self._publish(source, now)
 
+    def _on_not_modified(self, source: str, notice: NotModified, rtt: float) -> None:
+        """A conditional poll found the source unchanged.
+
+        The connection still happened (one tcp_connect of work), but
+        there is nothing to transfer, parse, summarize, or archive.
+        Liveness bookkeeping is refreshed as a successful poll, and the
+        freshness timestamp the child would have stamped into its report
+        is patched in so full-form output stays byte-identical to an
+        eager re-download.  No publish: subscribers see no delta.
+        """
+        now = self.engine.now
+        self.charge(self.costs.tcp_connect, "network")
+        self.polls_not_modified += 1
+        self.datastore.touch_success(source, now)
+        if notice.localtime:
+            self.datastore.patch_localtime(source, notice.localtime)
+        # unchanged gauges still get their RRD write every step
+        self.archiver.replay(source, now)
+
     def _on_source_down(self, source: str, error: str) -> None:
-        self.datastore.mark_failure(source, self.engine.now, error)
+        self.datastore.mark_failure(
+            source, self.engine.now, error, kind=self.source_kind(source)
+        )
         self._publish(source, self.engine.now)
 
     def _publish(self, source: str, now: float) -> None:
@@ -226,8 +270,44 @@ class GmetadBase:
     def _serve(self, client: str, request: object) -> Response:
         self.queries_served += 1
         seconds = self.charge(self.costs.tcp_connect, "network")
-        xml, serve_seconds = self.serve_query(str(request))
-        return Response(xml, service_seconds=seconds + serve_seconds)
+        base, presented = split_generation(str(request))
+        if presented is None:
+            # unconditional request: plain XML, exactly as before
+            xml, serve_seconds = self.serve_query(base)
+            return Response(xml, service_seconds=seconds + serve_seconds)
+        current = self.serve_generation(base)
+        if presented == current:
+            # HTTP-304 analogue; localtime rides along so the poller can
+            # refresh the report timestamp without a transfer (the same
+            # way a 304 updates the Date header)
+            self.not_modified_served += 1
+            return Response(
+                NotModified(
+                    generation=current,
+                    localtime=float(f"{self.engine.now:.0f}"),
+                ),
+                service_seconds=seconds,
+            )
+        xml, serve_seconds = self.serve_query(base)
+        return Response(
+            TaggedXml(xml, current), service_seconds=seconds + serve_seconds
+        )
+
+    def serve_generation(self, request: str) -> str:
+        """Opaque content-generation token for one request's answer.
+
+        Summary-form answers key off ``content_version`` only; full-form
+        answers also move with freshness patches (``detail_version``),
+        so a full-dump poller re-fetches when a nested report timestamp
+        moved while a summary poller keeps getting NOT-MODIFIED.
+        """
+        if self.request_is_summary(request):
+            return f"{self._serve_epoch}:s{self.datastore.content_version}"
+        return f"{self._serve_epoch}:f{self.datastore.detail_version}"
+
+    def request_is_summary(self, request: str) -> bool:
+        """Whether a request gets summary-form output (design-specific)."""
+        return False
 
     # -- subclass interface ---------------------------------------------------
 

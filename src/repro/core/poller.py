@@ -23,11 +23,19 @@ from repro.core.tree import DataSourceConfig
 from repro.net.address import Address
 from repro.net.tcp import TcpNetwork, TcpTimeout
 from repro.sim.engine import Engine, PeriodicTask
+from repro.wire.conditional import (
+    NO_GENERATION,
+    NotModified,
+    TaggedXml,
+    with_generation,
+)
 
 #: Delivered on success: (source_name, xml_text, rtt_seconds)
 OnData = Callable[[str, str, float], None]
 #: Delivered when a full fail-over cycle came up empty: (source_name, error)
 OnSourceDown = Callable[[str, str], None]
+#: Delivered on a NOT-MODIFIED answer: (source_name, notice, rtt_seconds)
+OnNotModified = Callable[[str, NotModified, float], None]
 
 
 class DataSourcePoller:
@@ -43,6 +51,8 @@ class DataSourcePoller:
         on_source_down: OnSourceDown,
         request: str = "/",
         initial_delay: Optional[float] = None,
+        conditional: bool = False,
+        on_not_modified: Optional[OnNotModified] = None,
     ) -> None:
         self.engine = engine
         self.tcp = tcp
@@ -51,6 +61,15 @@ class DataSourcePoller:
         self.on_data = on_data
         self.on_source_down = on_source_down
         self.request = request
+        #: conditional polling: present the last-seen content generation
+        #: so an unchanged source answers with a tiny NOT-MODIFIED
+        self.conditional = conditional
+        self.on_not_modified = on_not_modified
+        #: opaque generation token from the source's last tagged answer;
+        #: None until the source tags a response (a plain-string answer
+        #: from a non-incremental server keeps this None -- mixed-mode
+        #: federations degrade to eager polling gracefully)
+        self.last_generation: Optional[str] = None
         self._address_index = 0
         self._failures_this_cycle = 0
         self._in_flight = False
@@ -58,6 +77,7 @@ class DataSourcePoller:
         self.successes = 0
         self.failovers = 0
         self.down_reports = 0
+        self.not_modified = 0
         #: most recent timeout error (None after a successful poll);
         #: its ``address`` names the endpoint that failed to answer
         self.last_timeout: Optional[TcpTimeout] = None
@@ -103,10 +123,15 @@ class DataSourcePoller:
         self._in_flight = True
         self.polls += 1
         address = self.current_address
+        request = self.request
+        if self.conditional:
+            request = with_generation(
+                request, self.last_generation or NO_GENERATION
+            )
         self.tcp.request(
             self.client_host,
             address,
-            self.request,
+            request,
             on_response=self._on_response,
             timeout=self.config.timeout,
             on_timeout=self._on_timeout,
@@ -118,6 +143,19 @@ class DataSourcePoller:
         self._cycle_failures.clear()
         self.last_timeout = None
         self.successes += 1
+        if isinstance(payload, NotModified):
+            # nothing to transfer, parse, or ingest -- the whole point
+            self.last_generation = payload.generation
+            self.not_modified += 1
+            if self.on_not_modified is not None:
+                self.on_not_modified(self.config.name, payload, rtt)
+            return
+        if isinstance(payload, TaggedXml):
+            self.last_generation = payload.generation
+        else:
+            # plain string: the server does not speak the conditional
+            # protocol; forget any stale token so we never expect a match
+            self.last_generation = None
         self.on_data(self.config.name, str(payload), rtt)
 
     def _on_timeout(self, error: TcpTimeout) -> None:

@@ -98,11 +98,23 @@ class QueryStats:
 
     hash_lookups: int = 0
     bytes_serialized: int = 0
+    #: of bytes_serialized, how many were spliced from memoized source
+    #: fragments (a memcpy, charged at serve_byte_cached instead of the
+    #: full per-byte DOM-walk cost)
+    bytes_from_cache: int = 0
     found: bool = True
 
 
 class QueryEngine:
-    """Executes queries against a datastore; serializes the matched subtree."""
+    """Executes queries against a datastore; serializes the matched subtree.
+
+    With ``memoize`` on, whole-tree dumps cache each source's serialized
+    fragment on its snapshot, keyed by the datastore's serialization
+    stamps: a dump after k of S sources changed re-serializes k
+    fragments and memcpys the rest.  The cache lives on the
+    :class:`SourceSnapshot` itself, so removing a source drops its
+    fragments with it.
+    """
 
     def __init__(
         self,
@@ -110,11 +122,13 @@ class QueryEngine:
         grid_name: str,
         authority: str,
         version: str = "2.5.4",
+        memoize: bool = False,
     ) -> None:
         self.datastore = datastore
         self.grid_name = grid_name
         self.authority = authority
         self.version = version
+        self.memoize = memoize
 
     # -- public API ---------------------------------------------------------
 
@@ -186,14 +200,20 @@ class QueryEngine:
             "GANGLIA_XML", [("VERSION", self.version), ("SOURCE", "gmetad")]
         )
         if not query.path:
-            self._write_tree(writer, query.summary, now)
+            self._write_tree(writer, query.summary, now, stats)
         else:
             self._write_path(writer, query, stats)
         writer.close_tag("GANGLIA_XML")
         return writer.result()
 
-    def _write_tree(self, writer: XmlWriter, summary: bool, now: float) -> None:
-        """The whole local grid: every source, full or summary form."""
+    def _write_tree(
+        self, writer: XmlWriter, summary: bool, now: float, stats: QueryStats
+    ) -> None:
+        """The whole local grid: every source, full or summary form.
+
+        Only the outer GRID envelope (whose LOCALTIME moves every serve)
+        is always rebuilt; per-source bodies are memoized when enabled.
+        """
         writer.open_tag(
             "GRID",
             [
@@ -202,31 +222,48 @@ class QueryEngine:
                 ("LOCALTIME", f"{now:.0f}"),
             ],
         )
+        form = "summary" if summary else "full"
         for name in self.datastore.source_names():
             snapshot = self.datastore.sources[name]
-            if snapshot.kind == "cluster":
-                if summary and snapshot.cluster.summary is None:
-                    # a snapshot installed without an attached rollup
-                    # (shouldn't happen via Gmetad.ingest, but keep the
-                    # engine total): synthesize an empty-form element
-                    shell = ClusterElement(
-                        name=snapshot.cluster.name,
-                        localtime=snapshot.cluster.localtime,
-                        summary=snapshot.summary,
-                    )
-                    writer.cluster(shell, summary_only=True)
-                else:
-                    writer.cluster(snapshot.cluster, summary_only=summary)
-            elif summary:
-                merged = GridElement(
-                    name=snapshot.grid.name,
-                    authority=snapshot.authority or snapshot.grid.authority,
+            stamp = snapshot.summary_stamp if summary else snapshot.detail_stamp
+            if self.memoize:
+                cached = snapshot.frag_cache.get(form)
+                if cached is not None and cached[0] == stamp:
+                    writer.raw(cached[1])
+                    stats.bytes_from_cache += len(cached[1])
+                    continue
+            fragment = self._source_fragment(snapshot, summary)
+            if self.memoize:
+                snapshot.frag_cache[form] = (stamp, fragment)
+            writer.raw(fragment)
+        writer.close_tag("GRID")
+
+    def _source_fragment(self, snapshot, summary: bool) -> str:
+        """Serialize one source's element(s) exactly as the tree dump does."""
+        sub = XmlWriter()
+        if snapshot.kind == "cluster":
+            if summary and snapshot.cluster.summary is None:
+                # a snapshot installed without an attached rollup
+                # (shouldn't happen via Gmetad.ingest, but keep the
+                # engine total): synthesize an empty-form element
+                shell = ClusterElement(
+                    name=snapshot.cluster.name,
+                    localtime=snapshot.cluster.localtime,
                     summary=snapshot.summary,
                 )
-                writer.grid(merged, summary_only=True)
+                sub.cluster(shell, summary_only=True)
             else:
-                writer.grid(snapshot.grid)
-        writer.close_tag("GRID")
+                sub.cluster(snapshot.cluster, summary_only=summary)
+        elif summary:
+            merged = GridElement(
+                name=snapshot.grid.name,
+                authority=snapshot.authority or snapshot.grid.authority,
+                summary=snapshot.summary,
+            )
+            sub.grid(merged, summary_only=True)
+        else:
+            sub.grid(snapshot.grid)
+        return sub.result()
 
     def _write_path(
         self, writer: XmlWriter, query: GmetadQuery, stats: QueryStats

@@ -28,10 +28,16 @@ class DataSourceConfig:
     addresses: List[Address]
     poll_interval: float = 15.0
     timeout: float = 10.0
+    #: what answers at the addresses: a gmond "cluster" or a child
+    #: gmetad "grid".  Drives the shape of the placeholder the datastore
+    #: fabricates when a source dies before its first successful poll.
+    kind: str = "cluster"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("data source name must be non-empty")
+        if self.kind not in ("cluster", "grid"):
+            raise ValueError(f"bad data source kind {self.kind!r}")
         if not self.addresses:
             raise ValueError(f"data source {self.name!r} needs at least one address")
         if self.poll_interval <= 0:
@@ -61,6 +67,10 @@ class GmetadConfig:
     archive_mode: str = "full"
     #: archive per-host metrics for local clusters (leaf responsibility)
     archive_local_detail: bool = True
+    #: incremental ingest pipeline: conditional polls, delta
+    #: summarization, memoized serialization.  Default on; the paper
+    #: runners (Fig 5/6, Table 1) pin it off to keep the eager baseline.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.gridname is None:
@@ -74,6 +84,7 @@ class GmetadConfig:
         addresses: Sequence[Address],
         poll_interval: Optional[float] = None,
         timeout: Optional[float] = None,
+        kind: str = "cluster",
     ) -> DataSourceConfig:
         """Add a data source inheriting this gmetad's intervals."""
         source = DataSourceConfig(
@@ -81,6 +92,7 @@ class GmetadConfig:
             addresses=list(addresses),
             poll_interval=poll_interval or self.poll_interval,
             timeout=timeout or self.timeout,
+            kind=kind,
         )
         self.data_sources.append(source)
         return source
@@ -127,7 +139,7 @@ class MonitorTree:
         self._children[parent].append(child)
         child_config = self._configs[child]
         self._configs[parent].add_source(
-            child_config.name, [Address.gmetad(child_config.host)]
+            child_config.name, [Address.gmetad(child_config.host)], kind="grid"
         )
 
     # -- structure queries ---------------------------------------------------

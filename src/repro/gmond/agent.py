@@ -22,8 +22,14 @@ from repro.net.address import Address
 from repro.net.tcp import Response, TcpNetwork
 from repro.net.udp import MulticastChannel
 from repro.sim.engine import Engine, PeriodicTask
+from repro.wire.conditional import (
+    NotModified,
+    TaggedXml,
+    next_epoch,
+    split_generation,
+)
 from repro.wire.model import GangliaDocument
-from repro.wire.writer import write_document
+from repro.wire.writer import XmlWriter, _fmt_num, write_document
 
 
 @dataclass
@@ -84,6 +90,11 @@ class GmondAgent:
         self._tasks: List[PeriodicTask] = []
         self._started = False
         self.reports_sent = 0
+        self.not_modified_served = 0
+        # incremental serving state (only used when the config flag is on)
+        self._serve_epoch = next_epoch(f"gmond-{self.host}")
+        self._xml_cache: Optional[tuple[int, str]] = None
+        self._host_frags: Dict[str, tuple[int, str]] = {}
         # The agent's own TCP endpoint serving the full cluster report.
         self._server = tcp.listen(Address.gmond(self.host), self._serve_xml)
 
@@ -207,8 +218,64 @@ class GmondAgent:
     # -- serving ---------------------------------------------------------------
 
     def _serve_xml(self, client: str, request: object) -> Response:
-        """Serve the complete cluster report (gmond ignores the request)."""
+        """Serve the complete cluster report.
+
+        Plain gmond ignores the request entirely.  With
+        ``incremental_serving`` on, an ``ifgen`` query parameter is
+        honoured: an unchanged soft-state table answers NOT-MODIFIED,
+        and full answers are assembled from per-host fragments keyed by
+        each record's version.  The cached report freezes TN/LOCALTIME
+        at render time -- the documented staleness trade; with the flag
+        off (the default) every serve renders fresh, exactly as before.
+        """
         now = self.engine.now
-        doc = GangliaDocument(version="2.5.4", source="gmond")
-        doc.add_cluster(self.state.to_cluster_element(now))
-        return Response(write_document(doc))
+        if not self.config.incremental_serving:
+            doc = GangliaDocument(version="2.5.4", source="gmond")
+            doc.add_cluster(self.state.to_cluster_element(now))
+            return Response(write_document(doc))
+        _, presented = split_generation(str(request))
+        current = f"{self._serve_epoch}:{self.state.version}"
+        if presented is not None and presented == current:
+            self.not_modified_served += 1
+            return Response(NotModified(generation=current, localtime=now))
+        xml = self._render_cached(now)
+        if presented is not None:
+            return Response(TaggedXml(xml, current))
+        return Response(xml)
+
+    def _render_cached(self, now: float) -> str:
+        """Assemble the report from memoized per-host fragments."""
+        version = self.state.version
+        if self._xml_cache is not None and self._xml_cache[0] == version:
+            return self._xml_cache[1]
+        w = XmlWriter()
+        w.raw('<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>\n')
+        w.open_tag("GANGLIA_XML", [("VERSION", "2.5.4"), ("SOURCE", "gmond")])
+        attrs = [("NAME", self.config.cluster_name)]
+        if self.config.owner:
+            attrs.append(("OWNER", self.config.owner))
+        attrs.append(("LOCALTIME", _fmt_num(now)))
+        if self.config.url:
+            attrs.append(("URL", self.config.url))
+        w.open_tag("CLUSTER", attrs)
+        live = set()
+        for name in sorted(self.state.hosts):
+            record = self.state.hosts[name]
+            live.add(name)
+            cached = self._host_frags.get(name)
+            if cached is not None and cached[0] == record.version:
+                w.raw(cached[1])
+                continue
+            sub = XmlWriter()
+            sub.host(self.state.to_host_element(record, now))
+            frag = sub.result()
+            self._host_frags[name] = (record.version, frag)
+            w.raw(frag)
+        for name in list(self._host_frags):
+            if name not in live:  # departed host: drop its fragment
+                del self._host_frags[name]
+        w.close_tag("CLUSTER")
+        w.close_tag("GANGLIA_XML")
+        xml = w.result()
+        self._xml_cache = (version, xml)
+        return xml

@@ -31,6 +31,12 @@ class GmondConfig:
     host_dmax: float = 0.0
     #: de-synchronization jitter applied to periodic sends (fraction of period)
     send_jitter: float = 0.1
+    #: answer conditional (ifgen) polls with NOT-MODIFIED and serve from
+    #: a per-host fragment cache keyed by soft-state versions.  Off by
+    #: default: cached reports freeze TN/LOCALTIME at render time, a
+    #: staleness trade a live agent's own heartbeat makes moot anyway
+    #: (the soft state moves every ~20 s, so matches are rare).
+    incremental_serving: bool = False
     metric_defs: Sequence[MetricDef] = field(default_factory=builtin_catalog)
 
     def __post_init__(self) -> None:

@@ -28,8 +28,14 @@ from repro.net.address import Address
 from repro.net.fabric import Fabric
 from repro.net.tcp import Response, TcpNetwork
 from repro.sim.engine import Engine
-from repro.wire.model import ClusterElement, GangliaDocument, HostElement, MetricElement
-from repro.wire.writer import write_document
+from repro.wire.conditional import (
+    NotModified,
+    TaggedXml,
+    next_epoch,
+    split_generation,
+)
+from repro.wire.model import ClusterElement, HostElement, MetricElement
+from repro.wire.writer import XmlWriter, _fmt_num
 
 
 class PseudoGmond:
@@ -78,8 +84,18 @@ class PseudoGmond:
         ]
         self._cached_xml: Optional[str] = None
         self._built_at = float("-inf")
+        #: per-host serialized fragments; an entry is dropped whenever
+        #: its host's values move, so a k-host mutation re-renders k
+        #: fragments and memcpys the other H-k
+        self._host_frags: Dict[str, str] = {}
+        #: content generation: epoch scopes the counter to this emulator
+        #: instance so a restarted emulator never falsely matches
+        self._epoch = next_epoch(f"pgmond-{name}")
+        self._gen = 0
         self.requests = 0
         self.refreshes = 0
+        self.mutations = 0
+        self.not_modified_served = 0
         tcp.listen(Address.gmond(self.server_host), self._serve)
 
     # -- construction --------------------------------------------------------
@@ -139,27 +155,101 @@ class PseudoGmond:
 
     # -- serving -----------------------------------------------------------
 
-    def _refresh(self, now: float) -> None:
-        self.refreshes += 1
-        self._cluster.localtime = now
-        hosts = list(self._cluster.hosts.values())
-        for i, (host, volatiles) in enumerate(self._volatile):
-            if i in self._down:
-                # A dead host reports nothing: TN keeps growing.
-                silent_since = self._last_alive.get(i, now)
-                host.tn = max(0.0, now - silent_since)
-                host.reported = silent_since
-                continue
+    def _update_host(self, index: int, now: float) -> None:
+        """Re-randomize (or age, if down) one host; drops its fragment."""
+        host, volatiles = self._volatile[index]
+        if index in self._down:
+            # A dead host reports nothing: TN keeps growing.
+            silent_since = self._last_alive.get(index, now)
+            host.tn = max(0.0, now - silent_since)
+            host.reported = silent_since
+        else:
             host.tn = self._rng.uniform(0.0, 10.0)
             host.reported = now - host.tn
             for element, mdef in volatiles:
                 element.val = self._draw(mdef)
                 element.tn = self._rng.uniform(0.0, mdef.collect_every)
-        assert len(hosts) == len(self._volatile)
-        doc = GangliaDocument(version="2.5.4", source="gmond")
-        doc.add_cluster(self._cluster)
-        self._cached_xml = write_document(doc)
+        self._host_frags.pop(host.name, None)
+
+    def _assemble(self) -> str:
+        """Serialize the cluster document, splicing memoized host fragments.
+
+        Byte-identical to ``write_document`` on an equivalent document
+        (the memoization test pins this); only hosts whose fragment was
+        invalidated are re-rendered.
+        """
+        w = XmlWriter()
+        w.raw('<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>\n')
+        w.open_tag("GANGLIA_XML", [("VERSION", "2.5.4"), ("SOURCE", "gmond")])
+        c = self._cluster
+        attrs = [("NAME", c.name)]
+        if c.owner:
+            attrs.append(("OWNER", c.owner))
+        attrs.append(("LOCALTIME", _fmt_num(c.localtime)))
+        if c.url:
+            attrs.append(("URL", c.url))
+        w.open_tag("CLUSTER", attrs)
+        for name in sorted(c.hosts):
+            frag = self._host_frags.get(name)
+            if frag is None:
+                sub = XmlWriter()
+                sub.host(c.hosts[name])
+                frag = sub.result()
+                self._host_frags[name] = frag
+            w.raw(frag)
+        w.close_tag("CLUSTER")
+        w.close_tag("GANGLIA_XML")
+        return w.result()
+
+    def _refresh(self, now: float) -> None:
+        self.refreshes += 1
+        self._cluster.localtime = now
+        for i in range(self.num_hosts):
+            self._update_host(i, now)
+        self._cached_xml = self._assemble()
         self._built_at = now
+        self._gen += 1  # every host re-drew: content changed
+
+    def mutate(
+        self,
+        fraction: Optional[float] = None,
+        hosts: Optional[Sequence[int]] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Re-randomize a subset of hosts (the churn driver's knob).
+
+        Pass either ``fraction`` (0..1 of the cluster, sampled with the
+        emulator's own RNG) or an explicit list of host indices.  A
+        mutation of zero hosts changes nothing -- the cached XML and the
+        content generation stay put, so conditional pollers keep getting
+        NOT-MODIFIED.  Returns the number of hosts touched.
+        """
+        at = self.engine.now if now is None else now
+        if hosts is None:
+            if fraction is None:
+                raise ValueError("pass fraction or hosts")
+            k = int(round(fraction * self.num_hosts))
+            indices = sorted(self._rng.sample(range(self.num_hosts), k)) if k else []
+        else:
+            indices = sorted(set(hosts))
+        if not indices:
+            return 0
+        # make sure the skeleton is built before partial invalidation
+        self.current_xml(at)
+        for i in indices:
+            if not (0 <= i < self.num_hosts):
+                raise IndexError(f"host index {i} out of range")
+            self._update_host(i, at)
+        self._cluster.localtime = at
+        self._cached_xml = self._assemble()
+        self._gen += 1
+        self.mutations += 1
+        return len(indices)
+
+    @property
+    def generation(self) -> str:
+        """The opaque content-generation token served right now."""
+        return f"{self._epoch}:{self._gen}"
 
     def current_xml(self, now: Optional[float] = None) -> str:
         """The XML the emulator would serve right now (refreshing if due)."""
@@ -170,7 +260,23 @@ class PseudoGmond:
 
     def _serve(self, client: str, request: object) -> Response:
         self.requests += 1
-        return Response(self.current_xml(), service_seconds=self.service_seconds)
+        base, presented = split_generation(str(request))
+        xml = self.current_xml()  # refresh BEFORE comparing generations
+        if presented is not None:
+            current = self.generation
+            if presented == current:
+                self.not_modified_served += 1
+                return Response(
+                    NotModified(
+                        generation=current,
+                        localtime=self._cluster.localtime,
+                    ),
+                    service_seconds=self.service_seconds,
+                )
+            return Response(
+                TaggedXml(xml, current), service_seconds=self.service_seconds
+            )
+        return Response(xml, service_seconds=self.service_seconds)
 
     @property
     def address(self) -> Address:

@@ -27,6 +27,8 @@ class HostRecord:
     first_heard: float = 0.0
     last_heard: float = 0.0
     metrics: Dict[str, MetricSample] = field(default_factory=dict)
+    #: bumped on every change; keys the agent's serve-side fragment cache
+    version: int = 0
 
     def tn(self, now: float) -> float:
         """Seconds since this host was last heard from."""
@@ -41,6 +43,8 @@ class ClusterState:
         self.hosts: Dict[str, HostRecord] = {}
         self.metrics_received = 0
         self.hosts_expired = 0
+        #: bumped on every table change; the serve-side content generation
+        self.version = 0
 
     # -- updates -----------------------------------------------------------
 
@@ -59,6 +63,8 @@ class ClusterState:
         stored.reported_at = now
         record.metrics[sample.name] = stored
         self.metrics_received += 1
+        record.version += 1
+        self.version += 1
         return record
 
     def expire(self, now: float) -> int:
@@ -69,6 +75,7 @@ class ClusterState:
         the table entirely.
         """
         removed = 0
+        changed = False
         dead_hosts = []
         for host, record in self.hosts.items():
             stale = [
@@ -78,6 +85,9 @@ class ClusterState:
             ]
             for name in stale:
                 del record.metrics[name]
+            if stale:
+                record.version += 1
+                changed = True
             if (
                 self.config.host_dmax > 0
                 and record.tn(now) > self.config.host_dmax
@@ -86,6 +96,9 @@ class ClusterState:
         for host in dead_hosts:
             del self.hosts[host]
             removed += 1
+            changed = True
+        if changed:
+            self.version += 1
         self.hosts_expired += removed
         return removed
 
@@ -108,6 +121,31 @@ class ClusterState:
         """The record for one host, or None."""
         return self.hosts.get(name)
 
+    def to_host_element(self, record: HostRecord, now: float) -> HostElement:
+        """Render one host's HOST element as of time ``now``."""
+        host = HostElement(
+            name=record.name,
+            ip=record.ip,
+            reported=record.last_heard,
+            tn=record.tn(now),
+            tmax=self.config.heartbeat_interval,
+            dmax=self.config.host_dmax,
+        )
+        for sample in record.metrics.values():
+            host.add_metric(
+                MetricElement(
+                    name=sample.name,
+                    val=sample.wire_value(),
+                    mtype=sample.mtype,
+                    units=sample.units,
+                    tn=sample.tn(now),
+                    tmax=sample.tmax,
+                    dmax=sample.dmax,
+                    source=sample.source,
+                )
+            )
+        return host
+
     def to_cluster_element(self, now: float) -> ClusterElement:
         """Render the full-resolution CLUSTER element gmond serves."""
         cluster = ClusterElement(
@@ -117,26 +155,5 @@ class ClusterState:
             url=self.config.url,
         )
         for record in self.hosts.values():
-            host = HostElement(
-                name=record.name,
-                ip=record.ip,
-                reported=record.last_heard,
-                tn=record.tn(now),
-                tmax=self.config.heartbeat_interval,
-                dmax=self.config.host_dmax,
-            )
-            for sample in record.metrics.values():
-                host.add_metric(
-                    MetricElement(
-                        name=sample.name,
-                        val=sample.wire_value(),
-                        mtype=sample.mtype,
-                        units=sample.units,
-                        tn=sample.tn(now),
-                        tmax=sample.tmax,
-                        dmax=sample.dmax,
-                        source=sample.source,
-                    )
-                )
-            cluster.add_host(host)
+            cluster.add_host(self.to_host_element(record, now))
         return cluster

@@ -66,6 +66,9 @@ class Response:
         payload = self.payload
         if isinstance(payload, (str, bytes)):
             return max(1, len(payload))
+        declared = getattr(payload, "size_bytes", None)
+        if isinstance(declared, int) and declared > 0:
+            return declared  # structured payloads model their own wire size
         return 64  # small structured control message
 
 

@@ -50,6 +50,9 @@ class CostModel:
     parse_byte: float = 1.0
     #: cost to generate/serve one byte of Ganglia XML
     serve_byte: float = 0.1
+    #: cost to serve one byte spliced from a memoized fragment (a memcpy
+    #: instead of a DOM walk; only charged by the incremental pipeline)
+    serve_byte_cached: float = 0.01
     #: cost of the additive reduction for one metric sample
     summarize_metric: float = 40.0
     #: cost of one RRD time-series update (the paper calls archiving
@@ -64,14 +67,10 @@ class CostModel:
 
     def scaled(self, factor: float) -> "CostModel":
         """Return a copy with every coefficient multiplied by ``factor``."""
+        from dataclasses import fields
+
         return CostModel(
-            parse_byte=self.parse_byte * factor,
-            serve_byte=self.serve_byte * factor,
-            summarize_metric=self.summarize_metric * factor,
-            rrd_update=self.rrd_update * factor,
-            tcp_connect=self.tcp_connect * factor,
-            query_fixed=self.query_fixed * factor,
-            hash_insert=self.hash_insert * factor,
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
         )
 
 

@@ -81,6 +81,18 @@ class MetricSummary:
             source=self.source,
         )
 
+    def copy(self) -> "MetricSummary":
+        """An independent clone (accumulators mutate their own copies)."""
+        return MetricSummary(
+            name=self.name,
+            total=self.total,
+            num=self.num,
+            mtype=self.mtype,
+            units=self.units,
+            slope=self.slope,
+            source=self.source,
+        )
+
 
 @dataclass(slots=True)
 class SummaryInfo:
@@ -111,6 +123,37 @@ class SummaryInfo:
         for summary in other.metrics.values():
             result.add_metric(summary)
         return result
+
+    def merge_in_place(self, other: "SummaryInfo") -> "SummaryInfo":
+        """Fold ``other`` into this summary without rebuilding the dict.
+
+        The O(m) replacement for the quadratic ``info = info.merged(...)``
+        accumulation pattern: first occurrence of a metric inserts a
+        *copy* (so the source summary is never aliased into a mutable
+        accumulator), later occurrences add into that copy.  The float
+        additions happen in the same order as the ``merged`` chain, so
+        accumulated totals are bit-identical to the old rebuild.
+        """
+        self.hosts_up += other.hosts_up
+        self.hosts_down += other.hosts_down
+        for name, summary in other.metrics.items():
+            existing = self.metrics.get(name)
+            if existing is None:
+                self.metrics[name] = summary.copy()
+            else:
+                existing.total += summary.total
+                existing.num += summary.num
+                if not existing.units:
+                    existing.units = summary.units
+        return self
+
+    def copy(self) -> "SummaryInfo":
+        """A deep, independent clone (metric objects copied too)."""
+        return SummaryInfo(
+            hosts_up=self.hosts_up,
+            hosts_down=self.hosts_down,
+            metrics={k: v.copy() for k, v in self.metrics.items()},
+        )
 
 
 @dataclass(slots=True)

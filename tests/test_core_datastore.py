@@ -163,3 +163,106 @@ class TestRollup:
         third, operations = store.root_summary()
         assert third is not first
         assert operations > 0
+
+    def test_rollup_invalidated_by_remove_source(self):
+        store = Datastore()
+        store.install(cluster_snapshot("a"), now=0.0)
+        store.install(cluster_snapshot("b"), now=0.0)
+        before, _ = store.root_summary()
+        assert before.hosts_up == 2
+        assert store.remove_source("b")
+        after, operations = store.root_summary()
+        assert after is not before
+        assert operations > 0
+        assert after.hosts_up == 1
+
+    def test_rollup_invalidated_by_mark_failure(self):
+        store = Datastore()
+        store.install(cluster_snapshot("a"), now=0.0)
+        cached, _ = store.root_summary()
+        store.mark_failure("a", now=1.0, error="t")
+        recomputed, operations = store.root_summary()
+        # the merged payload is equal, but it was genuinely re-derived:
+        # a failure may change what the meta view reports about liveness
+        assert recomputed is not cached
+        # repeated failures keep invalidating (generation keeps moving)
+        store.mark_failure("a", now=2.0, error="t")
+        again, _ = store.root_summary()
+        assert again is not recomputed
+
+    def test_rollup_invalidated_by_placeholder_creation(self):
+        store = Datastore()
+        store.install(cluster_snapshot("a"), now=0.0)
+        before, _ = store.root_summary()
+        store.mark_failure("ghost", now=1.0, error="t", kind="grid")
+        after, _ = store.root_summary()
+        assert after is not before
+        assert after.hosts_up == before.hosts_up  # empty placeholder
+
+
+class TestVersioning:
+    def test_touch_success_moves_no_version(self):
+        store = Datastore()
+        store.install(grid_snapshot(), now=0.0)
+        store.mark_failure("attic", now=1.0, error="t")
+        content, detail = store.content_version, store.detail_version
+        assert store.touch_success("attic", now=2.0)
+        snapshot = store.source("attic")
+        assert snapshot.up and snapshot.consecutive_failures == 0
+        assert (store.content_version, store.detail_version) == (
+            content, detail,
+        )
+
+    def test_patch_localtime_moves_detail_only(self):
+        store = Datastore()
+        store.install(grid_snapshot(), now=0.0)
+        content, detail = store.content_version, store.detail_version
+        assert store.patch_localtime("attic", 120.0)
+        assert store.source("attic").grid.localtime == 120.0
+        assert store.content_version == content
+        assert store.detail_version == detail + 1
+
+    def test_install_moves_both_versions(self):
+        store = Datastore()
+        content, detail = store.content_version, store.detail_version
+        store.install(cluster_snapshot(), now=0.0)
+        assert store.content_version == content + 1
+        assert store.detail_version == detail + 1
+
+    def test_patch_localtime_needs_a_grid_source(self):
+        store = Datastore()
+        store.install(cluster_snapshot(), now=0.0)
+        assert not store.patch_localtime("meteor", 120.0)
+        assert not store.patch_localtime("ghost", 120.0)
+
+
+class TestKindAwarePlaceholders:
+    def test_grid_source_failure_fabricates_grid_placeholder(self):
+        store = Datastore()
+        store.mark_failure("child", now=0.0, error="t", kind="grid")
+        snapshot = store.source("child")
+        assert snapshot.kind == "grid"
+        assert snapshot.grid is not None and snapshot.cluster is None
+
+    def test_cluster_default_preserved(self):
+        store = Datastore()
+        store.mark_failure("gmond-src", now=0.0, error="t")
+        assert store.source("gmond-src").kind == "cluster"
+
+
+class TestFindClusterFallThrough:
+    def test_nested_cluster_found_through_grid_sources(self):
+        store = Datastore()
+        store.install(grid_snapshot(), now=0.0)
+        # "attic-c0" is not a top-level source; it lives one level down
+        # inside the "attic" grid snapshot
+        found = store.find_cluster("attic-c0")
+        assert found is not None
+        assert found.summary.hosts_up == 3
+
+    def test_direct_sources_still_win(self):
+        store = Datastore()
+        store.install(grid_snapshot(), now=0.0)
+        store.install(cluster_snapshot(), now=0.0)
+        assert store.find_cluster("meteor").name == "meteor"
+        assert store.find_cluster("nope") is None

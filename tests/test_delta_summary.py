@@ -1,0 +1,156 @@
+"""Unit + property tests for delta summarization (repro.core.delta_summary).
+
+The acceptance bar: a :class:`ClusterSummaryTracker` fed any sequence of
+snapshots must agree with an eager re-fold of the latest snapshot -- not
+just approximately, but at the 4-decimal wire formatting the serialized
+output pins (``_fmt_num``).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta_summary import ClusterSummaryTracker, eager_summary
+from repro.metrics.types import MetricType
+from repro.wire.model import ClusterElement, HostElement, MetricElement
+from repro.wire.writer import _fmt_num
+
+WINDOW = 80.0
+
+
+def make_cluster(loads, stale=(), extra_metric=None):
+    """A full-form cluster: host name -> load_one value.
+
+    ``stale`` hosts report outside the heartbeat window (counted down,
+    values excluded); ``extra_metric`` optionally adds a second metric
+    on every live host.
+    """
+    cluster = ClusterElement(name="meteor", localtime=100.0)
+    for name, load in loads.items():
+        host = HostElement(name=name, tn=1000.0 if name in stale else 1.0)
+        host.add_metric(
+            MetricElement("load_one", str(load), MetricType.FLOAT)
+        )
+        if extra_metric is not None and name not in stale:
+            host.add_metric(
+                MetricElement(extra_metric, "5", MetricType.UINT32)
+            )
+        cluster.add_host(host)
+    return cluster
+
+
+def assert_summaries_agree(incremental, eager):
+    assert incremental.hosts_up == eager.hosts_up
+    assert incremental.hosts_down == eager.hosts_down
+    assert incremental.metrics.keys() == eager.metrics.keys()
+    for name, ms in eager.metrics.items():
+        ours = incremental.metrics[name]
+        assert ours.num == ms.num
+        # the bytes on the wire are what must match, not raw floats
+        assert _fmt_num(ours.total) == _fmt_num(ms.total)
+        assert (ours.mtype, ours.units, ours.slope) == (
+            ms.mtype, ms.units, ms.slope,
+        )
+
+
+class TestTracker:
+    def test_first_fold_matches_eager(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        cluster = make_cluster({"h0": 1.0, "h1": 2.5})
+        summary, ops = tracker.update(cluster)
+        assert_summaries_agree(summary, eager_summary(cluster, WINDOW))
+        assert ops > 0
+
+    def test_unchanged_snapshot_costs_nothing(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        cluster = make_cluster({"h0": 1.0, "h1": 2.5})
+        tracker.update(cluster)
+        _, ops = tracker.update(make_cluster({"h0": 1.0, "h1": 2.5}))
+        assert ops == 0
+
+    def test_single_host_change_touches_only_that_host(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        tracker.update(make_cluster({f"h{i}": 1.0 for i in range(50)}))
+        changed = {f"h{i}": 1.0 for i in range(50)}
+        changed["h7"] = 9.0
+        summary, ops = tracker.update(make_cluster(changed))
+        # subtract + add one contribution, not a 50-host re-fold
+        assert 0 < ops <= 4
+        assert _fmt_num(summary.metrics["load_one"].total) == _fmt_num(58.0)
+
+    def test_removed_host_subtracted(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        tracker.update(make_cluster({"h0": 1.0, "h1": 2.0}))
+        latest = make_cluster({"h1": 2.0})
+        summary, _ = tracker.update(latest)
+        assert_summaries_agree(summary, eager_summary(latest, WINDOW))
+        assert summary.hosts_up == 1
+
+    def test_host_going_stale_flips_to_down_and_drops_values(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        tracker.update(make_cluster({"h0": 1.0, "h1": 2.0}))
+        latest = make_cluster({"h0": 1.0, "h1": 2.0}, stale={"h1"})
+        summary, _ = tracker.update(latest)
+        assert (summary.hosts_up, summary.hosts_down) == (1, 1)
+        assert_summaries_agree(summary, eager_summary(latest, WINDOW))
+
+    def test_last_reporter_of_a_metric_removes_the_reduction(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        tracker.update(
+            make_cluster({"h0": 1.0, "h1": 2.0}, extra_metric="procs")
+        )
+        latest = make_cluster({"h0": 1.0, "h1": 2.0})  # procs gone
+        summary, _ = tracker.update(latest)
+        assert "procs" not in summary.metrics
+        assert_summaries_agree(summary, eager_summary(latest, WINDOW))
+
+    def test_returned_summary_is_an_independent_clone(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        first, _ = tracker.update(make_cluster({"h0": 1.0}))
+        second, _ = tracker.update(make_cluster({"h0": 4.0}))
+        assert _fmt_num(first.metrics["load_one"].total) == _fmt_num(1.0)
+        assert _fmt_num(second.metrics["load_one"].total) == _fmt_num(4.0)
+
+    def test_reset_forgets_everything(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        tracker.update(make_cluster({"h0": 1.0}))
+        tracker.reset()
+        summary, ops = tracker.update(make_cluster({"h0": 1.0}))
+        assert ops > 0  # re-folded from scratch
+        assert summary.hosts_up == 1
+
+
+# -- property: any churn sequence converges to the eager re-fold ------------
+
+host_names = [f"h{i}" for i in range(6)]
+
+churn_step = st.fixed_dictionaries(
+    {
+        "present": st.sets(st.sampled_from(host_names), min_size=0, max_size=6),
+        "stale": st.sets(st.sampled_from(host_names), min_size=0, max_size=3),
+        "loads": st.lists(
+            st.floats(
+                min_value=0.0, max_value=99.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=6, max_size=6,
+        ),
+    }
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=st.lists(churn_step, min_size=1, max_size=8))
+def test_incremental_matches_eager_after_random_churn(steps):
+    """Subtract-then-add accumulation never drifts past wire formatting."""
+    tracker = ClusterSummaryTracker(WINDOW)
+    summary = None
+    latest = None
+    for step in steps:
+        loads = {
+            name: step["loads"][i]
+            for i, name in enumerate(host_names)
+            if name in step["present"]
+        }
+        latest = make_cluster(loads, stale=step["stale"] & step["present"])
+        summary, _ = tracker.update(latest)
+    assert_summaries_agree(summary, eager_summary(latest, WINDOW))

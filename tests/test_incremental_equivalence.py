@@ -1,0 +1,156 @@
+"""Byte-identical equivalence: incremental pipeline vs the eager baseline.
+
+Two twin Fig. 2 federations are built from the same seed -- one with
+``incremental=False`` (the paper-faithful eager path), one with
+``incremental=True`` (conditional polls + delta summarization + memoized
+serialization) -- and driven through identical event sequences.  At
+every checkpoint, every gmetad in both trees must serve **byte-identical**
+XML for the full dump and the summary view.  This is the acceptance bar
+of the optimisation: observable output is unchanged; only the work done
+to produce it shrinks.
+"""
+
+import pytest
+
+from repro.bench.topology import build_paper_tree
+from repro.core.tree import DataSourceConfig
+from repro.gmond.pseudo import PseudoGmond
+from repro.net.tcp import Response
+
+HOSTS = 4
+REQUESTS = ["/", "/?filter=summary"]
+
+
+@pytest.fixture
+def twins():
+    """(eager, incremental) federations built from the same seed."""
+
+    def build(**kwargs):
+        eager = build_paper_tree(
+            "nlevel", hosts_per_cluster=HOSTS, incremental=False, **kwargs
+        ).start()
+        incr = build_paper_tree(
+            "nlevel", hosts_per_cluster=HOSTS, incremental=True, **kwargs
+        ).start()
+        return eager, incr
+
+    return build
+
+
+def run_both(eager, incr, duration):
+    eager.engine.run_for(duration)
+    incr.engine.run_for(duration)
+    assert eager.engine.now == incr.engine.now
+
+
+def assert_identical_everywhere(eager, incr, requests=REQUESTS):
+    for name in eager.gmetads:
+        for request in requests:
+            expected, _ = eager.gmetad(name).serve_query(request)
+            actual, _ = incr.gmetad(name).serve_query(request)
+            assert actual == expected, (
+                f"{name} diverged on {request!r} at t={eager.engine.now}"
+            )
+
+
+def test_steady_churn_serves_identical_bytes(twins):
+    """Default workload: every pseudo re-randomizes each poll cycle."""
+    eager, incr = twins()
+    for _ in range(6):
+        run_both(eager, incr, 30.0)
+        assert_identical_everywhere(eager, incr)
+    # path queries down the hierarchy agree too
+    assert_identical_everywhere(
+        eager, incr, ["/sdsc", "/ucsd", "/sdsc-c0", "/sdsc-c0/sdsc-c0-0-0"]
+    )
+
+
+def test_frozen_values_with_partial_mutations(twins):
+    """The regime the optimisation targets: most polls find no change."""
+    eager, incr = twins(freeze_values=True)
+    run_both(eager, incr, 60.0)
+    assert_identical_everywhere(eager, incr)
+    # mutate the same hosts of the same clusters in both twins
+    for cluster in ["sdsc-c0", "physics-c1"]:
+        assert eager.pseudos[cluster].mutate(hosts=[0, 2]) == 2
+        assert incr.pseudos[cluster].mutate(hosts=[0, 2]) == 2
+    for _ in range(4):
+        run_both(eager, incr, 30.0)
+        assert_identical_everywhere(eager, incr)
+    # the conditional machinery actually engaged (not vacuous equality)
+    root = incr.gmetad("root")
+    assert root.polls_not_modified > 0
+    assert sum(g.polls_not_modified for g in incr.gmetads.values()) > 0
+    assert all(g.polls_not_modified == 0 for g in eager.gmetads.values())
+
+
+def test_node_death_and_recovery(twins):
+    eager, incr = twins(freeze_values=True)
+    run_both(eager, incr, 45.0)
+    for fed in (eager, incr):
+        fed.pseudos["attic-c2"].set_host_down(1)
+    # past the heartbeat window: the host flips to down in summaries
+    run_both(eager, incr, 120.0)
+    assert_identical_everywhere(eager, incr)
+    for fed in (eager, incr):
+        fed.pseudos["attic-c2"].set_host_down(1, down=False)
+    run_both(eager, incr, 60.0)
+    assert_identical_everywhere(eager, incr)
+
+
+def test_source_failure_and_heal(twins):
+    """A dead child marks failures in both twins, then recovers."""
+    eager, incr = twins(freeze_values=True)
+    run_both(eager, incr, 45.0)
+    for fed in (eager, incr):
+        fed.fabric.set_host_up(fed.pseudos["math-c0"].server_host, False)
+    run_both(eager, incr, 90.0)
+    assert not eager.gmetad("math").datastore.source("math-c0").up
+    assert not incr.gmetad("math").datastore.source("math-c0").up
+    assert_identical_everywhere(eager, incr)
+    for fed in (eager, incr):
+        fed.fabric.set_host_up(fed.pseudos["math-c0"].server_host, True)
+    run_both(eager, incr, 60.0)
+    assert incr.gmetad("math").datastore.source("math-c0").up
+    assert_identical_everywhere(eager, incr)
+
+
+def test_parse_errors_handled_identically(twins):
+    """A source serving garbage XML degrades both twins the same way."""
+    eager, incr = twins(freeze_values=True)
+    run_both(eager, incr, 45.0)
+    for fed in (eager, incr):
+        address = fed.pseudos["physics-c0"].address
+        fed.tcp.close(address)
+        fed.tcp.listen(
+            address, lambda client, request: Response("<GANGLIA_XML <<<")
+        )
+    run_both(eager, incr, 45.0)
+    assert eager.gmetad("physics").parse_errors > 0
+    assert incr.gmetad("physics").parse_errors > 0
+    assert_identical_everywhere(eager, incr)
+
+
+def test_source_add_and_remove(twins):
+    eager, incr = twins(freeze_values=True)
+    run_both(eager, incr, 45.0)
+    # attach a brand-new cluster to sdsc in both twins, same stream key
+    for fed in (eager, incr):
+        pseudo = PseudoGmond(
+            fed.engine, fed.fabric, fed.tcp, "sdsc-c3", HOSTS,
+            fed.rngs.stream("pseudo:sdsc-c3"),
+            refresh_interval=float("inf"),
+        )
+        fed.pseudos["sdsc-c3"] = pseudo
+        fed.gmetad("sdsc").add_data_source(
+            DataSourceConfig(name="sdsc-c3", addresses=[pseudo.address])
+        )
+    run_both(eager, incr, 60.0)
+    assert incr.gmetad("sdsc").datastore.source("sdsc-c3") is not None
+    assert_identical_everywhere(eager, incr)
+    # now detach an original cluster from both twins
+    for fed in (eager, incr):
+        fed.gmetad("sdsc").remove_data_source("sdsc-c1")
+    run_both(eager, incr, 60.0)
+    assert incr.gmetad("sdsc").datastore.source("sdsc-c1") is None
+    assert_identical_everywhere(eager, incr)

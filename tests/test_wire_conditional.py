@@ -1,0 +1,87 @@
+"""Unit tests for the conditional-poll wire protocol (repro.wire.conditional)."""
+
+import pytest
+
+from repro.net.tcp import Response
+from repro.wire.conditional import (
+    GENERATION_TAG_BYTES,
+    NO_GENERATION,
+    NOT_MODIFIED_BYTES,
+    NotModified,
+    TaggedXml,
+    next_epoch,
+    split_generation,
+    with_generation,
+)
+
+
+class TestWithGeneration:
+    def test_appends_to_bare_path(self):
+        assert with_generation("/", "e.1:s5") == "/?ifgen=e.1:s5"
+
+    def test_appends_to_existing_query_string(self):
+        tagged = with_generation("/?filter=summary", "e.1:s5")
+        assert tagged == "/?filter=summary&ifgen=e.1:s5"
+
+    def test_default_is_the_never_matching_sentinel(self):
+        assert with_generation("/") == f"/?ifgen={NO_GENERATION}"
+
+    def test_rejects_tokens_that_break_the_query_string(self):
+        with pytest.raises(ValueError):
+            with_generation("/", "a&b=c")
+        with pytest.raises(ValueError):
+            with_generation("/", "")
+
+
+class TestSplitGeneration:
+    def test_round_trip_restores_base_request(self):
+        for base in ["/", "/?filter=summary", "/meteor/host-3", "/a?x=1&y=2"]:
+            tagged = with_generation(base, "srv.7:f123")
+            assert split_generation(tagged) == (base, "srv.7:f123")
+
+    def test_unconditional_request_passes_through(self):
+        assert split_generation("/?filter=summary") == (
+            "/?filter=summary", None,
+        )
+        assert split_generation("/meteor") == ("/meteor", None)
+
+    def test_other_parameters_survive_in_order(self):
+        base, token = split_generation("/?a=1&ifgen=t.1:s0&b=2")
+        assert base == "/?a=1&b=2"
+        assert token == "t.1:s0"
+
+    def test_empty_token_reads_as_sentinel(self):
+        base, token = split_generation("/?ifgen=")
+        assert (base, token) == ("/", NO_GENERATION)
+
+
+class TestEpochs:
+    def test_epochs_are_unique_even_for_the_same_name(self):
+        a = next_epoch("gmeta-root")
+        b = next_epoch("gmeta-root")
+        assert a != b
+        assert a.startswith("gmeta-root.")
+
+    def test_unsafe_characters_sanitized(self):
+        epoch = next_epoch("host with spaces&more")
+        base, token = split_generation(with_generation("/", f"{epoch}:s1"))
+        assert token == f"{epoch}:s1"
+
+
+class TestPayloads:
+    def test_not_modified_is_tiny_on_the_wire(self):
+        notice = NotModified(generation="e.1:s9", localtime=120.0)
+        assert notice.size_bytes == NOT_MODIFIED_BYTES
+        assert Response(notice).size_bytes == NOT_MODIFIED_BYTES
+        assert 'GEN="e.1:s9"' in str(notice)
+        assert 'LOCALTIME="120"' in str(notice)
+
+    def test_tagged_xml_costs_the_stream_plus_header(self):
+        xml = "<GANGLIA_XML></GANGLIA_XML>"
+        tagged = TaggedXml(xml, "e.2:f4")
+        assert str(tagged) == xml
+        assert tagged.size_bytes == len(xml) + GENERATION_TAG_BYTES
+        assert Response(tagged).size_bytes == tagged.size_bytes
+
+    def test_sentinel_never_equals_a_real_token(self):
+        assert NO_GENERATION != f"{next_epoch('x')}:s0"
