@@ -39,8 +39,12 @@ from repro.bench.experiments import (
     run_pubsub_comparison,
     run_table1,
 )
+from repro.analysis.availability import FederationProbe, SoakReport
 from repro.bench.topology import Federation, build_paper_tree
 from repro.core.gmetad import Gmetad
+from repro.core.resilience import Overloaded, ResilienceConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.schedules import FaultEvent, FaultSchedule
 from repro.core.gmetad_1level import OneLevelGmetad
 from repro.core.query import GmetadQuery
 from repro.core.tree import DataSourceConfig, GmetadConfig, MonitorTree
@@ -80,6 +84,13 @@ __all__ = [
     "PushFrontend",
     "PubSubBroker",
     "PushClient",
+    "ResilienceConfig",
+    "Overloaded",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultEvent",
+    "FederationProbe",
+    "SoakReport",
     "Federation",
     "build_paper_tree",
     "run_figure5",

@@ -1,9 +1,18 @@
-"""Uptime accounting from archived histories.
+"""Uptime accounting: archived histories and live federation probing.
 
 Availability of a host over a window = fraction of known archive rows
 that are non-zero on a liveness-correlated metric.  Cluster availability
 aggregates hosts; the report renders the auditing table the paper's
 introduction motivates.
+
+:class:`FederationProbe` measures from the *consumer's* seat instead:
+it periodically samples every gmetad's datastore and asks, for each
+(gmetad, source) pair, "is this source serving fresh data right now?"
+-- which is what a viewer hitting the web frontend actually experiences
+during a chaos run.  The aggregate :class:`SoakReport` carries the three
+headline numbers of the resilience benchmark: availability (fraction of
+fresh samples), staleness (how old the served data was), and MTTR (how
+long outages took to repair).
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.rrd.store import MetricKey, RrdStore
+from repro.sim.engine import Engine, PeriodicTask
 
 #: Default liveness-correlated metric for availability accounting.
 LIVENESS_METRIC = "load_one"
@@ -99,3 +109,156 @@ def cluster_availability(
         if availability is not None:
             report.per_host[host] = availability
     return report
+
+
+# -- live federation probing (the consumer's view) --------------------------
+
+
+@dataclass
+class SourceTrack:
+    """Freshness accounting for one (gmetad, source) pair."""
+
+    samples: int = 0
+    fresh_samples: int = 0
+    staleness_sum: float = 0.0
+    staleness_max: float = 0.0
+    down_since: Optional[float] = None
+    repair_times: List[float] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        if self.samples == 0:
+            return 0.0
+        return self.fresh_samples / self.samples
+
+
+@dataclass
+class SoakReport:
+    """Aggregate freshness numbers over a chaos soak window."""
+
+    samples: int
+    availability: float
+    mean_staleness: float
+    max_staleness: float
+    #: mean seconds from "went stale" to "fresh again" (repaired outages)
+    mttr: Optional[float]
+    repaired_outages: int
+    unrepaired_outages: int
+    per_source: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "samples": self.samples,
+            "availability": round(self.availability, 5),
+            "mean_staleness_seconds": round(self.mean_staleness, 3),
+            "max_staleness_seconds": round(self.max_staleness, 3),
+            "mttr_seconds": (
+                round(self.mttr, 3) if self.mttr is not None else None
+            ),
+            "repaired_outages": self.repaired_outages,
+            "unrepaired_outages": self.unrepaired_outages,
+            "per_source_availability": {
+                name: round(value, 5)
+                for name, value in sorted(self.per_source.items())
+            },
+        }
+
+
+class FederationProbe:
+    """Samples every gmetad's served state on a fixed cadence.
+
+    A (gmetad, source) sample is *fresh* when the source is marked up
+    and its last successful (or salvaged) poll happened within
+    ``fresh_factor`` poll intervals -- the served data is what a viewer
+    would consider current.  Quarantined-but-serving sources therefore
+    count as available (the resilience layer's whole claim), while a
+    source stuck behind failed polls goes stale even if a last-good
+    snapshot still answers queries.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        targets: Dict[str, object],
+        interval: float = 5.0,
+        fresh_factor: float = 2.5,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("probe interval must be positive")
+        self.engine = engine
+        self.targets = dict(targets)
+        self.interval = interval
+        self.fresh_factor = fresh_factor
+        self.tracks: Dict[str, SourceTrack] = {}
+        self._task: Optional[PeriodicTask] = None
+
+    def start(self, initial_delay: Optional[float] = None) -> "FederationProbe":
+        if self._task is not None:
+            raise RuntimeError("probe already started")
+        self._task = self.engine.every(
+            self.interval,
+            self.sample,
+            initial_delay=(
+                initial_delay if initial_delay is not None else self.interval
+            ),
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def sample(self) -> None:
+        """Take one freshness sample of every (gmetad, source) pair."""
+        now = self.engine.now
+        for gname, gmetad in self.targets.items():
+            for source, snapshot in gmetad.datastore.sources.items():
+                poller = gmetad.pollers.get(source)
+                poll_interval = (
+                    poller.config.poll_interval
+                    if poller is not None
+                    else 15.0
+                )
+                track = self.tracks.setdefault(
+                    f"{gname}/{source}", SourceTrack()
+                )
+                track.samples += 1
+                staleness = max(0.0, now - snapshot.last_success)
+                track.staleness_sum += staleness
+                track.staleness_max = max(track.staleness_max, staleness)
+                fresh = (
+                    snapshot.up
+                    and staleness <= self.fresh_factor * poll_interval
+                )
+                if fresh:
+                    if track.down_since is not None:
+                        track.repair_times.append(now - track.down_since)
+                        track.down_since = None
+                    track.fresh_samples += 1
+                elif track.down_since is None:
+                    track.down_since = now
+
+    def report(self) -> SoakReport:
+        """Fold every track into the aggregate soak report."""
+        samples = sum(t.samples for t in self.tracks.values())
+        fresh = sum(t.fresh_samples for t in self.tracks.values())
+        staleness_sum = sum(t.staleness_sum for t in self.tracks.values())
+        repairs = [r for t in self.tracks.values() for r in t.repair_times]
+        return SoakReport(
+            samples=samples,
+            availability=(fresh / samples) if samples else 0.0,
+            mean_staleness=(staleness_sum / samples) if samples else 0.0,
+            max_staleness=max(
+                (t.staleness_max for t in self.tracks.values()), default=0.0
+            ),
+            mttr=(sum(repairs) / len(repairs)) if repairs else None,
+            repaired_outages=len(repairs),
+            unrepaired_outages=sum(
+                1 for t in self.tracks.values() if t.down_since is not None
+            ),
+            per_source={
+                name: track.availability
+                for name, track in self.tracks.items()
+            },
+        )

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.gmetad import Gmetad
 from repro.core.gmetad_1level import OneLevelGmetad
 from repro.core.gmetad_base import GmetadBase
+from repro.core.resilience import ResilienceConfig
 from repro.core.tree import GmetadConfig, MonitorTree
 from repro.gmond.pseudo import PseudoGmond
 from repro.net.fabric import Fabric
@@ -137,6 +138,7 @@ def build_paper_tree(
     trust_edges: Optional[List[Tuple[str, str]]] = None,
     refresh_interval: Optional[float] = None,
     incremental: bool = False,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Federation:
     """Build the Fig. 2 federation for one design.
 
@@ -163,11 +165,16 @@ def build_paper_tree(
     every gmetad.  Deliberately **off** here by default: this builder
     backs the paper-figure runners, whose eager behaviour is the
     baseline being reproduced.  New experiments opt in explicitly.
+
+    ``resilience`` attaches one shared
+    :class:`~repro.core.resilience.ResilienceConfig` to every gmetad
+    (adaptive timeouts, health-biased fail-over, circuit breakers,
+    salvage ingest).  Default ``None``: the paper-faithful baseline.
     """
     engine = engine or Engine()
     fabric = Fabric()
-    tcp = TcpNetwork(engine, fabric)
     rngs = RngRegistry(seed)
+    tcp = TcpNetwork(engine, fabric, rng=rngs.stream("tcp.gray"))
     tree = MonitorTree()
     attachment = attachment or PAPER_CLUSTER_ATTACHMENT
     if trust_edges is None:
@@ -182,6 +189,7 @@ def build_paper_tree(
             poll_interval=poll_interval,
             archive_mode=archive_mode,
             incremental=incremental,
+            resilience=resilience,
         )
         tree.add_gmetad(configs[name])
 

@@ -67,6 +67,12 @@ class SourceSnapshot:
     last_success: float = 0.0
     consecutive_failures: int = 0
     last_error: str = ""
+    #: corruption quarantine: the source is still serving (possibly
+    #: salvaged or last-good) data, but its recent polls were damaged
+    quarantined: bool = False
+    corrupt_polls: int = 0
+    #: host count recovered by the most recent salvaged ingest
+    salvaged_hosts: int = 0
     #: serialization stamps: any byte of this source's full-form (detail)
     #: or summary-form output may have changed since the stamped value
     detail_stamp: int = 0
@@ -117,6 +123,10 @@ class Datastore:
         previous = self.sources.get(snapshot.name)
         if previous is not None:
             snapshot.consecutive_failures = 0
+            # lifetime diagnostic; quarantined itself resets with the
+            # fresh snapshot (a clean ingest is how a source exits
+            # quarantine) unless the caller re-marks it
+            snapshot.corrupt_polls = previous.corrupt_polls
         snapshot.up = True
         snapshot.last_success = now
         self.sources[snapshot.name] = snapshot
@@ -161,6 +171,31 @@ class Datastore:
         self.generation += 1
         return snapshot.consecutive_failures
 
+    def mark_corrupt(
+        self, name: str, now: float, error: str, kind: str = "cluster"
+    ) -> int:
+        """A poll delivered but its payload was poisoned beyond salvage.
+
+        Unlike :meth:`mark_failure` the source stays ``up`` serving its
+        last-good snapshot: the child is alive and talking, just
+        garbled, and evicting it would turn a gray failure into a black
+        one for every query above us.  No version moves -- queries keep
+        seeing exactly the bytes they saw before the corrupt poll.
+        Returns the lifetime corrupt-poll count.
+        """
+        snapshot = self.sources.get(name)
+        if snapshot is None:
+            # nothing to preserve; behave like a failure, then flag it
+            self.mark_failure(name, now, error, kind=kind)
+            snapshot = self.sources[name]
+            snapshot.quarantined = True
+            snapshot.corrupt_polls += 1
+            return snapshot.corrupt_polls
+        snapshot.quarantined = True
+        snapshot.corrupt_polls += 1
+        snapshot.last_error = error
+        return snapshot.corrupt_polls
+
     def touch_success(self, name: str, now: float) -> bool:
         """Refresh liveness bookkeeping after a NOT-MODIFIED poll.
 
@@ -175,6 +210,9 @@ class Datastore:
         snapshot.last_success = now
         snapshot.consecutive_failures = 0
         snapshot.last_error = ""
+        # NOT-MODIFIED proves the child is serving clean content again
+        snapshot.quarantined = False
+        snapshot.salvaged_hosts = 0
         return True
 
     def patch_localtime(self, name: str, localtime: float) -> bool:

@@ -15,9 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import random
+
 from repro.core.archiver import Archiver
 from repro.core.datastore import Datastore
 from repro.core.poller import DataSourcePoller
+from repro.core.query import ServeQueue
+from repro.core.resilience import Overloaded
 from repro.core.tree import GmetadConfig
 from repro.net.address import Address
 from repro.net.fabric import Fabric
@@ -26,6 +30,7 @@ from repro.rrd.database import RraSpec, compact_rra_specs
 from repro.rrd.store import RrdStore
 from repro.sim.engine import Engine
 from repro.sim.resources import DEFAULT_CAPACITY, CostModel, CpuAccount
+from repro.sim.rng import derive_seed
 from repro.wire.conditional import (
     NotModified,
     TaggedXml,
@@ -33,7 +38,11 @@ from repro.wire.conditional import (
     split_generation,
 )
 from repro.wire.model import ClusterElement, GangliaDocument, GridElement
-from repro.wire.parser import ParseError, parse_document
+from repro.wire.parser import ParseError, parse_document, salvage_document
+
+#: root seed for the per-poller breaker-jitter streams; derived per
+#: (gmetad, source) name so chaos runs replay identically
+_BREAKER_SEED = 0x42524B52
 
 
 def document_element_count(doc: GangliaDocument) -> int:
@@ -117,8 +126,18 @@ class GmetadBase:
                 initial_delay=(i + 1) * stride,  # stagger the poll phase
                 conditional=config.incremental,
                 on_not_modified=self._on_not_modified,
+                resilience=config.resilience,
+                rng=self._breaker_rng(source.name),
             )
         self._server = tcp.listen(Address.gmetad(config.host), self._serve)
+        resilience = config.resilience
+        self.serve_queue: Optional[ServeQueue] = None
+        if (
+            resilience is not None
+            and resilience.enabled
+            and resilience.serve_queue_limit > 0
+        ):
+            self.serve_queue = ServeQueue(resilience.serve_queue_limit)
         self._started = False
         #: serve-side epoch: generation tokens are scoped to this daemon
         #: instance, so a restart (or fail-over to a twin) can never
@@ -129,7 +148,10 @@ class GmetadBase:
         self.polls_not_modified = 0
         self.not_modified_served = 0
         self.parse_errors = 0
+        self.polls_salvaged = 0
+        self.polls_quarantined = 0
         self.queries_served = 0
+        self.queries_shed = 0
         #: optional tap called as (source, xml, sim_time) before every
         #: ingest -- used by the trace recorder (repro.bench.trace)
         self.ingest_tap = None
@@ -137,6 +159,14 @@ class GmetadBase:
         #: change -- successful ingest or failure marking.  The pub-sub
         #: broker (repro.pubsub) registers here to publish deltas.
         self.publish_hooks: List = []
+
+    def _breaker_rng(self, source: str) -> Optional[random.Random]:
+        """Seeded jitter stream for one poller's circuit breaker."""
+        if self.config.resilience is None or not self.config.resilience.enabled:
+            return None
+        return random.Random(
+            derive_seed(_BREAKER_SEED, f"{self.config.name}/{source}")
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -173,6 +203,8 @@ class GmetadBase:
             initial_delay=initial_delay,
             conditional=self.config.incremental,
             on_not_modified=self._on_not_modified,
+            resilience=self.config.resilience,
+            rng=self._breaker_rng(source.name),
         )
         self.pollers[source.name] = poller
         self.config.data_sources.append(source)
@@ -224,6 +256,8 @@ class GmetadBase:
             doc = parse_document(xml, validate=self.validate_xml)
         except ParseError as exc:
             self.parse_errors += 1
+            if self._try_salvage(source, xml, exc, now):
+                return
             self.datastore.mark_failure(
                 source, now, f"parse error: {exc}", kind=self.source_kind(source)
             )
@@ -255,6 +289,76 @@ class GmetadBase:
         # unchanged gauges still get their RRD write every step
         self.archiver.replay(source, now)
 
+    def _try_salvage(
+        self, source: str, xml: str, exc: ParseError, now: float
+    ) -> bool:
+        """Corruption-tolerant ingest; returns True when handled.
+
+        Cluster sources: recover every individually well-formed
+        ``<HOST>`` subtree, carry hosts the damage swallowed forward
+        from the last-good snapshot, and ingest the result -- the
+        source stays fresh, marked quarantined.  When nothing is
+        recoverable (or for grid sources, whose summary form has no
+        salvageable unit), quarantine on the last-good snapshot instead
+        of evicting it.  Baseline mode (no resilience config) always
+        returns False: the paper-faithful mark-failure path runs.
+        """
+        resilience = self.config.resilience
+        if resilience is None or not resilience.enabled or not resilience.salvage:
+            return False
+        poller = self.pollers.get(source)
+        if self.source_kind(source) == "cluster":
+            result = salvage_document(xml, cluster_hint=source)
+            if result.document is not None:
+                self.charge(
+                    self.costs.hash_insert
+                    * document_element_count(result.document),
+                    "parse",
+                )
+                self._carry_forward(source, result.document)
+                self.polls_salvaged += 1
+                self.ingest(source, result.document, now)
+                snapshot = self.datastore.source(source)
+                if snapshot is not None:
+                    snapshot.quarantined = True
+                    snapshot.corrupt_polls += 1
+                    snapshot.salvaged_hosts = result.hosts_salvaged
+                    snapshot.last_error = (
+                        f"salvaged {result.hosts_salvaged} hosts "
+                        f"({result.hosts_dropped} dropped): {exc}"
+                    )
+                if poller is not None:
+                    poller.note_bad_payload(salvaged=True)
+                self._publish(source, now)
+                return True
+        # nothing recoverable: degrade to the last-good snapshot
+        self.datastore.mark_corrupt(
+            source, now, f"corrupt payload: {exc}", kind=self.source_kind(source)
+        )
+        self.polls_quarantined += 1
+        if poller is not None:
+            poller.note_bad_payload(salvaged=False)
+        self._publish(source, now)
+        return True
+
+    def _carry_forward(self, source: str, doc: GangliaDocument) -> int:
+        """Copy last-good hosts the salvage lost into the new document.
+
+        A host whose span the corruption destroyed should degrade to
+        its previous reading (which ages out via TN/TMAX like any
+        silent host), not vanish from the cluster.
+        """
+        snapshot = self.datastore.source(source)
+        if snapshot is None or snapshot.cluster is None:
+            return 0
+        carried = 0
+        for cluster in doc.clusters.values():
+            for name, host in snapshot.cluster.hosts.items():
+                if name not in cluster.hosts:
+                    cluster.hosts[name] = host
+                    carried += 1
+        return carried
+
     def _on_source_down(self, source: str, error: str) -> None:
         self.datastore.mark_failure(
             source, self.engine.now, error, kind=self.source_kind(source)
@@ -268,6 +372,20 @@ class GmetadBase:
     # -- serving path (query timescale) -----------------------------------
 
     def _serve(self, client: str, request: object) -> Response:
+        response = self._serve_response(client, request)
+        if self.serve_queue is not None:
+            now = self.engine.now
+            # oldest-first shedding: completed serves purge for free;
+            # anyone still waiting past the bound gets an explicit
+            # OVERLOADED reply (their response payload is rewritten in
+            # place before delivery) so clients see "busy", not "dead"
+            for victim in self.serve_queue.make_room(now):
+                victim.payload = Overloaded()
+                self.queries_shed += 1
+            self.serve_queue.push(now + response.service_seconds, response)
+        return response
+
+    def _serve_response(self, client: str, request: object) -> Response:
         self.queries_served += 1
         seconds = self.charge(self.costs.tcp_connect, "network")
         base, presented = split_generation(str(request))

@@ -13,12 +13,28 @@ activities".  When every endpoint has failed the source is marked down,
 but polling continues at the steady interval -- "the monitor will
 attempt to re-establish contact at a steady frequency, ensuring that
 failures do not cause permanent fissures in the monitoring tree".
+
+With a :class:`~repro.core.resilience.ResilienceConfig` attached the
+poller also handles *gray* failures: the fixed timeout becomes the
+ceiling of an EWMA/variance-adaptive one, fail-over is biased toward
+endpoints with better health scores instead of blind rotation, and a
+per-source circuit breaker with jittered exponential backoff (capped at
+that same steady re-contact frequency) stops hammering a source that
+keeps failing, probing it half-open instead.  Without the config every
+one of these paths is compiled out and behaviour is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import random
+from typing import Callable, Dict, List, Optional
 
+from repro.core.resilience import (
+    AdaptiveTimeout,
+    CircuitBreaker,
+    Overloaded,
+    ResilienceConfig,
+)
 from repro.core.tree import DataSourceConfig
 from repro.net.address import Address
 from repro.net.tcp import TcpNetwork, TcpTimeout
@@ -53,6 +69,8 @@ class DataSourcePoller:
         initial_delay: Optional[float] = None,
         conditional: bool = False,
         on_not_modified: Optional[OnNotModified] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.engine = engine
         self.tcp = tcp
@@ -87,6 +105,34 @@ class DataSourcePoller:
         self._initial_delay = (
             initial_delay if initial_delay is not None else config.poll_interval
         )
+        #: gray-failure resilience; None (or enabled=False) keeps every
+        #: code path below byte-identical to the paper-faithful baseline
+        self.resilience = (
+            resilience if resilience is not None and resilience.enabled else None
+        )
+        self.adaptive: Optional[AdaptiveTimeout] = None
+        self.breaker: Optional[CircuitBreaker] = None
+        self._health: Dict[Address, float] = {}
+        if self.resilience is not None:
+            r = self.resilience
+            self.adaptive = AdaptiveTimeout(
+                floor=min(r.min_timeout, config.timeout),
+                ceiling=config.timeout,
+                alpha=r.rtt_alpha,
+                beta=r.rtt_beta,
+                k=r.rtt_k,
+            )
+            self.breaker = CircuitBreaker(
+                config.poll_interval,
+                threshold=r.breaker_threshold,
+                initial_intervals=r.breaker_initial_intervals,
+                ceiling_intervals=r.breaker_ceiling_intervals,
+                jitter=r.breaker_jitter,
+                rng=rng,
+            )
+        self.polls_skipped = 0
+        self.bad_payloads = 0
+        self.overloaded_replies = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -112,6 +158,22 @@ class DataSourcePoller:
         """The endpoint the next poll will contact."""
         return self.config.addresses[self._address_index]
 
+    @property
+    def current_timeout(self) -> float:
+        """The timeout the next poll will use.
+
+        The configured fixed timeout in baseline mode; the adaptive
+        estimate (bounded above by that same fixed value) when the
+        resilience layer is on.
+        """
+        if self.adaptive is not None:
+            return self.adaptive.timeout
+        return self.config.timeout
+
+    def endpoint_health(self, address: Address) -> float:
+        """EWMA health score of one endpoint in [0, 1] (1 = never failed)."""
+        return self._health.get(address, 1.0)
+
     # -- polling -----------------------------------------------------------
 
     def poll_once(self) -> None:
@@ -119,6 +181,9 @@ class DataSourcePoller:
         if self._in_flight:
             # Previous request still pending (timeout longer than a very
             # short poll interval); skip this tick rather than pile up.
+            return
+        if self.breaker is not None and not self.breaker.allow(self.engine.now):
+            self.polls_skipped += 1
             return
         self._in_flight = True
         self.polls += 1
@@ -133,9 +198,62 @@ class DataSourcePoller:
             address,
             request,
             on_response=self._on_response,
-            timeout=self.config.timeout,
+            timeout=self.current_timeout,
             on_timeout=self._on_timeout,
         )
+
+    def _note_health(self, address: Address, outcome: float) -> None:
+        if self.resilience is None:
+            return
+        alpha = self.resilience.health_alpha
+        self._health[address] = (
+            1.0 - alpha
+        ) * self.endpoint_health(address) + alpha * outcome
+
+    def _advance_endpoint(self) -> None:
+        """Move to another redundant endpoint after a failure.
+
+        Baseline: blind rotation, exactly the paper's Fig. 1 behaviour.
+        Resilient: pick the candidate (excluding the one that just
+        failed) with the strictly best health score; ties keep the
+        rotation order, so with no health signal yet the choice is
+        identical to the baseline's.
+        """
+        n = len(self.config.addresses)
+        if self.resilience is None or n <= 2:
+            self._address_index = (self._address_index + 1) % n
+            return
+        best_offset = 1
+        best_score = self.endpoint_health(
+            self.config.addresses[(self._address_index + 1) % n]
+        )
+        for offset in range(2, n):
+            score = self.endpoint_health(
+                self.config.addresses[(self._address_index + offset) % n]
+            )
+            if score > best_score:
+                best_score, best_offset = score, offset
+        self._address_index = (self._address_index + best_offset) % n
+
+    def note_bad_payload(self, salvaged: bool = False) -> None:
+        """The ingest layer rejected this poll's payload (corruption).
+
+        Transport-wise the poll succeeded, so :meth:`_on_response` has
+        already reset the failure bookkeeping; this walks back what
+        matters.  The endpoint's health takes the hit and fail-over
+        advances either way.  Only an *unsalvageable* payload feeds the
+        circuit breaker: a salvaged poll still delivered usable data,
+        and opening the breaker on it would trade a gray failure for
+        self-inflicted staleness.
+        """
+        self.bad_payloads += 1
+        if self.resilience is None:
+            return
+        self._note_health(self.current_address, 0.0)
+        self.failovers += 1
+        self._advance_endpoint()
+        if not salvaged and self.breaker is not None:
+            self.breaker.on_bad_payload(self.engine.now)
 
     def _on_response(self, payload: object, rtt: float) -> None:
         self._in_flight = False
@@ -143,6 +261,16 @@ class DataSourcePoller:
         self._cycle_failures.clear()
         self.last_timeout = None
         self.successes += 1
+        if self.adaptive is not None:
+            self.adaptive.observe(rtt)
+        if self.breaker is not None:
+            self.breaker.on_success()
+        self._note_health(self.current_address, 1.0)
+        if isinstance(payload, Overloaded):
+            # explicit shed: the server is alive but refused the query;
+            # keep the endpoint and simply try again next interval
+            self.overloaded_replies += 1
+            return
         if isinstance(payload, NotModified):
             # nothing to transfer, parse, or ingest -- the whole point
             self.last_generation = payload.generation
@@ -164,10 +292,13 @@ class DataSourcePoller:
         self.failovers += 1
         self.last_timeout = error
         self._cycle_failures.append(error.address)
+        if self.adaptive is not None:
+            self.adaptive.observe_timeout()
+        if self.breaker is not None:
+            self.breaker.on_failure(self.engine.now)
+        self._note_health(error.address, 0.0)
         # advance to the next redundant endpoint for the next attempt
-        self._address_index = (self._address_index + 1) % len(
-            self.config.addresses
-        )
+        self._advance_endpoint()
         if self._failures_this_cycle >= len(self.config.addresses):
             # every endpoint failed: the cluster is unreachable; name
             # the endpoints tried so the failure is diagnosable from

@@ -26,8 +26,9 @@ next resolution level.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Deque, List, Tuple
 
 from repro.core.datastore import Datastore
 from repro.wire.model import ClusterElement, GridElement, HostElement
@@ -351,3 +352,58 @@ class QueryEngine:
         )
         writer.close_tag("GANGLIA_XML")
         return writer.result()
+
+
+# -- load shedding ----------------------------------------------------------
+
+
+class ServeQueue:
+    """Bounded in-flight serve queue with oldest-first shedding.
+
+    The paper decouples query serving from the parse/summarize
+    timescale, but a query storm can still saturate the daemon: every
+    accepted query charges CPU and holds its response until the service
+    time elapses.  This queue tracks in-flight serves; when a new query
+    would exceed ``limit``, the *oldest* pending entry is shed -- its
+    response payload is rewritten to an explicit OVERLOADED reply --
+    on the theory that the oldest waiter is the most likely to have
+    given up (or to retry anyway), while fresh queries see answers.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("serve queue limit must be >= 1")
+        self.limit = limit
+        self._entries: Deque[Tuple[float, object]] = deque()
+        self.shed_count = 0
+        self.accepted = 0
+
+    @property
+    def depth(self) -> int:
+        """Entries currently considered in flight."""
+        return len(self._entries)
+
+    def _purge(self, now: float) -> None:
+        while self._entries and self._entries[0][0] <= now:
+            self._entries.popleft()
+
+    def make_room(self, now: float) -> List[object]:
+        """Drop completed entries, then shed the oldest until one slot
+        is free.  Returns the shed entries' attached objects."""
+        self._purge(now)
+        shed: List[object] = []
+        while len(self._entries) >= self.limit:
+            _, attached = self._entries.popleft()
+            shed.append(attached)
+            self.shed_count += 1
+        return shed
+
+    def push(self, done_at: float, attached: object) -> None:
+        """Record one accepted serve completing at ``done_at``.
+
+        Entries complete in push order in practice (service times are
+        charged sequentially), so insertion keeps the deque sorted
+        enough for the head-purge in :meth:`make_room`.
+        """
+        self.accepted += 1
+        self._entries.append((done_at, attached))

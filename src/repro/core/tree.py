@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
+from repro.core.resilience import ResilienceConfig
 from repro.net.address import Address
 
 
@@ -71,6 +72,10 @@ class GmetadConfig:
     #: summarization, memoized serialization.  Default on; the paper
     #: runners (Fig 5/6, Table 1) pin it off to keep the eager baseline.
     incremental: bool = True
+    #: gray-failure resilience layer (adaptive timeouts, health-biased
+    #: fail-over, circuit breakers, salvage ingest, load shedding).
+    #: None keeps the paper-faithful baseline, byte-for-byte.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.gridname is None:

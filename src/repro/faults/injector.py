@@ -1,13 +1,14 @@
-"""The fault injector: schedule crashes, flaps and partitions.
+"""The fault injector: schedule crashes, flaps, partitions and gray faults.
 
-All mutations go through the fabric (hosts) or a pseudo-gmond (simulated
-cluster members), so every transport sees the failure the same way the
-real system would: UDP datagrams stop arriving, TCP connects time out.
+All mutations go through the fabric (hosts, links) or a pseudo-gmond
+(simulated cluster members), so every transport sees the failure the same
+way the real system would: UDP datagrams stop arriving, TCP connects time
+out -- and on gray links, responses arrive late, short, or scrambled.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.gmond.pseudo import PseudoGmond
 from repro.net.fabric import Fabric
@@ -20,7 +21,7 @@ class FaultInjector:
     def __init__(self, engine: Engine, fabric: Fabric) -> None:
         self.engine = engine
         self.fabric = fabric
-        self._flappers: List[PeriodicTask] = []
+        self._flappers: List[Tuple[PeriodicTask, str]] = []
         self.log: List[tuple] = []  # (time, action, subject)
 
     def _record(self, action: str, subject: str) -> None:
@@ -65,11 +66,18 @@ class FaultInjector:
         host: str,
         period: float,
         down_fraction: float = 0.5,
-        start: float = 0.0,
+        start: Optional[float] = None,
     ) -> PeriodicTask:
-        """Intermittent failure: down for ``down_fraction`` of each period."""
+        """Intermittent failure: down for ``down_fraction`` of each period.
+
+        ``start`` is when the first down-phase begins.  The default
+        (``None``) waits one full period, so the host is initially up;
+        an explicit ``start=0.0`` means "start flapping right now".
+        """
         if not (0.0 < down_fraction < 1.0):
             raise ValueError("down_fraction must be in (0, 1)")
+        if start is not None and start < 0.0:
+            raise ValueError("start must be non-negative")
 
         def go_down() -> None:
             self.fabric.set_host_up(host, False)
@@ -81,14 +89,23 @@ class FaultInjector:
             self._record("flap-up", host)
 
         task = PeriodicTask(self.engine, period, go_down)
-        task.start(initial_delay=start if start > 0 else period)
-        self._flappers.append(task)
+        task.start(initial_delay=period if start is None else start)
+        self._flappers.append((task, host))
         return task
 
     def stop_flapping(self) -> None:
-        """Stop every flapping task and leave hosts up."""
-        for task in self._flappers:
+        """Stop every flapping task and leave hosts up.
+
+        A host caught mid-down-phase is restored (its pending ``go_up``
+        would otherwise never matter once the task stops scheduling new
+        cycles, and the docstring's promise -- hosts end up *up* -- held
+        only for hosts that happened to be in their up phase).
+        """
+        for task, host in self._flappers:
             task.stop()
+            if not self.fabric.host(host).up:
+                self.fabric.set_host_up(host, True)
+                self._record("flap-up", host)
         self._flappers.clear()
 
     # -- partitions --------------------------------------------------------
@@ -114,6 +131,119 @@ class FaultInjector:
         self.engine.call_later(at, cut)
         if duration is not None:
             self.engine.call_later(at + duration, heal)
+
+    # -- gray (byzantine) link conditions ---------------------------------
+
+    @staticmethod
+    def _gray_pairs(
+        side_a: Iterable[str], side_b: Iterable[str]
+    ) -> Tuple[List[Tuple[str, str]], str]:
+        """All cross-group pairs plus a stable log label."""
+        side_a, side_b = list(side_a), list(side_b)
+        pairs = [(a, b) for a in side_a for b in side_b]
+        return pairs, f"{side_a}|{side_b}"
+
+    def corrupt_links(
+        self,
+        side_a: Iterable[str],
+        side_b: Iterable[str],
+        probability: float,
+        truncate_probability: float = 0.0,
+        at: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Mangle responses crossing the group boundary.
+
+        Each response corrupts with ``probability`` (a scrambled span)
+        or, failing that coin flip, truncates with
+        ``truncate_probability``.  ``duration=None`` leaves the links
+        poisoned until something clears them.
+        """
+        pairs, label = self._gray_pairs(side_a, side_b)
+
+        def poison() -> None:
+            for a, b in pairs:
+                self.fabric.set_gray(
+                    a,
+                    b,
+                    corrupt_probability=probability,
+                    truncate_probability=truncate_probability,
+                )
+            self._record("corrupt", label)
+
+        def clear() -> None:
+            for a, b in pairs:
+                self.fabric.set_gray(
+                    a, b, corrupt_probability=0.0, truncate_probability=0.0
+                )
+            self._record("clear-corrupt", label)
+
+        self.engine.call_later(at, poison)
+        if duration is not None:
+            self.engine.call_later(at + duration, clear)
+
+    def degrade_links(
+        self,
+        side_a: Iterable[str],
+        side_b: Iterable[str],
+        factor: float,
+        at: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Run the links at ``factor`` of their nominal bandwidth."""
+        if not (0.0 < factor < 1.0):
+            raise ValueError("degrade factor must be in (0, 1)")
+        pairs, label = self._gray_pairs(side_a, side_b)
+
+        def degrade() -> None:
+            for a, b in pairs:
+                self.fabric.set_gray(a, b, bandwidth_factor=factor)
+            self._record("degrade", label)
+
+        def clear() -> None:
+            for a, b in pairs:
+                self.fabric.set_gray(a, b, bandwidth_factor=1.0)
+            self._record("clear-degrade", label)
+
+        self.engine.call_later(at, degrade)
+        if duration is not None:
+            self.engine.call_later(at + duration, clear)
+
+    def spike_links(
+        self,
+        side_a: Iterable[str],
+        side_b: Iterable[str],
+        magnitude: float,
+        probability: float = 1.0,
+        at: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Hold responses an extra ``magnitude`` seconds, per-response
+        with ``probability`` (bufferbloat / route-flap style spikes)."""
+        if magnitude <= 0.0:
+            raise ValueError("spike magnitude must be positive")
+        pairs, label = self._gray_pairs(side_a, side_b)
+
+        def spike() -> None:
+            for a, b in pairs:
+                self.fabric.set_gray(
+                    a,
+                    b,
+                    spike_probability=probability,
+                    spike_seconds=magnitude,
+                )
+            self._record("spike", label)
+
+        def clear() -> None:
+            for a, b in pairs:
+                self.fabric.set_gray(
+                    a, b, spike_probability=0.0, spike_seconds=0.0
+                )
+            self._record("clear-spike", label)
+
+        self.engine.call_later(at, spike)
+        if duration is not None:
+            self.engine.call_later(at + duration, clear)
 
     # -- simulated cluster members (pseudo-gmond) ------------------------------
 

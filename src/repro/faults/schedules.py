@@ -19,12 +19,29 @@ from typing import List, Optional, Sequence
 
 from repro.faults.injector import FaultInjector
 
-_ACTIONS = ("crash", "recover", "flap", "partition")
+_ACTIONS = (
+    "crash",
+    "recover",
+    "flap",
+    "partition",
+    "corrupt",
+    "degrade",
+    "spike",
+)
+#: Actions that operate on the links between ``group_a`` and ``group_b``.
+_GROUP_ACTIONS = ("partition", "corrupt", "degrade", "spike")
 
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled fault."""
+    """One scheduled fault.
+
+    The gray actions reuse the partition-style two-group addressing and
+    add their own knobs: ``corrupt`` uses ``probability`` (and optional
+    ``truncate_probability``), ``degrade`` uses ``factor`` (fraction of
+    nominal bandwidth), ``spike`` uses ``magnitude`` seconds (and
+    ``probability``, default 1.0 via 0.0 sentinel -- see apply).
+    """
 
     at: float
     action: str
@@ -34,16 +51,38 @@ class FaultEvent:
     group_b: Sequence[str] = ()
     period: float = 60.0
     down_fraction: float = 0.5
+    probability: float = 0.0
+    truncate_probability: float = 0.0
+    factor: float = 1.0
+    magnitude: float = 0.0
 
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
             raise ValueError(f"unknown fault action {self.action!r}")
         if self.action in ("crash", "recover", "flap") and not self.host:
             raise ValueError(f"action {self.action!r} requires a host")
-        if self.action == "partition" and not (self.group_a and self.group_b):
-            raise ValueError("partition requires two host groups")
+        if self.action in _GROUP_ACTIONS and not (
+            self.group_a and self.group_b
+        ):
+            raise ValueError(f"{self.action} requires two host groups")
         if self.at < 0:
             raise ValueError("fault time must be non-negative")
+        if self.action == "corrupt":
+            if not (0.0 < self.probability <= 1.0) and not (
+                0.0 < self.truncate_probability <= 1.0
+            ):
+                raise ValueError(
+                    "corrupt requires probability or truncate_probability"
+                    " in (0, 1]"
+                )
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError("probability must be in [0, 1]")
+        if not (0.0 <= self.truncate_probability <= 1.0):
+            raise ValueError("truncate_probability must be in [0, 1]")
+        if self.action == "degrade" and not (0.0 < self.factor < 1.0):
+            raise ValueError("degrade requires factor in (0, 1)")
+        if self.action == "spike" and self.magnitude <= 0.0:
+            raise ValueError("spike requires a positive magnitude")
 
 
 @dataclass
@@ -71,9 +110,37 @@ class FaultSchedule:
                     down_fraction=event.down_fraction,
                     start=event.at,
                 )
-            else:  # partition
+            elif event.action == "partition":
                 injector.partition(
                     event.group_a, event.group_b, event.at, event.duration
+                )
+            elif event.action == "corrupt":
+                injector.corrupt_links(
+                    event.group_a,
+                    event.group_b,
+                    probability=event.probability,
+                    truncate_probability=event.truncate_probability,
+                    at=event.at,
+                    duration=event.duration,
+                )
+            elif event.action == "degrade":
+                injector.degrade_links(
+                    event.group_a,
+                    event.group_b,
+                    factor=event.factor,
+                    at=event.at,
+                    duration=event.duration,
+                )
+            else:  # spike
+                injector.spike_links(
+                    event.group_a,
+                    event.group_b,
+                    magnitude=event.magnitude,
+                    probability=(
+                        event.probability if event.probability > 0.0 else 1.0
+                    ),
+                    at=event.at,
+                    duration=event.duration,
                 )
 
     def horizon(self) -> float:

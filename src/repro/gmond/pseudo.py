@@ -281,3 +281,25 @@ class PseudoGmond:
     @property
     def address(self) -> Address:
         return Address.gmond(self.server_host)
+
+    def listen_mirror(
+        self,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        server_host: Optional[str] = None,
+    ) -> Address:
+        """Serve the same cluster from a second fabric host.
+
+        A real deployment lists several cluster nodes in gmetad.conf,
+        each able to answer with the full multicast-shared state (the
+        Fig. 1 fail-over list).  The mirror binds this emulator's
+        handler to another host so resilience experiments have a
+        genuinely redundant endpoint -- same data, same generation
+        tokens, different failure domain.
+        """
+        host = server_host or f"{self.server_host}-m"
+        if not fabric.has_host(host):
+            fabric.add_host(host, cluster=self.name)
+        address = Address.gmond(host)
+        tcp.listen(address, self._serve)
+        return address

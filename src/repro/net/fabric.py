@@ -8,8 +8,8 @@ mutating fabric state; the transports consult it on every send.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Set
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, Optional
 
 
 @dataclass
@@ -35,6 +35,55 @@ class LinkSpec:
 WAN_LINK = LinkSpec(latency=0.020, bandwidth=12.5e6)
 #: A LAN link: 0.2 ms one-way, 1 Gbit/s.
 LAN_LINK = LinkSpec()
+
+
+@dataclass(frozen=True)
+class GrayConditions:
+    """Byzantine (gray) conditions on one link pair.
+
+    Unlike a cut, a gray link still delivers -- it just delivers badly.
+    All probabilities apply per response; draws come from the transport's
+    own seeded stream so chaos runs replay deterministically.
+
+    - ``corrupt_probability`` / ``truncate_probability``: chance the
+      response payload is mangled in flight (overwritten span vs cut
+      short).  Corruption wins the coin flip first.
+    - ``spike_probability`` / ``spike_seconds``: chance a response is
+      held an extra ``spike_seconds`` (bufferbloat, route flap, GC
+      pause on a middlebox).
+    - ``bandwidth_factor``: multiplier on effective bandwidth in (0, 1];
+      1.0 means the link runs at its specified rate.
+    """
+
+    corrupt_probability: float = 0.0
+    truncate_probability: float = 0.0
+    spike_probability: float = 0.0
+    spike_seconds: float = 0.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "corrupt_probability",
+            "truncate_probability",
+            "spike_probability",
+        ):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.spike_seconds < 0.0:
+            raise ValueError("spike_seconds must be non-negative")
+        if not (0.0 < self.bandwidth_factor <= 1.0):
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+
+    @property
+    def is_clear(self) -> bool:
+        """True when every field is back at its benign default."""
+        return (
+            self.corrupt_probability == 0.0
+            and self.truncate_probability == 0.0
+            and self.spike_probability == 0.0
+            and self.bandwidth_factor == 1.0
+        )
 
 
 class Host:
@@ -67,8 +116,12 @@ class Fabric:
         self._default_link = default_link or LAN_LINK
         # explicit per-pair links, keyed by frozenset({a, b})
         self._links: Dict[FrozenSet[str], LinkSpec] = {}
-        # severed pairs (partitions), same keying
-        self._cut: Set[FrozenSet[str]] = set()
+        # severed pairs (partitions), same keying; refcounted so
+        # overlapping partitions heal correctly (a pair cut by two
+        # partitions stays cut until both heal)
+        self._cut: Dict[FrozenSet[str], int] = {}
+        # gray (byzantine) conditions per pair, same keying
+        self._gray: Dict[FrozenSet[str], GrayConditions] = {}
 
     # -- hosts -----------------------------------------------------------
 
@@ -117,12 +170,23 @@ class Fabric:
     # -- partitions --------------------------------------------------------
 
     def cut(self, a: str, b: str) -> None:
-        """Sever communication between ``a`` and ``b`` (both directions)."""
-        self._cut.add(frozenset((a, b)))
+        """Sever communication between ``a`` and ``b`` (both directions).
+
+        Cuts stack: each :meth:`cut` needs a matching :meth:`heal` before
+        the pair is reachable again, so two overlapping partitions that
+        both sever a pair don't un-sever it when only one heals.
+        """
+        key = frozenset((a, b))
+        self._cut[key] = self._cut.get(key, 0) + 1
 
     def heal(self, a: str, b: str) -> None:
-        """Restore communication between a cut pair."""
-        self._cut.discard(frozenset((a, b)))
+        """Undo one :meth:`cut` on the pair (no-op when not cut)."""
+        key = frozenset((a, b))
+        count = self._cut.get(key, 0)
+        if count <= 1:
+            self._cut.pop(key, None)
+        else:
+            self._cut[key] = count - 1
 
     def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
         """Sever every link between the two host groups."""
@@ -139,6 +203,39 @@ class Fabric:
     def heal_all(self) -> None:
         """Remove every partition cut."""
         self._cut.clear()
+
+    # -- gray (byzantine) conditions ---------------------------------------
+
+    def set_gray(self, a: str, b: str, **fields) -> GrayConditions:
+        """Merge gray-condition fields onto the pair and return the result.
+
+        Only the named fields change; the rest keep their current value
+        (or the benign default if the pair had no conditions yet).  When
+        the merge lands every field back at its default the entry is
+        dropped entirely, so transports pay nothing on healthy links.
+        """
+        key = frozenset((a, b))
+        current = self._gray.get(key, GrayConditions())
+        merged = replace(current, **fields)
+        if merged.is_clear:
+            self._gray.pop(key, None)
+        else:
+            self._gray[key] = merged
+        return merged
+
+    def gray(self, a: str, b: str) -> Optional[GrayConditions]:
+        """The gray conditions on a pair, or None when the link is clean."""
+        if a == b:
+            return None  # loopback never degrades
+        return self._gray.get(frozenset((a, b)))
+
+    def clear_gray(self, a: str, b: str) -> None:
+        """Drop every gray condition on the pair."""
+        self._gray.pop(frozenset((a, b)), None)
+
+    def clear_all_gray(self) -> None:
+        """Drop gray conditions on every pair."""
+        self._gray.clear()
 
     # -- reachability ------------------------------------------------------
 

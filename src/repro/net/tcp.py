@@ -18,11 +18,12 @@ failures, and are detected with TCP timeouts" (§2.1).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.net.address import Address
-from repro.net.fabric import Fabric
+from repro.net.fabric import Fabric, GrayConditions, LinkSpec
 from repro.sim.engine import Engine, Event
 
 
@@ -89,17 +90,38 @@ class TcpServer:
         self.requests_served = 0
 
 
-class TcpNetwork:
-    """Connection broker between simulated hosts."""
+#: What corruption looks like on the wire: a close tag nothing opened.
+#: The Ganglia parser rejects a mismatched close even with validation
+#: off, so a corrupted payload is *detected*, never silently ingested.
+_CORRUPTION_JUNK = "</CORRUPTED>"
 
-    def __init__(self, engine: Engine, fabric: Fabric) -> None:
+
+class TcpNetwork:
+    """Connection broker between simulated hosts.
+
+    ``rng`` drives the gray-condition coin flips (corruption,
+    truncation, latency spikes).  It is only consulted on links the
+    fabric marks gray, so runs without gray conditions draw nothing and
+    stay byte-identical to a network built without an rng at all.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self._engine = engine
         self._fabric = fabric
+        self._rng = rng if rng is not None else random.Random(0x47524159)
         self._servers: Dict[Address, TcpServer] = {}
         # statistics
         self.requests_sent = 0
         self.responses_delivered = 0
         self.timeouts = 0
+        self.corrupted_responses = 0
+        self.truncated_responses = 0
+        self.spiked_responses = 0
 
     # -- server side -------------------------------------------------------
 
@@ -161,8 +183,11 @@ class TcpNetwork:
             return
 
         link = self._fabric.link(client, address.host)
+        gray = self._fabric.gray(client, address.host)
         # connect handshake (1 RTT) + request transfer
-        arrive_delay = 2.0 * link.latency + link.transfer_time(request_size)
+        arrive_delay = 2.0 * link.latency + self._transfer(
+            link, request_size, gray
+        )
 
         def at_server() -> None:
             if timed_out["flag"]:
@@ -176,8 +201,17 @@ class TcpNetwork:
             response = server.handler(client, payload)
             if not isinstance(response, Response):
                 response = Response(response)
-            back_delay = response.service_seconds + link.transfer_time(
-                response.size_bytes
+            # re-read: conditions may have changed while the request flew
+            gray_now = self._fabric.gray(client, address.host)
+            spike_extra = 0.0
+            if gray_now is not None:
+                response, spike_extra = self._degrade_response(
+                    gray_now, response
+                )
+            back_delay = (
+                response.service_seconds
+                + self._transfer(link, response.size_bytes, gray_now)
+                + spike_extra
             )
             self._engine.call_later(back_delay, deliver, response)
 
@@ -191,3 +225,82 @@ class TcpNetwork:
             on_response(response.payload, self._engine.now - start)
 
         self._engine.call_later(arrive_delay, at_server)
+
+    # -- gray-condition mechanics ------------------------------------------
+
+    @staticmethod
+    def _transfer(
+        link: LinkSpec, size_bytes: int, gray: Optional[GrayConditions]
+    ) -> float:
+        """One-way transfer time, honoring any bandwidth degradation.
+
+        With no gray conditions this is exactly ``link.transfer_time``
+        (same floats, same arithmetic), so clean runs are unchanged.
+        """
+        if gray is None or gray.bandwidth_factor == 1.0:
+            return link.transfer_time(size_bytes)
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        return link.latency + size_bytes / (
+            link.bandwidth * gray.bandwidth_factor
+        )
+
+    def _degrade_response(
+        self, gray: GrayConditions, response: Response
+    ) -> Tuple[Response, float]:
+        """Apply gray conditions to one response.
+
+        Returns the (possibly mangled) response plus any extra latency
+        from a spike.  Draw order is fixed -- spike, corrupt, truncate --
+        so a seeded rng replays the same damage for the same schedule.
+        """
+        rng = self._rng
+        spike_extra = 0.0
+        if gray.spike_probability > 0.0 and gray.spike_seconds > 0.0:
+            if rng.random() < gray.spike_probability:
+                spike_extra = gray.spike_seconds
+                self.spiked_responses += 1
+        if gray.corrupt_probability > 0.0 and (
+            rng.random() < gray.corrupt_probability
+        ):
+            self.corrupted_responses += 1
+            response = Response(
+                self._mangle(response.payload, truncate=False),
+                response.service_seconds,
+            )
+        elif gray.truncate_probability > 0.0 and (
+            rng.random() < gray.truncate_probability
+        ):
+            self.truncated_responses += 1
+            response = Response(
+                self._mangle(response.payload, truncate=True),
+                response.service_seconds,
+            )
+        return response, spike_extra
+
+    def _mangle(self, payload: object, truncate: bool) -> str:
+        """Damage a payload the way a broken stream would.
+
+        The result is always a plain string: a mangled tagged payload
+        loses its generation token (the token was part of the bytes), so
+        a client can never present a stale token as if the corrupt body
+        were the content it names.  Structured control messages
+        (NOT-MODIFIED and friends) arrive as unparseable junk.
+        """
+        text: Optional[str] = None
+        if isinstance(payload, str):
+            text = payload
+        else:
+            tagged = getattr(payload, "xml", None)
+            if isinstance(tagged, str):
+                text = tagged
+        if text is None:
+            return _CORRUPTION_JUNK
+        if truncate:
+            keep = max(1, int(len(text) * self._rng.uniform(0.1, 0.9)))
+            return text[:keep]
+        junk = _CORRUPTION_JUNK
+        if len(text) <= len(junk):
+            return junk
+        pos = self._rng.randrange(0, len(text) - len(junk))
+        return text[:pos] + junk + text[pos + len(junk):]

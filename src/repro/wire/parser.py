@@ -18,6 +18,7 @@ Two consumers exist:
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol
 
 from repro.metrics.catalog import Slope
@@ -347,3 +348,88 @@ def parse_document(text: str, validate: bool = True) -> GangliaDocument:
     if builder.document is None:
         raise ParseError("document produced no GANGLIA_XML root")
     return builder.document
+
+
+# -- corruption-tolerant salvage ------------------------------------------
+
+#: A complete <HOST ...> ... </HOST> subtree.  HOST elements never nest
+#: in the Ganglia DTD, so non-greedy matching up to the first close tag
+#: is exact on well-formed spans; a span containing corruption junk will
+#: fail its probe parse below and be dropped.
+_HOST_SPAN_RE = re.compile(r"<HOST\b.*?</HOST\s*>", re.DOTALL)
+_HOST_OPEN_RE = re.compile(r"<HOST\b")
+_CLUSTER_OPEN_RE = re.compile(r"<CLUSTER\b([^<>]*?)/?\s*>")
+
+
+@dataclass(frozen=True)
+class SalvageResult:
+    """What :func:`salvage_document` pulled out of a damaged payload.
+
+    ``document`` is ``None`` when nothing usable survived (the caller
+    should fall back to quarantine on last-good state).
+    """
+
+    document: Optional[GangliaDocument]
+    hosts_salvaged: int
+    hosts_dropped: int
+
+
+def _probe_host_span(span: str) -> bool:
+    """Whether one HOST span parses cleanly in isolation."""
+    probe = (
+        '<GANGLIA_XML VERSION="x" SOURCE="x"><CLUSTER NAME="x">'
+        + span
+        + "</CLUSTER></GANGLIA_XML>"
+    )
+    try:
+        parse_document(probe, validate=False)
+    except ParseError:
+        return False
+    return True
+
+
+def salvage_document(text: str, cluster_hint: str = "") -> SalvageResult:
+    """Recover complete ``<HOST>`` subtrees from corrupt/truncated XML.
+
+    The full document failed to parse; rather than discard the whole
+    poll, extract every HOST span that is individually well-formed and
+    rebuild a minimal cluster document around them.  Cluster attributes
+    (NAME, LOCALTIME, OWNER...) are recovered from the damaged text when
+    the opening CLUSTER tag survived; ``cluster_hint`` names the cluster
+    otherwise.  Damage between hosts costs nothing; damage inside a host
+    drops only that host.
+    """
+    good = [
+        span for span in _HOST_SPAN_RE.findall(text) if _probe_host_span(span)
+    ]
+    total = len(_HOST_OPEN_RE.findall(text))
+    dropped = max(0, total - len(good))
+    if not good:
+        return SalvageResult(None, 0, dropped)
+
+    cluster_pieces: List[str] = []
+    has_name = False
+    cluster_match = _CLUSTER_OPEN_RE.search(text)
+    if cluster_match is not None:
+        # attribute values re-embed verbatim: they are still in their
+        # escaped on-the-wire form
+        for key, value in _ATTR_RE.findall(cluster_match.group(1)):
+            if key == "NAME":
+                has_name = True
+            cluster_pieces.append(f'{key}="{value}"')
+    if not has_name:
+        cluster_pieces.insert(0, f'NAME="{cluster_hint or "salvaged"}"')
+
+    rebuilt = (
+        '<GANGLIA_XML VERSION="2.5.x" SOURCE="salvage"><CLUSTER '
+        + " ".join(cluster_pieces)
+        + ">"
+        + "".join(good)
+        + "</CLUSTER></GANGLIA_XML>"
+    )
+    try:
+        document = parse_document(rebuilt, validate=False)
+    except ParseError:
+        # recovered cluster attributes were themselves poisoned
+        return SalvageResult(None, 0, max(dropped, total))
+    return SalvageResult(document, len(good), dropped)

@@ -5,6 +5,8 @@ import pytest
 from repro.faults.injector import FaultInjector
 from repro.faults.schedules import FaultEvent, FaultSchedule
 from repro.gmond.pseudo import PseudoGmond
+from repro.net.fabric import Fabric
+from repro.sim.engine import Engine
 
 
 @pytest.fixture
@@ -62,6 +64,83 @@ class TestInjector:
         engine.run_for(10.0)
         assert fabric.reachable("a", "b")
 
+    def test_stop_flapping_restores_host_caught_down(
+        self, injector, engine, fabric
+    ):
+        """Regression: stopping mid-down-phase must leave the host up."""
+        injector.flap_host("a", period=20.0, down_fraction=0.5, start=0.0)
+        engine.run_for(5.0)  # inside the first down phase (0.2s..10.2s)
+        assert not fabric.host("a").up
+        injector.stop_flapping()
+        assert fabric.host("a").up
+        # and the restore is in the log, so replays stay auditable
+        assert injector.log[-1][1] == "flap-up"
+
+    def test_flap_start_zero_is_honored(self, injector, engine, fabric):
+        """Regression: an explicit start=0.0 used to be silently replaced
+        by a full-period initial delay."""
+        injector.flap_host("a", period=100.0, down_fraction=0.5, start=0.0)
+        engine.run_for(5.0)  # well before the old behaviour's first event
+        assert not fabric.host("a").up
+
+    def test_flap_default_start_waits_one_period(
+        self, injector, engine, fabric
+    ):
+        injector.flap_host("a", period=100.0, down_fraction=0.5)
+        engine.run_for(50.0)
+        assert fabric.host("a").up
+        engine.run_for(60.0)
+        assert not fabric.host("a").up
+
+    def test_corrupt_links_sets_and_clears(self, injector, engine, fabric):
+        injector.corrupt_links(
+            ["a"], ["b"], probability=0.5, truncate_probability=0.25,
+            at=5.0, duration=10.0,
+        )
+        engine.run_for(6.0)
+        gray = fabric.gray("a", "b")
+        assert gray is not None
+        assert gray.corrupt_probability == 0.5
+        assert gray.truncate_probability == 0.25
+        engine.run_for(10.0)
+        assert fabric.gray("a", "b") is None
+        actions = [entry[1] for entry in injector.log]
+        assert actions == ["corrupt", "clear-corrupt"]
+
+    def test_degrade_links_sets_and_clears(self, injector, engine, fabric):
+        injector.degrade_links(["a"], ["b", "c"], factor=0.1, duration=10.0)
+        engine.run_for(1.0)
+        assert fabric.gray("a", "b").bandwidth_factor == 0.1
+        assert fabric.gray("a", "c").bandwidth_factor == 0.1
+        engine.run_for(10.0)
+        assert fabric.gray("a", "b") is None
+
+    def test_spike_links_sets_and_clears(self, injector, engine, fabric):
+        injector.spike_links(
+            ["a"], ["b"], magnitude=2.0, probability=0.3, duration=8.0
+        )
+        engine.run_for(1.0)
+        gray = fabric.gray("a", "b")
+        assert gray.spike_seconds == 2.0
+        assert gray.spike_probability == 0.3
+        engine.run_for(8.0)
+        assert fabric.gray("a", "b") is None
+
+    def test_gray_conditions_compose_on_one_link(
+        self, injector, engine, fabric
+    ):
+        """Different gray actions merge instead of clobbering each other."""
+        injector.corrupt_links(["a"], ["b"], probability=0.2)
+        injector.degrade_links(["a"], ["b"], factor=0.5, duration=5.0)
+        engine.run_for(1.0)
+        gray = fabric.gray("a", "b")
+        assert gray.corrupt_probability == 0.2
+        assert gray.bandwidth_factor == 0.5
+        engine.run_for(5.0)  # degrade clears; corruption persists
+        gray = fabric.gray("a", "b")
+        assert gray.bandwidth_factor == 1.0
+        assert gray.corrupt_probability == 0.2
+
     def test_kill_pseudo_host(self, injector, engine, fabric, tcp, rngs):
         pseudo = PseudoGmond(
             engine, fabric, tcp, "m", num_hosts=4, rng=rngs.stream("pg")
@@ -89,6 +168,49 @@ class TestFaultEvents:
     def test_negative_time_rejected(self):
         with pytest.raises(ValueError):
             FaultEvent(at=-1.0, action="crash", host="a")
+
+    def test_corrupt_requires_a_probability(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, action="corrupt", group_a=["a"], group_b=["b"])
+
+    def test_corrupt_accepts_truncate_only(self):
+        event = FaultEvent(
+            at=0.0, action="corrupt", group_a=["a"], group_b=["b"],
+            truncate_probability=0.5,
+        )
+        assert event.truncate_probability == 0.5
+
+    def test_corrupt_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                at=0.0, action="corrupt", group_a=["a"], group_b=["b"],
+                probability=1.5,
+            )
+
+    def test_degrade_requires_fraction_factor(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                at=0.0, action="degrade", group_a=["a"], group_b=["b"],
+                factor=1.0,
+            )
+        event = FaultEvent(
+            at=0.0, action="degrade", group_a=["a"], group_b=["b"], factor=0.25
+        )
+        assert event.factor == 0.25
+
+    def test_spike_requires_positive_magnitude(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                at=0.0, action="spike", group_a=["a"], group_b=["b"]
+            )
+
+    def test_gray_actions_require_groups(self):
+        for action in ("corrupt", "degrade", "spike"):
+            with pytest.raises(ValueError):
+                FaultEvent(
+                    at=0.0, action=action, group_a=["a"],
+                    probability=0.5, factor=0.5, magnitude=1.0,
+                )
 
 
 class TestFaultSchedule:
@@ -126,3 +248,79 @@ class TestFaultSchedule:
             engine.run_for(2.0)
             saw_down = saw_down or not fabric.host("a").up
         assert saw_down
+
+    def test_gray_events_dispatch(self, injector, engine, fabric):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    at=1.0, action="corrupt", group_a=["a"], group_b=["b"],
+                    probability=0.8, duration=10.0,
+                ),
+                FaultEvent(
+                    at=2.0, action="degrade", group_a=["a"], group_b=["c"],
+                    factor=0.2, duration=10.0,
+                ),
+                FaultEvent(
+                    at=3.0, action="spike", group_a=["b"], group_b=["c"],
+                    magnitude=1.5, duration=10.0,
+                ),
+            ]
+        )
+        schedule.apply(injector)
+        engine.run_for(4.0)
+        assert fabric.gray("a", "b").corrupt_probability == 0.8
+        assert fabric.gray("a", "c").bandwidth_factor == 0.2
+        spiked = fabric.gray("b", "c")
+        assert spiked.spike_seconds == 1.5
+        assert spiked.spike_probability == 1.0  # unset probability -> always
+        engine.run_for(20.0)
+        assert fabric.gray("a", "b") is None
+        assert fabric.gray("a", "c") is None
+        assert fabric.gray("b", "c") is None
+
+    def test_replay_is_deterministic(self):
+        """Same schedule + same world => identical injector logs."""
+        schedule = FaultSchedule(
+            [
+                FaultEvent(at=2.0, action="flap", host="a", period=7.0,
+                           down_fraction=0.4),
+                FaultEvent(at=5.0, action="crash", host="b", duration=11.0),
+                FaultEvent(at=9.0, action="partition", group_a=("a",),
+                           group_b=("c",), duration=6.0),
+                FaultEvent(at=12.0, action="corrupt", group_a=("b",),
+                           group_b=("c",), probability=0.7, duration=9.0),
+                FaultEvent(at=15.0, action="spike", group_a=("a",),
+                           group_b=("b",), magnitude=2.0, duration=4.0),
+            ]
+        )
+
+        def run() -> list:
+            engine = Engine()
+            fabric = Fabric()
+            for name in ("a", "b", "c"):
+                fabric.add_host(name)
+            injector = FaultInjector(engine, fabric)
+            schedule.apply(injector)
+            engine.run_for(60.0)
+            return injector.log
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) > 10  # the schedule actually did things
+
+    def test_overlapping_partitions_heal_independently(
+        self, injector, engine, fabric
+    ):
+        """A pair cut by two overlapping partitions stays cut until the
+        *last* covering partition heals."""
+        injector.partition(["a"], ["b"], at=0.0, duration=10.0)
+        injector.partition(["a"], ["b", "c"], at=5.0, duration=20.0)
+        engine.run_for(7.0)
+        assert not fabric.reachable("a", "b")
+        assert not fabric.reachable("a", "c")
+        engine.run_for(5.0)  # t=12: first partition healed, second active
+        assert not fabric.reachable("a", "b")
+        assert not fabric.reachable("a", "c")
+        engine.run_for(15.0)  # t=27: both healed
+        assert fabric.reachable("a", "b")
+        assert fabric.reachable("a", "c")

@@ -1,0 +1,118 @@
+"""Corruption-tolerant salvage: recovering HOST subtrees from damage."""
+
+import pytest
+
+from repro.wire.parser import ParseError, parse_document, salvage_document
+from repro.wire.writer import write_document
+
+
+def make_xml(num_hosts: int = 5, cluster: str = "meteor") -> str:
+    """A small but realistic gmond dump."""
+    hosts = []
+    for i in range(num_hosts):
+        hosts.append(
+            f'<HOST NAME="{cluster}-0-{i}" IP="10.0.0.{i + 1}" '
+            f'REPORTED="100" TN="2" TMAX="20" DMAX="0">'
+            f'<METRIC NAME="load_one" VAL="0.{i}" TYPE="float" UNITS="" '
+            f'TN="5" TMAX="70" DMAX="0" SLOPE="both" SOURCE="gmond"/>'
+            f'<METRIC NAME="cpu_num" VAL="4" TYPE="uint16" UNITS="CPUs" '
+            f'TN="5" TMAX="1193046" DMAX="0" SLOPE="zero" SOURCE="gmond"/>'
+            "</HOST>"
+        )
+    return (
+        '<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>\n'
+        '<GANGLIA_XML VERSION="2.5.4" SOURCE="gmond">'
+        f'<CLUSTER NAME="{cluster}" OWNER="pseudo" LOCALTIME="123">'
+        + "".join(hosts)
+        + "</CLUSTER></GANGLIA_XML>"
+    )
+
+
+class TestSalvageDocument:
+    def test_clean_document_salvages_everything(self):
+        result = salvage_document(make_xml(4))
+        assert result.hosts_salvaged == 4
+        assert result.hosts_dropped == 0
+        cluster = result.document.clusters["meteor"]
+        assert set(cluster.hosts) == {f"meteor-0-{i}" for i in range(4)}
+
+    def test_cluster_attributes_survive(self):
+        result = salvage_document(make_xml(2))
+        cluster = result.document.clusters["meteor"]
+        assert cluster.owner == "pseudo"
+        assert cluster.localtime == 123.0
+
+    def test_corruption_between_hosts_costs_nothing(self):
+        xml = make_xml(5)
+        middle = xml.index("</HOST>") + len("</HOST>")
+        damaged = xml[:middle] + "</CORRUPTED>" + xml[middle:]
+        with pytest.raises(ParseError):
+            parse_document(damaged, validate=False)
+        result = salvage_document(damaged)
+        assert result.hosts_salvaged == 5
+        assert result.hosts_dropped == 0
+
+    def test_corruption_inside_a_host_drops_only_that_host(self):
+        xml = make_xml(5)
+        inside = xml.index('NAME="meteor-0-2"')
+        damaged = xml[:inside] + "</CORRUPTED>" + xml[inside + 12 :]
+        result = salvage_document(damaged, cluster_hint="meteor")
+        assert result.hosts_salvaged == 4
+        assert result.hosts_dropped == 1
+        cluster = result.document.clusters["meteor"]
+        assert "meteor-0-0" in cluster.hosts
+        assert "meteor-0-2" not in cluster.hosts
+
+    def test_truncation_keeps_the_complete_prefix(self):
+        xml = make_xml(6)
+        third_host_end = xml.index(
+            "</HOST>", xml.index('NAME="meteor-0-2"')
+        ) + len("</HOST>")
+        truncated = xml[: third_host_end + 10]
+        with pytest.raises(ParseError):
+            parse_document(truncated, validate=False)
+        result = salvage_document(truncated)
+        assert result.hosts_salvaged == 3
+        assert set(result.document.clusters["meteor"].hosts) == {
+            "meteor-0-0",
+            "meteor-0-1",
+            "meteor-0-2",
+        }
+
+    def test_nothing_salvageable_returns_none(self):
+        result = salvage_document("<GANGLIA_XML><CLUSTER NAME")
+        assert result.document is None
+        assert result.hosts_salvaged == 0
+
+    def test_damaged_cluster_tag_falls_back_to_hint(self):
+        xml = make_xml(3)
+        # destroy the CLUSTER open tag entirely
+        start = xml.index("<CLUSTER")
+        end = xml.index(">", start) + 1
+        damaged = xml[:start] + xml[end:]
+        result = salvage_document(damaged, cluster_hint="meteor")
+        assert result.hosts_salvaged == 3
+        assert "meteor" in result.document.clusters
+
+    def test_salvaged_document_roundtrips_through_the_writer(self):
+        """The rebuilt document is a normal document: serializable and
+        re-parseable like any other ingest product."""
+        xml = make_xml(4)
+        inside = xml.index('NAME="meteor-0-1"')
+        damaged = xml[:inside] + "</CORRUPTED>" + xml[inside + 12 :]
+        result = salvage_document(damaged, cluster_hint="meteor")
+        rendered = write_document(result.document)
+        reparsed = parse_document(rendered, validate=False)
+        assert set(reparsed.clusters["meteor"].hosts) == {
+            "meteor-0-0",
+            "meteor-0-2",
+            "meteor-0-3",
+        }
+
+    def test_host_metrics_survive_salvage(self):
+        xml = make_xml(3)
+        damaged = xml.replace("</GANGLIA_XML>", "")
+        result = salvage_document(damaged)
+        host = result.document.clusters["meteor"].hosts["meteor-0-1"]
+        assert host.metrics["load_one"].val == "0.1"
+        assert host.metrics["cpu_num"].val == "4"
