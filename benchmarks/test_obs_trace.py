@@ -1,0 +1,99 @@
+"""Trace artifact: a Fig. 2 federation run with self-observability on.
+
+Runs the paper tree with the :mod:`repro.obs` layer enabled, merges
+every gmetad's bounded trace buffer into one JSON-lines dump, and leaves
+two artifacts next to the other reproduced figures:
+
+- ``benchmarks/out/obs_trace.jsonl`` -- the raw span dump, one span per
+  line (the same format ``repro-sim trace`` emits), and
+- ``benchmarks/out/obs_trace.txt`` -- the per-phase/per-daemon
+  aggregate table from :mod:`repro.analysis.tracestats`.
+
+The smoke assertions are the acceptance criteria for the layer: the
+dump parses, it covers every pipeline phase (poll, parse, summarize,
+archive, serve), every daemon appears, and the drift auditor swept at
+least once without finding a divergence.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.tracestats import phase_coverage, summarize_jsonl
+from repro.bench.topology import PAPER_GMETA_ORDER, build_paper_tree
+from repro.obs import ObservabilityConfig
+
+HOSTS = 10
+POLL = 15.0
+WARMUP = 60.0
+WINDOW = 10 * POLL
+SEED = 14
+
+
+def run_traced_federation(window: float = WINDOW, warmup: float = WARMUP):
+    """One instrumented run; returns (federation, merged JSONL dump)."""
+    federation = build_paper_tree(
+        "nlevel",
+        hosts_per_cluster=HOSTS,
+        seed=SEED,
+        poll_interval=POLL,
+        observability=ObservabilityConfig(
+            self_cluster_interval=POLL, drift_check_interval=2 * POLL
+        ),
+    ).start()
+    federation.engine.run_for(warmup + window)
+    jsonl = "".join(
+        federation.gmetad(name).obs.spans_jsonl()
+        for name in sorted(federation.gmetads)
+    )
+    federation.stop()
+    return federation, jsonl
+
+
+@pytest.mark.smoke
+def test_trace_artifact(save_report, report_dir):
+    federation, jsonl = run_traced_federation()
+
+    path = report_dir / "obs_trace.jsonl"
+    path.write_text(jsonl)
+    print(f"[saved to {path}]")
+
+    for line in jsonl.splitlines():
+        json.loads(line)  # every line stands alone
+
+    summary = summarize_jsonl(jsonl)
+    save_report("obs_trace", summary.report())
+
+    missing = phase_coverage(summary)
+    assert not missing, f"trace lacks pipeline phases: {missing}"
+    assert set(summary.daemon_names) == set(PAPER_GMETA_ORDER)
+    # leaf daemons poll pseudo-gmonds, interior daemons poll children:
+    # everyone polls something, everyone serves somebody (or is root)
+    for name in PAPER_GMETA_ORDER:
+        assert summary.daemons[name]["poll"].count > 0, name
+
+    for name in PAPER_GMETA_ORDER:
+        auditor = federation.gmetad(name).obs.auditor
+        assert auditor.sweeps > 0
+        assert auditor.total_divergences == 0, auditor.last_report.details
+
+
+@pytest.mark.smoke
+def test_trace_buffer_stays_bounded():
+    """A tiny capacity must cap memory, count drops, and keep newest."""
+    federation = build_paper_tree(
+        "nlevel",
+        hosts_per_cluster=4,
+        seed=SEED,
+        observability=ObservabilityConfig(trace_capacity=64),
+    ).start()
+    federation.engine.run_for(300.0)
+    for gmetad in federation.gmetads.values():
+        trace = gmetad.obs.trace
+        assert len(trace) <= 64
+        assert trace.recorded == len(trace) + trace.dropped
+    # the busiest daemons recorded far more than they kept
+    assert any(g.obs.trace.dropped > 0 for g in federation.gmetads.values())
+    federation.stop()

@@ -29,6 +29,8 @@ Layout:
   query engines, alarms, self-organizing tree
 - :mod:`repro.frontend` -- web-frontend emulation (Table 1)
 - :mod:`repro.faults` -- failure injection
+- :mod:`repro.obs` -- self-observability: metrics registry, trace
+  spans, the in-band ``__gmetad__`` cluster, drift auditor
 - :mod:`repro.pubsub` -- push delivery: delta-encoded publish-subscribe
 - :mod:`repro.bench` -- experiment drivers for every figure and table
 """
@@ -43,6 +45,7 @@ from repro.analysis.availability import FederationProbe, SoakReport
 from repro.bench.topology import Federation, build_paper_tree
 from repro.core.gmetad import Gmetad
 from repro.core.resilience import Overloaded, ResilienceConfig
+from repro.obs import Observability, ObservabilityConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.schedules import FaultEvent, FaultSchedule
 from repro.core.gmetad_1level import OneLevelGmetad
@@ -86,6 +89,8 @@ __all__ = [
     "PushClient",
     "ResilienceConfig",
     "Overloaded",
+    "Observability",
+    "ObservabilityConfig",
     "FaultInjector",
     "FaultSchedule",
     "FaultEvent",

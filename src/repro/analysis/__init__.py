@@ -10,7 +10,9 @@ snapshots into those deliverables:
 - :mod:`repro.analysis.availability` -- per-host and per-cluster uptime
   accounting over a window;
 - :mod:`repro.analysis.loadstats` -- load/utilization statistics from
-  summary archives and live snapshots.
+  summary archives and live snapshots;
+- :mod:`repro.analysis.tracestats` -- per-phase aggregates over the
+  self-observability layer's trace-span dumps.
 """
 
 from repro.analysis.availability import (
@@ -24,8 +26,22 @@ from repro.analysis.loadstats import (
     cluster_mean_series,
     series_statistics,
 )
+from repro.analysis.tracestats import (
+    PhaseStats,
+    TraceSummary,
+    load_trace,
+    phase_coverage,
+    summarize_jsonl,
+    summarize_spans,
+)
 
 __all__ = [
+    "PhaseStats",
+    "TraceSummary",
+    "load_trace",
+    "phase_coverage",
+    "summarize_jsonl",
+    "summarize_spans",
     "Outage",
     "find_outages",
     "estimate_death_time",

@@ -1,0 +1,131 @@
+"""Summarize trace-span dumps from the self-observability layer.
+
+The ``repro-sim trace`` CLI (and the ``--trace`` benchmark artifact)
+emit JSON-lines span dumps -- one :class:`repro.obs.spans.Span` per
+line.  This module folds a dump into per-phase (and per-daemon)
+aggregates: counts, total/mean/max duration in simulated seconds.  It
+answers the operator's first question about a monitoring daemon --
+*where does the time go* -- from nothing but the trace artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.spans import Span, parse_jsonl
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate over every span of one phase (optionally one daemon)."""
+
+    name: str
+    count: int = 0
+    total_duration: float = 0.0
+    max_duration: float = 0.0
+    first_start: float = float("inf")
+    last_end: float = 0.0
+
+    def fold(self, span: Span) -> None:
+        self.count += 1
+        self.total_duration += span.duration
+        if span.duration > self.max_duration:
+            self.max_duration = span.duration
+        if span.start < self.first_start:
+            self.first_start = span.start
+        if span.end > self.last_end:
+            self.last_end = span.end
+
+    @property
+    def mean_duration(self) -> float:
+        return self.total_duration / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Per-phase and per-daemon aggregates over one span dump."""
+
+    spans: int = 0
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    daemons: Dict[str, Dict[str, PhaseStats]] = field(default_factory=dict)
+
+    @property
+    def phase_names(self) -> List[str]:
+        return sorted(self.phases)
+
+    @property
+    def daemon_names(self) -> List[str]:
+        return sorted(self.daemons)
+
+    def report(self) -> str:
+        """Human-readable table, one row per phase (durations in sim-s)."""
+        lines = [
+            f"trace summary: {self.spans} spans, "
+            f"{len(self.daemons)} daemons, {len(self.phases)} phases",
+            "",
+            f"{'phase':<12s} {'count':>7s} {'total_s':>10s} "
+            f"{'mean_s':>10s} {'max_s':>10s}",
+        ]
+        for name in self.phase_names:
+            stats = self.phases[name]
+            lines.append(
+                f"{name:<12s} {stats.count:>7d} "
+                f"{stats.total_duration:>10.6f} "
+                f"{stats.mean_duration:>10.6f} "
+                f"{stats.max_duration:>10.6f}"
+            )
+        for daemon in self.daemon_names:
+            lines.append("")
+            lines.append(f"daemon {daemon}:")
+            per_phase = self.daemons[daemon]
+            for name in sorted(per_phase):
+                stats = per_phase[name]
+                lines.append(
+                    f"  {name:<10s} {stats.count:>7d} "
+                    f"{stats.total_duration:>10.6f} "
+                    f"{stats.mean_duration:>10.6f} "
+                    f"{stats.max_duration:>10.6f}"
+                )
+        return "\n".join(lines)
+
+
+def summarize_spans(spans: Iterable[Span]) -> TraceSummary:
+    """Fold spans into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    for span in spans:
+        summary.spans += 1
+        phase = summary.phases.get(span.name)
+        if phase is None:
+            phase = summary.phases[span.name] = PhaseStats(span.name)
+        phase.fold(span)
+        per_daemon = summary.daemons.setdefault(span.daemon, {})
+        daemon_phase = per_daemon.get(span.name)
+        if daemon_phase is None:
+            daemon_phase = per_daemon[span.name] = PhaseStats(span.name)
+        daemon_phase.fold(span)
+    return summary
+
+
+def summarize_jsonl(text: str) -> TraceSummary:
+    """Parse a JSONL span dump and summarize it."""
+    return summarize_spans(parse_jsonl(text))
+
+
+def load_trace(path: str) -> TraceSummary:
+    """Read a JSONL span dump from ``path`` and summarize it."""
+    with open(path) as handle:
+        return summarize_jsonl(handle.read())
+
+
+def phase_coverage(
+    summary: TraceSummary, required: Optional[Iterable[str]] = None
+) -> List[str]:
+    """Phases from ``required`` missing in the summary (empty = covered).
+
+    Defaults to the pipeline phases every live federation must emit:
+    poll, parse, summarize, archive, serve.
+    """
+    if required is None:
+        required = ("poll", "parse", "summarize", "archive", "serve")
+    return [name for name in required if name not in summary.phases]

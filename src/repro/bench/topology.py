@@ -28,6 +28,7 @@ from repro.core.gmetad_1level import OneLevelGmetad
 from repro.core.gmetad_base import GmetadBase
 from repro.core.resilience import ResilienceConfig
 from repro.core.tree import GmetadConfig, MonitorTree
+from repro.obs.config import ObservabilityConfig
 from repro.gmond.pseudo import PseudoGmond
 from repro.net.fabric import Fabric
 from repro.net.tcp import TcpNetwork
@@ -139,6 +140,7 @@ def build_paper_tree(
     refresh_interval: Optional[float] = None,
     incremental: bool = False,
     resilience: Optional[ResilienceConfig] = None,
+    observability: Optional[ObservabilityConfig] = None,
 ) -> Federation:
     """Build the Fig. 2 federation for one design.
 
@@ -170,6 +172,11 @@ def build_paper_tree(
     :class:`~repro.core.resilience.ResilienceConfig` to every gmetad
     (adaptive timeouts, health-biased fail-over, circuit breakers,
     salvage ingest).  Default ``None``: the paper-faithful baseline.
+
+    ``observability`` attaches one shared
+    :class:`~repro.obs.config.ObservabilityConfig` to every gmetad
+    (metrics registry, trace spans, in-band ``__gmetad__`` cluster,
+    drift auditor).  Default ``None``: fully uninstrumented.
     """
     engine = engine or Engine()
     fabric = Fabric()
@@ -190,6 +197,7 @@ def build_paper_tree(
             archive_mode=archive_mode,
             incremental=incremental,
             resilience=resilience,
+            observability=observability,
         )
         tree.add_gmetad(configs[name])
 

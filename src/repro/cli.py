@@ -10,6 +10,8 @@ Subcommands:
   view and per-gmetad CPU;
 - ``query`` -- build the federation, issue one path query against a
   chosen gmetad, print the XML;
+- ``trace`` -- run the federation with self-observability on and dump
+  the trace spans as JSON lines (plus a per-phase summary on stderr);
 - ``check-gmetad-conf`` / ``check-gmond-conf`` -- parse real Ganglia
   config files and show how they map onto this library;
 - ``calibrate`` -- re-derive the CPU capacity anchor.
@@ -144,6 +146,44 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.tracestats import phase_coverage, summarize_jsonl
+    from repro.obs import ObservabilityConfig
+
+    federation = build_paper_tree(
+        args.design, hosts_per_cluster=args.hosts, seed=args.seed,
+        archive_mode="account", incremental=not args.eager,
+        observability=ObservabilityConfig(
+            trace_capacity=args.capacity,
+            drift_check_interval=args.drift_interval,
+        ),
+    )
+    federation.start()
+    federation.engine.run_for(args.warmup + args.window)
+    # merge every daemon's buffer; each span line carries its daemon name
+    jsonl = "".join(
+        federation.gmetad(name).obs.spans_jsonl()
+        for name in sorted(federation.gmetads)
+    )
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(jsonl)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(jsonl, end="")
+    summary = summarize_jsonl(jsonl)
+    print(summary.report(), file=sys.stderr)
+    missing = phase_coverage(summary)
+    if missing:
+        print(f"warning: phases never traced: {missing}", file=sys.stderr)
+    federation.stop()
+    return 0
+
+
 def _cmd_check_gmetad(args: argparse.Namespace) -> int:
     try:
         text = open(args.file).read()
@@ -263,6 +303,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
     _add_common(p)
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "trace", help="dump trace spans (JSONL) from an observed federation"
+    )
+    p.add_argument("--out", default=None,
+                   help="write the JSONL dump here instead of stdout")
+    p.add_argument("--capacity", type=int, default=4096,
+                   help="per-daemon trace buffer capacity (default 4096)")
+    p.add_argument("--drift-interval", type=float, default=60.0,
+                   help="drift-auditor sweep interval, 0 disables")
+    p.add_argument("--eager", action="store_true",
+                   help="trace the eager baseline instead of incremental")
+    p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
+    _add_common(p)
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("check-gmetad-conf", help="parse a gmetad.conf")
     p.add_argument("file")

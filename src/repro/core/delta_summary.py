@@ -11,9 +11,21 @@ only the k hosts that differ.
 
 The additive reduction of §2.2 is what makes this sound: a summary is a
 (SUM, NUM) pair per metric, so removing a host's contribution is exact
-integer/float subtraction.  Subtract-then-add accumulation can drift
-from an eager re-fold by a few ulps; the 4-decimal wire formatting
-absorbs that, and the equivalence tests pin the serialized bytes.
+integer arithmetic on NUM -- but *not* exact float arithmetic on SUM.
+Naive ``total += / -=`` accumulates rounding error across churn, and a
+sequence that drains a metric back toward zero can leave a residue like
+``-7.1e-15`` that the 4-decimal wire formatting renders as ``"-0"``
+while an eager re-fold serves ``"0"``.  Two mechanisms keep incremental
+totals wire-identical to an eager re-fold:
+
+- every accumulator uses **Neumaier-compensated** addition (a running
+  compensation term recovers the low-order bits each naive add drops),
+  so the exposed total is the correctly rounded sum of the surviving
+  contributions, not the drifted telescoped one;
+- when a metric's reporter count drains to zero its accumulator is
+  dropped (an eager re-fold would not produce the metric at all), and
+  when the *source's* contribution count drains to zero the whole
+  running summary is rebuilt from nothing -- exact zeros, no residue.
 """
 
 from __future__ import annotations
@@ -27,6 +39,39 @@ from repro.wire.model import (
     MetricSummary,
     SummaryInfo,
 )
+
+
+class NeumaierSum:
+    """Compensated accumulator: ``value`` is the corrected running sum.
+
+    Kahan-Babuska ("improved Kahan") summation: each add folds the
+    rounding error of the naive add into a compensation term, so adding
+    and later subtracting the same float leaves ``value`` at exactly the
+    sum of the remaining terms (to the final rounding), regardless of
+    the order the churn arrived in.
+    """
+
+    __slots__ = ("_sum", "_comp")
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._sum = initial
+        self._comp = 0.0
+
+    def add(self, v: float) -> None:
+        s = self._sum
+        t = s + v
+        if abs(s) >= abs(v):
+            self._comp += (s - t) + v
+        else:
+            self._comp += (v - t) + s
+        self._sum = t
+
+    def subtract(self, v: float) -> None:
+        self.add(-v)
+
+    @property
+    def value(self) -> float:
+        return self._sum + self._comp
 
 
 @dataclass
@@ -88,6 +133,11 @@ class ClusterSummaryTracker:
         self.heartbeat_window = heartbeat_window
         self._running = SummaryInfo()
         self._contributions: Dict[str, HostContribution] = {}
+        #: metric name -> compensated SUM accumulator backing
+        #: ``_running.metrics[name].total``
+        self._accums: Dict[str, NeumaierSum] = {}
+        #: diagnostic: how many times the drain-to-zero rebuild fired
+        self.rebuilds = 0
 
     def _add(self, contribution: HostContribution) -> int:
         ops = 0
@@ -99,8 +149,11 @@ class ClusterSummaryTracker:
             existing = self._running.metrics.get(name)
             if existing is None:
                 self._running.metrics[name] = ms.copy()
+                self._accums[name] = NeumaierSum(ms.total)
             else:
-                existing.total += ms.total
+                accum = self._accums[name]
+                accum.add(ms.total)
+                existing.total = accum.value
                 existing.num += ms.num
                 if not existing.units:
                     existing.units = ms.units
@@ -115,12 +168,17 @@ class ClusterSummaryTracker:
             self._running.hosts_down -= 1
         for name, ms in contribution.metrics.items():
             existing = self._running.metrics[name]
-            existing.total -= ms.total
             existing.num -= ms.num
             if existing.num == 0:
                 # last reporter of this metric left; drop the reduction
-                # (an eager re-fold would simply not produce it)
+                # and its accumulator (an eager re-fold would simply not
+                # produce it) -- the next reporter starts from exact 0
                 del self._running.metrics[name]
+                del self._accums[name]
+            else:
+                accum = self._accums[name]
+                accum.subtract(ms.total)
+                existing.total = accum.value
             ops += 1
         return ops
 
@@ -134,6 +192,7 @@ class ClusterSummaryTracker:
         (the datastore may hold it across later updates).
         """
         ops = 0
+        had_contributions = bool(self._contributions)
         # removed hosts: subtract their stale contributions
         for name in list(self._contributions):
             if name not in cluster.hosts:
@@ -148,12 +207,20 @@ class ClusterSummaryTracker:
                 ops += self._subtract(previous)
             ops += self._add(fresh) + 1
             self._contributions[name] = fresh
+        if had_contributions and not self._contributions:
+            # contribution count drained to zero: rebuild exactly --
+            # whatever float residue or bookkeeping the churn left
+            # behind must not outlive the hosts that produced it
+            self._running = SummaryInfo()
+            self._accums.clear()
+            self.rebuilds += 1
         return self._running.copy(), ops
 
     def reset(self) -> None:
         """Forget all state (source removed or re-pointed)."""
         self._running = SummaryInfo()
         self._contributions.clear()
+        self._accums.clear()
 
 
 def eager_summary(

@@ -145,6 +145,7 @@ class Gmetad(GmetadBase):
             query = GmetadQuery()  # garbage in, full default dump out
         seconds = self.charge(self.costs.query_fixed, "query")
         xml, stats = self.query_engine.execute(query, self.engine.now)
+        self.last_serve_cached_bytes = stats.bytes_from_cache
         seconds += self.charge(
             self.costs.hash_insert * stats.hash_lookups, "query"
         )

@@ -25,6 +25,7 @@ from repro.core.resilience import Overloaded
 from repro.core.tree import GmetadConfig
 from repro.net.address import Address
 from repro.net.fabric import Fabric
+from repro.obs.observability import Observability
 from repro.net.tcp import Response, TcpNetwork
 from repro.rrd.database import RraSpec, compact_rra_specs
 from repro.rrd.store import RrdStore
@@ -108,6 +109,13 @@ class GmetadBase:
         self.archiver = Archiver(
             store, self.charge, self.costs, config.heartbeat_window
         )
+        #: self-observability; None (the default) compiles the layer out
+        #: -- every hook below is guarded by ``if self.obs is not None``
+        self.obs: Optional[Observability] = (
+            Observability(self, config.observability)
+            if config.observability is not None and config.observability.enabled
+            else None
+        )
         self.pollers: Dict[str, DataSourcePoller] = {}
         stride = (
             config.poll_interval / max(1, len(config.data_sources))
@@ -128,6 +136,7 @@ class GmetadBase:
                 on_not_modified=self._on_not_modified,
                 resilience=config.resilience,
                 rng=self._breaker_rng(source.name),
+                obs=self.obs,
             )
         self._server = tcp.listen(Address.gmetad(config.host), self._serve)
         resilience = config.resilience
@@ -152,6 +161,9 @@ class GmetadBase:
         self.polls_quarantined = 0
         self.queries_served = 0
         self.queries_shed = 0
+        #: frag-cache bytes of the most recent serve (set by subclasses
+        #: whose serve path memoizes; read by the serve instrumentation)
+        self.last_serve_cached_bytes = 0
         #: optional tap called as (source, xml, sim_time) before every
         #: ingest -- used by the trace recorder (repro.bench.trace)
         self.ingest_tap = None
@@ -177,12 +189,16 @@ class GmetadBase:
         self._started = True
         for poller in self.pollers.values():
             poller.start()
+        if self.obs is not None:
+            self.obs.start()
         return self
 
     def stop(self) -> None:
         """Stop pollers and close the query listener."""
         for poller in self.pollers.values():
             poller.stop()
+        if self.obs is not None:
+            self.obs.stop()
         self.tcp.close(Address.gmetad(self.config.host))
         self._started = False
 
@@ -205,6 +221,7 @@ class GmetadBase:
             on_not_modified=self._on_not_modified,
             resilience=self.config.resilience,
             rng=self._breaker_rng(source.name),
+            obs=self.obs,
         )
         self.pollers[source.name] = poller
         self.config.data_sources.append(source)
@@ -250,12 +267,20 @@ class GmetadBase:
         now = self.engine.now
         if self.ingest_tap is not None:
             self.ingest_tap(source, xml, now)
+        obs = self.obs
+        busy0 = self.cpu.total_busy_seconds if obs is not None else 0.0
         self.charge(self.costs.tcp_connect, "network")
         self.charge(self.costs.parse_byte * len(xml), "parse")
         try:
             doc = parse_document(xml, validate=self.validate_xml)
         except ParseError as exc:
             self.parse_errors += 1
+            if obs is not None:
+                obs.record_ingest(
+                    source, len(xml), now,
+                    self.cpu.total_busy_seconds - busy0, 0.0, 0.0,
+                    outcome="parse_error",
+                )
             if self._try_salvage(source, xml, exc, now):
                 return
             self.datastore.mark_failure(
@@ -267,7 +292,21 @@ class GmetadBase:
             self.costs.hash_insert * document_element_count(doc), "parse"
         )
         self.polls_ingested += 1
-        self.ingest(source, doc, now)
+        if obs is None:
+            self.ingest(source, doc, now)
+        else:
+            parse_seconds = self.cpu.total_busy_seconds - busy0
+            by_category = self.cpu.window.by_category
+            summarize0 = by_category["summarize"]
+            archive0 = by_category["archive"]
+            self.ingest(source, doc, now)
+            # stage timings come from the by-category charge deltas, so
+            # the spans show exactly what the CPU account was billed
+            obs.record_ingest(
+                source, len(xml), now, parse_seconds,
+                max(0.0, by_category["summarize"] - summarize0),
+                max(0.0, by_category["archive"] - archive0),
+            )
         self._publish(source, now)
 
     def _on_not_modified(self, source: str, notice: NotModified, rtt: float) -> None:
@@ -382,16 +421,25 @@ class GmetadBase:
             for victim in self.serve_queue.make_room(now):
                 victim.payload = Overloaded()
                 self.queries_shed += 1
+                if self.obs is not None:
+                    self.obs.record_shed()
             self.serve_queue.push(now + response.service_seconds, response)
         return response
 
     def _serve_response(self, client: str, request: object) -> Response:
         self.queries_served += 1
+        obs = self.obs
         seconds = self.charge(self.costs.tcp_connect, "network")
         base, presented = split_generation(str(request))
         if presented is None:
             # unconditional request: plain XML, exactly as before
+            self.last_serve_cached_bytes = 0
             xml, serve_seconds = self.serve_query(base)
+            if obs is not None:
+                obs.record_serve(
+                    base, seconds + serve_seconds, len(xml),
+                    cached_bytes=self.last_serve_cached_bytes,
+                )
             return Response(xml, service_seconds=seconds + serve_seconds)
         current = self.serve_generation(base)
         if presented == current:
@@ -399,6 +447,8 @@ class GmetadBase:
             # refresh the report timestamp without a transfer (the same
             # way a 304 updates the Date header)
             self.not_modified_served += 1
+            if obs is not None:
+                obs.record_serve(base, seconds, 0, outcome="not_modified")
             return Response(
                 NotModified(
                     generation=current,
@@ -406,7 +456,13 @@ class GmetadBase:
                 ),
                 service_seconds=seconds,
             )
+        self.last_serve_cached_bytes = 0
         xml, serve_seconds = self.serve_query(base)
+        if obs is not None:
+            obs.record_serve(
+                base, seconds + serve_seconds, len(xml),
+                cached_bytes=self.last_serve_cached_bytes,
+            )
         return Response(
             TaggedXml(xml, current), service_seconds=seconds + serve_seconds
         )

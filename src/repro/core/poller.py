@@ -27,7 +27,7 @@ one of these paths is compiled out and behaviour is unchanged.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.core.resilience import (
     AdaptiveTimeout,
@@ -45,6 +45,9 @@ from repro.wire.conditional import (
     TaggedXml,
     with_generation,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observability import Observability
 
 #: Delivered on success: (source_name, xml_text, rtt_seconds)
 OnData = Callable[[str, str, float], None]
@@ -71,6 +74,7 @@ class DataSourcePoller:
         on_not_modified: Optional[OnNotModified] = None,
         resilience: Optional[ResilienceConfig] = None,
         rng: Optional[random.Random] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.engine = engine
         self.tcp = tcp
@@ -130,6 +134,18 @@ class DataSourcePoller:
                 jitter=r.breaker_jitter,
                 rng=rng,
             )
+        #: self-observability hook; None keeps the poller uninstrumented
+        self.obs = obs
+        if self.obs is not None and self.breaker is not None:
+            source_name = config.name
+            observer = self.obs
+
+            def _on_transition(old_state: str, new_state: str) -> None:
+                observer.record_breaker_transition(
+                    source_name, old_state, new_state, engine.now
+                )
+
+            self.breaker.on_transition = _on_transition
         self.polls_skipped = 0
         self.bad_payloads = 0
         self.overloaded_replies = 0
@@ -184,6 +200,8 @@ class DataSourcePoller:
             return
         if self.breaker is not None and not self.breaker.allow(self.engine.now):
             self.polls_skipped += 1
+            if self.obs is not None:
+                self.obs.registry.counter("polls_skipped").inc()
             return
         self._in_flight = True
         self.polls += 1
@@ -270,11 +288,15 @@ class DataSourcePoller:
             # explicit shed: the server is alive but refused the query;
             # keep the endpoint and simply try again next interval
             self.overloaded_replies += 1
+            if self.obs is not None:
+                self.obs.record_poll(self.config.name, rtt, "overloaded")
             return
         if isinstance(payload, NotModified):
             # nothing to transfer, parse, or ingest -- the whole point
             self.last_generation = payload.generation
             self.not_modified += 1
+            if self.obs is not None:
+                self.obs.record_poll(self.config.name, rtt, "not_modified")
             if self.on_not_modified is not None:
                 self.on_not_modified(self.config.name, payload, rtt)
             return
@@ -284,10 +306,17 @@ class DataSourcePoller:
             # plain string: the server does not speak the conditional
             # protocol; forget any stale token so we never expect a match
             self.last_generation = None
+        if self.obs is not None:
+            self.obs.record_poll(self.config.name, rtt, "data")
         self.on_data(self.config.name, str(payload), rtt)
 
     def _on_timeout(self, error: TcpTimeout) -> None:
         self._in_flight = False
+        if self.obs is not None:
+            # the time lost is the timeout that was armed for this poll
+            self.obs.record_poll(
+                self.config.name, self.current_timeout, "timeout"
+            )
         self._failures_this_cycle += 1
         self.failovers += 1
         self.last_timeout = error

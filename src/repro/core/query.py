@@ -377,6 +377,8 @@ class ServeQueue:
         self._entries: Deque[Tuple[float, object]] = deque()
         self.shed_count = 0
         self.accepted = 0
+        #: high-water mark of :attr:`depth` over the queue's lifetime
+        self.peak_depth = 0
 
     @property
     def depth(self) -> int:
@@ -407,3 +409,5 @@ class ServeQueue:
         """
         self.accepted += 1
         self._entries.append((done_at, attached))
+        if len(self._entries) > self.peak_depth:
+            self.peak_depth = len(self._entries)

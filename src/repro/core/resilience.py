@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 #: Circuit-breaker states.
 CLOSED = "closed"
@@ -210,6 +210,17 @@ class CircuitBreaker:
         # stats
         self.opens = 0
         self.probes = 0
+        #: optional observer called as (old_state, new_state) on every
+        #: state change -- including the bookkeeping walk-back a bad
+        #: payload performs, so a listener's view never desyncs
+        self.on_transition: Optional[Callable[[str, str], None]] = None
+
+    def _set_state(self, new_state: str) -> None:
+        if new_state == self.state:
+            return
+        old_state, self.state = self.state, new_state
+        if self.on_transition is not None:
+            self.on_transition(old_state, new_state)
 
     @property
     def max_backoff(self) -> float:
@@ -225,7 +236,7 @@ class CircuitBreaker:
         if self.state != OPEN:
             return True
         if now + 1e-12 >= self.retry_at:
-            self.state = HALF_OPEN
+            self._set_state(HALF_OPEN)
             self.probes += 1
             return True
         return False
@@ -234,7 +245,7 @@ class CircuitBreaker:
         """A poll delivered a (transport-level) response."""
         self._undo = (self.consecutive_failures, self.state, self._open_streak)
         self.consecutive_failures = 0
-        self.state = CLOSED
+        self._set_state(CLOSED)
         self._open_streak = 0
 
     def on_failure(self, now: float) -> None:
@@ -249,6 +260,7 @@ class CircuitBreaker:
         if self._undo is not None:
             self.consecutive_failures, state, self._open_streak = self._undo
             self._undo = None
+            self._set_state(state)
         else:
             state = self.state
         self.consecutive_failures += 1
@@ -256,7 +268,7 @@ class CircuitBreaker:
             self._open(now)
 
     def _open(self, now: float) -> None:
-        self.state = OPEN
+        self._set_state(OPEN)
         self.opens += 1
         self._open_streak += 1
         intervals = min(

@@ -19,6 +19,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.resilience import ResilienceConfig
 from repro.net.address import Address
+from repro.obs.config import ObservabilityConfig
 
 
 @dataclass
@@ -76,6 +77,10 @@ class GmetadConfig:
     #: fail-over, circuit breakers, salvage ingest, load shedding).
     #: None keeps the paper-faithful baseline, byte-for-byte.
     resilience: Optional[ResilienceConfig] = None
+    #: self-observability layer (metrics registry, trace spans, in-band
+    #: ``__gmetad__`` cluster, drift auditor).  None keeps the daemon
+    #: uninstrumented and its output byte-identical to the baseline.
+    observability: Optional[ObservabilityConfig] = None
 
     def __post_init__(self) -> None:
         if self.gridname is None:

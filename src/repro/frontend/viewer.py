@@ -157,6 +157,23 @@ class WebFrontend:
         )
         return page, timing
 
+    def render_self_view(
+        self, host: Optional[str] = None
+    ) -> Tuple[object, ViewTiming]:
+        """The daemon's own dashboard: the ``__gmetad__`` cluster page.
+
+        A plain cluster (or host) view over the synthetic self-cluster
+        the observability layer mounts in band -- same query engine,
+        same download/parse timing protocol, no special machinery.  The
+        target gmetad must have ``observability`` enabled, otherwise
+        the page comes back empty like any unknown cluster.
+        """
+        from repro.obs.config import SELF_SOURCE
+
+        if host is None:
+            return self.render_view("cluster", cluster=SELF_SOURCE)
+        return self.render_view("host", cluster=SELF_SOURCE, host=host)
+
 
 class PushFrontend:
     """Push-mode twin of :class:`WebFrontend` (repro.pubsub delivery).

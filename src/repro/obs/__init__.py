@@ -1,0 +1,43 @@
+"""repro.obs -- self-observability for the simulated gmetad federation.
+
+The monitor monitors itself: a per-daemon metrics registry, trace spans
+over a bounded buffer, an in-band ``__gmetad__`` synthetic cluster, and
+a drift auditor cross-checking incremental summaries against eager
+folds.  Everything is off by default (``GmetadConfig.observability is
+None``) and, when off, the daemons are byte-identical to the
+uninstrumented build.
+"""
+
+from repro.obs.config import SELF_SOURCE, ObservabilityConfig
+from repro.obs.drift import DriftAuditor, DriftReport, audit_gmetad
+from repro.obs.observability import BREAKER_STATE_CODES, Observability
+from repro.obs.registry import (
+    SELF_METRIC_SOURCE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.selfcluster import build_self_cluster, install_self_cluster
+from repro.obs.spans import PHASES, Span, TraceBuffer, parse_jsonl
+
+__all__ = [
+    "BREAKER_STATE_CODES",
+    "Counter",
+    "DriftAuditor",
+    "DriftReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityConfig",
+    "PHASES",
+    "SELF_METRIC_SOURCE",
+    "SELF_SOURCE",
+    "Span",
+    "TraceBuffer",
+    "audit_gmetad",
+    "build_self_cluster",
+    "install_self_cluster",
+    "parse_jsonl",
+]

@@ -1,0 +1,188 @@
+"""Runtime metrics registry: counters, gauges, histograms on the sim clock.
+
+The monitor's own performance data, shaped so it can flow through the
+paper's own machinery: :meth:`MetricsRegistry.as_metric_elements` turns
+every instrument into ordinary ``METRIC`` elements, which is what lets
+the ``__gmetad__`` synthetic cluster ride the unmodified query engine,
+web frontend, and RRD archiver (see :mod:`repro.obs.selfcluster`).
+
+Instruments are cheap dataclass-free objects created on first use and
+looked up by name afterwards; none of them charge simulated CPU -- the
+observer watches the daemon, it does not slow it down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Tuple
+
+from repro.metrics.catalog import Slope
+from repro.metrics.types import MetricType
+from repro.wire.model import MetricElement
+
+#: SOURCE attribute stamped on exported self-metrics.
+SELF_METRIC_SOURCE = "gmetad-self"
+
+
+class Counter:
+    """Monotone event count."""
+
+    __slots__ = ("name", "units", "value")
+
+    def __init__(self, name: str, units: str = "") -> None:
+        self.name = name
+        self.units = units
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (queue depths, breaker states, ratios)."""
+
+    __slots__ = ("name", "units", "value")
+
+    def __init__(self, name: str, units: str = "") -> None:
+        self.name = name
+        self.units = units
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus a bounded window.
+
+    Full-history quantiles would grow without bound over a long soak, so
+    the reservoir keeps only the most recent ``window`` samples (enough
+    for the p95-style questions an operator asks of poll RTTs) while
+    count/sum/min/max stay exact over the instrument's lifetime.
+    """
+
+    __slots__ = ("name", "units", "count", "total", "min", "max", "_window")
+
+    def __init__(self, name: str, units: str = "", window: int = 128) -> None:
+        self.name = name
+        self.units = units
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._window.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def recent_quantile(self, q: float) -> float:
+        """Quantile over the bounded recent window (0 when empty)."""
+        if not self._window:
+            return 0.0
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        ordered = sorted(self._window)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+class MetricsRegistry:
+    """Named instruments for one daemon, exportable as METRIC elements."""
+
+    def __init__(self, histogram_window: int = 128) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._histogram_window = histogram_window
+
+    # -- instrument accessors (create on first use) -------------------------
+
+    def counter(self, name: str, units: str = "") -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._counters[name] = Counter(name, units)
+        return instrument
+
+    def gauge(self, name: str, units: str = "") -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._gauges[name] = Gauge(name, units)
+        return instrument
+
+    def histogram(self, name: str, units: str = "") -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._histograms[name] = Histogram(
+                name, units, window=self._histogram_window
+            )
+        return instrument
+
+    def _check_free(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(
+                f"instrument name {name!r} already registered with another type"
+            )
+
+    # -- export -------------------------------------------------------------
+
+    def samples(self) -> Iterator[Tuple[str, float, str]]:
+        """Flat ``(name, value, units)`` samples, histograms expanded.
+
+        A histogram ``h`` exports ``h_count``, ``h_mean`` and ``h_max``
+        -- the additive-reduction-friendly projections -- so every
+        exported sample is a plain number the summary machinery folds.
+        """
+        for counter in self._counters.values():
+            yield counter.name, counter.value, counter.units
+        for gauge in self._gauges.values():
+            yield gauge.name, gauge.value, gauge.units
+        for histogram in self._histograms.values():
+            yield f"{histogram.name}_count", float(histogram.count), ""
+            yield f"{histogram.name}_mean", histogram.mean, histogram.units
+            yield (
+                f"{histogram.name}_max",
+                histogram.max if histogram.count else 0.0,
+                histogram.units,
+            )
+
+    def as_metric_elements(self, tmax: float = 60.0) -> List[MetricElement]:
+        """Every instrument as a wire-model METRIC element, name-sorted."""
+        elements = [
+            MetricElement(
+                name=name,
+                val=f"{value:.6f}".rstrip("0").rstrip("."),
+                mtype=MetricType.DOUBLE,
+                units=units,
+                tn=0.0,
+                tmax=tmax,
+                slope=Slope.BOTH,
+                source=SELF_METRIC_SOURCE,
+            )
+            for name, value, units in self.samples()
+        ]
+        elements.sort(key=lambda m: m.name)
+        return elements
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain name -> value mapping (tests, CLI dumps)."""
+        return {name: value for name, value, _ in self.samples()}

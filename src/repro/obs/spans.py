@@ -1,0 +1,116 @@
+"""Lightweight trace spans over a bounded in-sim buffer.
+
+A span is one unit of daemon work -- ``poll``, ``parse``, ``summarize``,
+``archive``, ``serve``, ``push`` (plus ``drift_audit`` from the
+auditor) -- stamped with the simulated clock and a duration in simulated
+CPU-seconds.  The buffer is bounded: a long soak drops the *oldest*
+spans and counts what it dropped, so tracing never becomes the memory
+leak it was meant to find.
+
+Serialization is JSON lines (one span per line), the format the
+``repro-sim trace`` CLI dumps and :mod:`repro.analysis.tracestats`
+summarizes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+#: Span names the instrumented daemons emit.
+PHASES = (
+    "poll",
+    "parse",
+    "summarize",
+    "archive",
+    "serve",
+    "push",
+    "drift_audit",
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced unit of work."""
+
+    name: str                 # phase: poll/parse/summarize/...
+    daemon: str               # gmetad name that did the work
+    start: float              # simulated time the work began
+    duration: float           # simulated seconds (CPU or RTT)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_json(self) -> str:
+        record = {
+            "span": self.name,
+            "daemon": self.daemon,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return json.dumps(record, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "Span":
+        record = json.loads(line)
+        return cls(
+            name=record["span"],
+            daemon=record.get("daemon", ""),
+            start=float(record["start"]),
+            duration=float(record["duration"]),
+            attrs=record.get("attrs", {}),
+        )
+
+
+class TraceBuffer:
+    """Bounded FIFO of spans; oldest evicted first, evictions counted."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self.recorded = 0
+        self.dropped = 0
+
+    def append(self, span: Span) -> None:
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Buffered spans, optionally filtered by phase name."""
+        if name is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.name == name]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    # -- serialization -------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest span first."""
+        return "".join(span.to_json() + "\n" for span in self._spans)
+
+
+def parse_jsonl(text: str) -> List[Span]:
+    """Parse a JSONL span dump back into spans (blank lines skipped)."""
+    return [
+        Span.from_json(line)
+        for line in text.splitlines()
+        if line.strip()
+    ]

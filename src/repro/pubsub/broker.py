@@ -397,10 +397,12 @@ class PubSubBroker:
     def charge_push(self, encoded: str) -> None:
         """Charge one outbound notification to the gmetad's CPU."""
         self.bytes_pushed += len(encoded)
-        self.gmetad.charge(self.gmetad.costs.tcp_connect, "network")
-        self.gmetad.charge(
+        seconds = self.gmetad.charge(self.gmetad.costs.tcp_connect, "network")
+        seconds += self.gmetad.charge(
             self.gmetad.costs.serve_byte * len(encoded), "serve"
         )
+        if self.gmetad.obs is not None:
+            self.gmetad.obs.record_push(len(encoded), seconds)
 
     def charge_control(self, encoded: str) -> None:
         """Charge an upstream control request (subscribe/renew/sync)."""

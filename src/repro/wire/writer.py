@@ -24,11 +24,19 @@ from repro.wire.model import (
 
 
 def _fmt_num(value: float) -> str:
-    """Compact numeric attribute rendering (ints without decimal point)."""
+    """Compact numeric attribute rendering (ints without decimal point).
+
+    Negative zero is normalized to ``"0"``: incremental accumulators can
+    leave a tiny negative residue (or an exact ``-0.0``) in a value whose
+    mathematical total is zero, and every numeric attribute -- SUM, TN,
+    TMAX, DMAX, REPORTED, LOCALTIME -- funnels through here, so this is
+    the single choke point guaranteeing ``"-0"`` never reaches the wire.
+    """
     i = int(value)
     if i == value:
-        return str(i)
-    return f"{value:.4f}".rstrip("0").rstrip(".")
+        return str(i)  # int(-0.0) == -0.0, so exact -0.0 renders "0"
+    text = f"{value:.4f}".rstrip("0").rstrip(".")
+    return "0" if text == "-0" else text
 
 
 class XmlWriter:

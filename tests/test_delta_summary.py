@@ -6,13 +6,19 @@ just approximately, but at the 4-decimal wire formatting the serialized
 output pins (``_fmt_num``).
 """
 
+import random
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.delta_summary import ClusterSummaryTracker, eager_summary
+from repro.core.delta_summary import (
+    ClusterSummaryTracker,
+    NeumaierSum,
+    eager_summary,
+)
 from repro.metrics.types import MetricType
 from repro.wire.model import ClusterElement, HostElement, MetricElement
-from repro.wire.writer import _fmt_num
+from repro.wire.writer import XmlWriter, _fmt_num
 
 WINDOW = 80.0
 
@@ -117,6 +123,105 @@ class TestTracker:
         summary, ops = tracker.update(make_cluster({"h0": 1.0}))
         assert ops > 0  # re-folded from scratch
         assert summary.hosts_up == 1
+
+
+# -- pinned regressions: the -0 drift that broke tier-1 ---------------------
+
+
+def summary_wire_bytes(summary):
+    """The exact bytes a summary-form serve would emit for ``summary``."""
+    writer = XmlWriter()
+    writer.summary_info(summary)
+    return writer.result()
+
+
+class TestNegativeZeroDrift:
+    """The Hypothesis falsifying example, pinned deterministically.
+
+    Six hosts all reporting 0.0 load churn down to a single host: the
+    old naive subtract/add telescoping left ``-7.1e-15`` in the running
+    SUM, which 4-decimal wire formatting rendered ``"-0"`` against the
+    eager re-fold's ``"0"``.
+    """
+
+    def test_six_hosts_to_one_all_zero_loads(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        tracker.update(make_cluster({f"h{i}": 0.0 for i in range(6)}))
+        latest = make_cluster({"h0": 0.0})
+        summary, _ = tracker.update(latest)
+        assert _fmt_num(summary.metrics["load_one"].total) == "0"
+        assert_summaries_agree(summary, eager_summary(latest, WINDOW))
+        # the bytes on the wire, not just the parsed fields
+        assert summary_wire_bytes(summary) == summary_wire_bytes(
+            eager_summary(latest, WINDOW)
+        )
+
+    def test_drain_to_empty_rebuilds_exactly(self):
+        tracker = ClusterSummaryTracker(WINDOW)
+        tracker.update(make_cluster({f"h{i}": 0.1 * i for i in range(6)}))
+        summary, _ = tracker.update(make_cluster({}))
+        assert tracker.rebuilds == 1
+        assert summary.hosts_total == 0
+        assert not summary.metrics
+        # refilling after the rebuild starts from exact zeros
+        latest = make_cluster({"h0": 0.3})
+        summary, _ = tracker.update(latest)
+        assert summary_wire_bytes(summary) == summary_wire_bytes(
+            eager_summary(latest, WINDOW)
+        )
+
+    def test_fmt_num_never_emits_minus_zero(self):
+        assert _fmt_num(-0.0) == "0"
+        assert _fmt_num(-7.1e-15) == "0"
+        assert _fmt_num(-4.9e-5) == "0"  # rounds to -0.0000
+        assert _fmt_num(-0.0001) == "-0.0001"  # real negatives survive
+
+    def test_neumaier_recovers_telescoped_residue(self):
+        acc = NeumaierSum()
+        values = [0.1, 0.2, 0.3, 0.7, 1e-9, 2.5]
+        for v in values:
+            acc.add(v)
+        for v in values:
+            acc.subtract(v)
+        assert acc.value == 0.0
+
+
+def test_long_churn_stays_wire_identical():
+    """≥1000 random add/remove/update steps never drift past the wire.
+
+    A deterministic long soak (the Hypothesis property is capped at 8
+    steps per example): every step mutates a random host -- add, remove,
+    or update -- and every step's incremental summary must serialize to
+    exactly the bytes of an eager re-fold of the same snapshot.
+    """
+    rng = random.Random(0xD81F7)
+    tracker = ClusterSummaryTracker(WINDOW)
+    loads = {}
+    stale = set()
+    for step in range(1000):
+        action = rng.random()
+        name = f"h{rng.randrange(12)}"
+        if action < 0.25:
+            loads.pop(name, None)
+            stale.discard(name)
+        else:
+            # zero-heavy values: idle hosts are what exposed the drift
+            loads[name] = rng.choice(
+                [0.0, 0.0, round(rng.uniform(0.0, 99.0), 2)]
+            )
+            if action > 0.9:
+                stale.add(name)
+            else:
+                stale.discard(name)
+        latest = make_cluster(dict(loads), stale=stale & set(loads))
+        summary, _ = tracker.update(latest)
+        eager = eager_summary(latest, WINDOW)
+        assert summary_wire_bytes(summary) == summary_wire_bytes(eager), (
+            f"wire divergence at step {step}"
+        )
+        assert (summary.hosts_up, summary.hosts_down) == (
+            eager.hosts_up, eager.hosts_down,
+        )
 
 
 # -- property: any churn sequence converges to the eager re-fold ------------
