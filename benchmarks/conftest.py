@@ -1,19 +1,44 @@
-"""Benchmark-suite helpers: report capture.
+"""Benchmark-suite helpers: report capture and environment provenance.
 
 Every experiment benchmark writes the paper-style table/series it
 regenerates to ``benchmarks/out/<name>.txt`` (and echoes it to stdout,
 visible with ``pytest -s``), so a run of
 ``pytest benchmarks/ --benchmark-only`` leaves the reproduced figures on
 disk next to the timing data.
+
+Wall-clock numbers are only comparable between runs on comparable
+stacks, so every saved report — the ``.txt`` tables and the committed
+``BENCH_*.json`` artifacts — carries an environment fingerprint: python
+and numpy versions plus the platform triple.  A speedup measured on one
+numpy/BLAS can then be read against a re-run elsewhere without guessing
+what produced it.
 """
 
 from __future__ import annotations
 
 import pathlib
+import platform
 
+import numpy
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def environment_fingerprint() -> dict:
+    """Versions and platform identifying where a benchmark row was made."""
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_env() -> dict:
+    """Environment block for ``BENCH_*.json`` writers (`"environment"` key)."""
+    return environment_fingerprint()
 
 
 @pytest.fixture(scope="session")
@@ -25,8 +50,13 @@ def report_dir() -> pathlib.Path:
 @pytest.fixture(scope="session")
 def save_report(report_dir):
     def _save(name: str, text: str) -> None:
+        env = environment_fingerprint()
+        footer = (
+            f"[env: python {env['python']}, numpy {env['numpy']}, "
+            f"{env['platform']}]"
+        )
         path = report_dir / f"{name}.txt"
-        path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
+        path.write_text(text + "\n" + footer + "\n")
+        print(f"\n{text}\n{footer}\n[saved to {path}]")
 
     return _save

@@ -160,11 +160,12 @@ def sweep_json(sweep: Dict[float, Dict[str, Run]]) -> dict:
     }
 
 
-def test_incremental_ingest_report(sweep, save_report, benchmark):
+def test_incremental_ingest_report(sweep, save_report, benchmark, bench_env):
     """Regenerates the sweep table and the committed JSON artifact."""
     text = benchmark.pedantic(render, args=(sweep,), rounds=1, iterations=1)
     save_report("incremental_ingest", text)
-    JSON_PATH.write_text(json.dumps(sweep_json(sweep), indent=2) + "\n")
+    payload = {**sweep_json(sweep), "environment": bench_env}
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[saved to {JSON_PATH}]")
 
 

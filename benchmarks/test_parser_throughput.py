@@ -9,13 +9,19 @@ reduction, and serialization -- on a 100-host cluster document.
 import pytest
 
 from repro.bench.reporting import format_table
+from repro.columnar import InternPool, summarize_columns
 from repro.core.summarize import summarize_cluster
 from repro.gmond.pseudo import PseudoGmond
 from repro.net.fabric import Fabric
 from repro.net.tcp import TcpNetwork
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
-from repro.wire.parser import CountingHandler, GangliaParser, TreeBuilder
+from repro.wire.parser import (
+    CountingHandler,
+    GangliaParser,
+    TreeBuilder,
+    parse_columnar,
+)
 from repro.wire.writer import write_document
 
 
@@ -57,6 +63,14 @@ def test_throughput_report(payload, save_report, benchmark):
     cluster = list(doc.clusters.values())[0]
     summarize_rate = rate(lambda: summarize_cluster(cluster))
     write_rate = rate(lambda: write_document(doc))
+    # columnar fast path: shared pool, like the daemon's per-source reuse
+    pool = InternPool()
+    parse_columnar(xml, pool=pool, validate=False)  # warm the pool
+    columnar_rate = rate(
+        lambda: parse_columnar(xml, pool=pool, validate=False)
+    )
+    cols = parse_columnar(xml, pool=pool, validate=False).clusters[0]
+    columnar_summarize_rate = rate(lambda: summarize_columns(cols))
     mb = len(xml) / 1e6
     save_report(
         "parser_throughput",
@@ -66,7 +80,13 @@ def test_throughput_report(payload, save_report, benchmark):
                 ("tokenize only", scan_rate, scan_rate * mb),
                 ("tokenize + tree build", build_rate, build_rate * mb),
                 ("tokenize + build + DTD validate", validate_rate, validate_rate * mb),
+                ("columnar parse (interned SAX)", columnar_rate, columnar_rate * mb),
                 ("summarize (3000 samples)", summarize_rate, summarize_rate * mb),
+                (
+                    "columnar summarize (vectorized)",
+                    columnar_summarize_rate,
+                    columnar_summarize_rate * mb,
+                ),
                 ("serialize", write_rate, write_rate * mb),
             ],
             title=f"Wire pipeline throughput on a 100-host document ({mb:.2f} MB)",
@@ -102,6 +122,41 @@ def test_benchmark_serialize(benchmark, payload):
     _, doc = payload
     xml = benchmark(lambda: write_document(doc))
     assert len(xml) > 100_000
+
+
+def test_benchmark_columnar_parse(benchmark, payload):
+    xml, _ = payload
+    pool = InternPool()
+    parse_columnar(xml, pool=pool, validate=False)  # warm the pool
+    cdoc = benchmark(lambda: parse_columnar(xml, pool=pool, validate=False))
+    assert cdoc.clusters[0].host_count == 100
+
+
+def test_benchmark_columnar_summarize(benchmark, payload):
+    xml, _ = payload
+    cols = parse_columnar(xml, validate=False).clusters[0]
+    summary, samples = benchmark(lambda: summarize_columns(cols))
+    assert samples > 2000
+
+
+def test_columnar_parse_outruns_the_tree_build(payload):
+    """The point of the fast path: on the ingest-shaped document the
+    interned SAX parse beats DOM construction."""
+    import time
+
+    xml, _ = payload
+    pool = InternPool()
+    parse_columnar(xml, pool=pool, validate=False)  # warm
+
+    def timed(fn, repeats=3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return (time.perf_counter() - start) / repeats
+
+    tree = timed(lambda: GangliaParser(validate=False).parse(xml, TreeBuilder()))
+    cols = timed(lambda: parse_columnar(xml, pool=pool, validate=False))
+    assert cols < tree
 
 
 def test_parse_faster_than_the_php_model_assumes(payload):

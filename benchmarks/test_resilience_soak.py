@@ -245,11 +245,12 @@ def soak_json(arms: Dict[str, Arm]) -> dict:
 
 
 @pytest.mark.slow
-def test_resilience_soak_report(arms, save_report):
+def test_resilience_soak_report(arms, save_report, bench_env):
     """Regenerates the side-by-side table and the committed JSON."""
     text = render(arms)
     save_report("resilience_soak", text)
-    JSON_PATH.write_text(json.dumps(soak_json(arms), indent=2) + "\n")
+    payload = {**soak_json(arms), "environment": bench_env}
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[saved to {JSON_PATH}]")
 
 

@@ -141,6 +141,7 @@ def build_paper_tree(
     incremental: bool = False,
     resilience: Optional[ResilienceConfig] = None,
     observability: Optional[ObservabilityConfig] = None,
+    columnar: bool = False,
 ) -> Federation:
     """Build the Fig. 2 federation for one design.
 
@@ -173,6 +174,11 @@ def build_paper_tree(
     (adaptive timeouts, health-biased fail-over, circuit breakers,
     salvage ingest).  Default ``None``: the paper-faithful baseline.
 
+    ``columnar`` turns on the columnar ingest fast path (interned
+    streaming parse, vectorized summarization, batched RRD scatter) on
+    every gmetad.  Off by default for the same reason as
+    ``incremental``; flipping it changes wall-clock time only.
+
     ``observability`` attaches one shared
     :class:`~repro.obs.config.ObservabilityConfig` to every gmetad
     (metrics registry, trace spans, in-band ``__gmetad__`` cluster,
@@ -198,6 +204,7 @@ def build_paper_tree(
             incremental=incremental,
             resilience=resilience,
             observability=observability,
+            columnar=columnar,
         )
         tree.add_gmetad(configs[name])
 

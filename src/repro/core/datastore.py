@@ -62,6 +62,11 @@ class SourceSnapshot:
     summary: SummaryInfo
     cluster: Optional[ClusterElement] = None  # full form, cluster sources
     grid: Optional[GridElement] = None        # summary form, grid sources
+    #: columnar ingest installs the raw columns plus a *hostless* shell
+    #: cluster; full-form readers call :meth:`ensure_hosts` first, which
+    #: materializes the DOM from the columns exactly once.  Polls that
+    #: are never read at full resolution never build a DOM at all.
+    columns: Optional[object] = None  # ColumnarCluster, duck-typed
     authority: str = ""                        # URL of the full-resolution view
     up: bool = True
     last_success: float = 0.0
@@ -89,6 +94,22 @@ class SourceSnapshot:
             raise ValueError("cluster snapshot requires a cluster element")
         if self.kind == "grid" and self.grid is None:
             raise ValueError("grid snapshot requires a grid element")
+
+    def ensure_hosts(self) -> None:
+        """Materialize the full-form DOM from held columns, if any.
+
+        Idempotent and cheap to re-call: once the shell cluster has
+        hosts, the guard short-circuits.  Every read site that walks
+        ``snapshot.cluster.hosts`` (or branches on ``is_summary``) must
+        call this first -- a columnar shell is summary-form *until*
+        materialized.
+        """
+        if (
+            self.columns is not None
+            and self.cluster is not None
+            and not self.cluster.hosts
+        ):
+            self.columns.materialize_into(self.cluster)
 
 
 class Datastore:
@@ -263,6 +284,7 @@ class Datastore:
         snapshot = self.sources.get(source)
         if snapshot is not None:
             if snapshot.cluster is not None:
+                snapshot.ensure_hosts()
                 return snapshot.cluster
             if snapshot.grid is not None:
                 # the source is a grid; a same-named nested cluster is
@@ -283,6 +305,7 @@ class Datastore:
         snapshot = self.sources.get(source)
         if snapshot is None or snapshot.cluster is None:
             return None
+        snapshot.ensure_hosts()
         return snapshot.cluster.hosts.get(host)
 
     def find_metric(

@@ -231,3 +231,8 @@ def eager_summary(
 
     summary, _ = summarize_cluster(cluster, heartbeat_window)
     return summary
+
+
+# Columnar twin of ClusterSummaryTracker (vectorized subtract-old/add-new
+# over value columns); re-exported for call-site symmetry.
+from repro.columnar.summarize import ColumnarSummaryTracker  # noqa: E402,F401

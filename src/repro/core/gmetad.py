@@ -39,6 +39,7 @@ class Gmetad(GmetadBase):
     """N-level wide-area monitor daemon."""
 
     version = "2.5.4"
+    supports_columnar = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -54,6 +55,8 @@ class Gmetad(GmetadBase):
         )
         #: per-source delta summarizers (cluster sources only)
         self._summary_trackers: Dict[str, ClusterSummaryTracker] = {}
+        #: per-source columnar delta summarizers (config.columnar)
+        self._columnar_trackers: Dict[str, object] = {}
 
     # -- polling ------------------------------------------------------------
 
@@ -69,6 +72,19 @@ class Gmetad(GmetadBase):
         already in summary form.
         """
         for cluster in doc.clusters.values():
+            if self.config.columnar and not cluster.is_summary:
+                # tree-parsed cluster under a columnar config (salvage,
+                # or a shape the fast parser fell back on): convert so
+                # one columnar tracker and one scatter-plan state
+                # machine exist per source no matter which parser ran
+                from repro.columnar import columns_from_cluster
+
+                self._ingest_columns(
+                    source,
+                    columns_from_cluster(cluster, self._intern_pool),
+                    now,
+                )
+                continue
             if self.config.incremental:
                 tracker = self._summary_trackers.get(source)
                 if tracker is None:
@@ -135,6 +151,51 @@ class Gmetad(GmetadBase):
                 now,
             )
 
+    def ingest_columnar(self, source: str, cdoc, now: float) -> None:
+        """Fold one columnar-parsed poll response into the datastore."""
+        for cols in cdoc.clusters:
+            self._ingest_columns(source, cols, now)
+
+    def _ingest_columns(self, source: str, cols, now: float) -> None:
+        """Columnar twin of the cluster branch of :meth:`ingest`.
+
+        Summarization runs on the value column (vectorized, bit-identical
+        totals and op counts); the archiver scatters the whole poll in
+        one plan update; the datastore gets a hostless *shell* cluster
+        plus the columns themselves -- full-form reads materialize the
+        DOM lazily via :meth:`SourceSnapshot.ensure_hosts`, so polls that
+        are never queried at full resolution never pay for a DOM.
+        """
+        from repro.columnar import ColumnarSummaryTracker, summarize_columns
+
+        if self.config.incremental:
+            tracker = self._columnar_trackers.get(source)
+            if tracker is None:
+                tracker = ColumnarSummaryTracker(self.config.heartbeat_window)
+                self._columnar_trackers[source] = tracker
+            summary, samples = tracker.update(cols)
+        else:
+            summary, samples = summarize_columns(
+                cols, self.config.heartbeat_window
+            )
+        shell = cols.shell_cluster()
+        shell.summary = summary  # element carries both resolutions
+        self.charge(self.costs.summarize_metric * samples, "summarize")
+        if self.config.archive_local_detail:
+            self.archiver.archive_cluster_detail_columns(source, cols, now)
+        self.archiver.archive_summary(source, cols.name, summary, now)
+        self.datastore.install(
+            SourceSnapshot(
+                name=source,
+                kind="cluster",
+                summary=summary,
+                cluster=shell,
+                columns=cols,
+                authority=self.config.authority_url,
+            ),
+            now,
+        )
+
     # -- serving -----------------------------------------------------------
 
     def serve_query(self, request: str) -> tuple[str, float]:
@@ -167,6 +228,7 @@ class Gmetad(GmetadBase):
     def remove_data_source(self, name: str) -> None:
         super().remove_data_source(name)
         self._summary_trackers.pop(name, None)
+        self._columnar_trackers.pop(name, None)
 
     # -- convenience for tools/alarms -----------------------------------------
 

@@ -39,7 +39,13 @@ from repro.wire.conditional import (
     split_generation,
 )
 from repro.wire.model import ClusterElement, GangliaDocument, GridElement
-from repro.wire.parser import ParseError, parse_document, salvage_document
+from repro.wire.parser import (
+    ColumnarFallback,
+    ParseError,
+    parse_columnar,
+    parse_document,
+    salvage_document,
+)
 
 #: root seed for the per-poller breaker-jitter streams; derived per
 #: (gmetad, source) name so chaos runs replay identically
@@ -81,6 +87,10 @@ class GmetadBase:
     #: GANGLIA_XML VERSION emitted; set by subclasses.
     version = "2.5.x"
 
+    #: whether this design implements :meth:`ingest_columnar`; the
+    #: ``config.columnar`` switch is a no-op on designs that don't.
+    supports_columnar = False
+
     def __init__(
         self,
         engine: Engine,
@@ -100,6 +110,14 @@ class GmetadBase:
         self.cpu = CpuAccount(config.name, capacity)
         self.datastore = Datastore()
         self.validate_xml = validate_xml
+        #: shared string-interning pool for the columnar parse fast path;
+        #: metric names repeat across every host and every poll, so ids
+        #: stabilize after the first poll and stay comparable across polls
+        self._intern_pool = None
+        if config.columnar and self.supports_columnar:
+            from repro.columnar import InternPool
+
+            self._intern_pool = InternPool()
         if not fabric.has_host(config.host):
             fabric.add_host(config.host)
         store = RrdStore(
@@ -271,42 +289,80 @@ class GmetadBase:
         busy0 = self.cpu.total_busy_seconds if obs is not None else 0.0
         self.charge(self.costs.tcp_connect, "network")
         self.charge(self.costs.parse_byte * len(xml), "parse")
-        try:
-            doc = parse_document(xml, validate=self.validate_xml)
-        except ParseError as exc:
-            self.parse_errors += 1
-            if obs is not None:
-                obs.record_ingest(
-                    source, len(xml), now,
-                    self.cpu.total_busy_seconds - busy0, 0.0, 0.0,
-                    outcome="parse_error",
+        # The columnar fast path only handles plain gmond cluster dumps;
+        # GRID-bearing responses (child gmetads) take the tree parser.
+        # The "<GRID" sniff is a cheap pre-filter -- anything it lets
+        # through that the columnar builder still can't shape raises
+        # ColumnarFallback and re-parses below, costing wall time only
+        # (CPU charges land once, after whichever parse succeeded).
+        cdoc = None
+        doc = None
+        if (
+            self.config.columnar
+            and self.supports_columnar
+            and self.source_kind(source) == "cluster"
+            and "<GRID" not in xml
+        ):
+            try:
+                cdoc = parse_columnar(
+                    xml, pool=self._intern_pool, validate=self.validate_xml
                 )
-            if self._try_salvage(source, xml, exc, now):
+            except ColumnarFallback:
+                cdoc = None
+            except ParseError as exc:
+                self._on_parse_error(source, xml, exc, now, busy0)
                 return
-            self.datastore.mark_failure(
-                source, now, f"parse error: {exc}", kind=self.source_kind(source)
-            )
-            self._publish(source, now)
-            return
-        self.charge(
-            self.costs.hash_insert * document_element_count(doc), "parse"
+        if cdoc is None:
+            try:
+                doc = parse_document(xml, validate=self.validate_xml)
+            except ParseError as exc:
+                self._on_parse_error(source, xml, exc, now, busy0)
+                return
+        element_count = (
+            cdoc.element_count if cdoc is not None else document_element_count(doc)
         )
+        self.charge(self.costs.hash_insert * element_count, "parse")
         self.polls_ingested += 1
         if obs is None:
-            self.ingest(source, doc, now)
+            if cdoc is not None:
+                self.ingest_columnar(source, cdoc, now)
+            else:
+                self.ingest(source, doc, now)
         else:
             parse_seconds = self.cpu.total_busy_seconds - busy0
             by_category = self.cpu.window.by_category
             summarize0 = by_category["summarize"]
             archive0 = by_category["archive"]
-            self.ingest(source, doc, now)
+            if cdoc is not None:
+                self.ingest_columnar(source, cdoc, now)
+            else:
+                self.ingest(source, doc, now)
             # stage timings come from the by-category charge deltas, so
             # the spans show exactly what the CPU account was billed
             obs.record_ingest(
                 source, len(xml), now, parse_seconds,
                 max(0.0, by_category["summarize"] - summarize0),
                 max(0.0, by_category["archive"] - archive0),
+                path="columnar" if cdoc is not None else "tree",
             )
+        self._publish(source, now)
+
+    def _on_parse_error(
+        self, source: str, xml: str, exc: ParseError, now: float, busy0: float
+    ) -> None:
+        """Shared malformed-payload handling for both parse paths."""
+        self.parse_errors += 1
+        if self.obs is not None:
+            self.obs.record_ingest(
+                source, len(xml), now,
+                self.cpu.total_busy_seconds - busy0, 0.0, 0.0,
+                outcome="parse_error",
+            )
+        if self._try_salvage(source, xml, exc, now):
+            return
+        self.datastore.mark_failure(
+            source, now, f"parse error: {exc}", kind=self.source_kind(source)
+        )
         self._publish(source, now)
 
     def _on_not_modified(self, source: str, notice: NotModified, rtt: float) -> None:
@@ -390,6 +446,7 @@ class GmetadBase:
         snapshot = self.datastore.source(source)
         if snapshot is None or snapshot.cluster is None:
             return 0
+        snapshot.ensure_hosts()  # columnar snapshots materialize on read
         carried = 0
         for cluster in doc.clusters.values():
             for name, host in snapshot.cluster.hosts.items():
@@ -491,6 +548,11 @@ class GmetadBase:
 
     def ingest(self, source: str, doc: GangliaDocument, now: float) -> None:
         """Fold one parsed poll response into local state (design-specific)."""
+        raise NotImplementedError
+
+    def ingest_columnar(self, source: str, cdoc, now: float) -> None:
+        """Fold one columnar-parsed poll in; only designs with
+        ``supports_columnar = True`` implement this."""
         raise NotImplementedError
 
     def serve_query(self, request: str) -> tuple[str, float]:

@@ -171,6 +171,7 @@ class QueryEngine:
             raise QueryNotFound(path)
         if len(path) == 1:
             if snapshot.kind == "cluster":
+                snapshot.ensure_hosts()  # callers walk .hosts directly
                 return snapshot.cluster
             return snapshot.grid
         if snapshot.kind == "cluster":
@@ -243,6 +244,10 @@ class QueryEngine:
         """Serialize one source's element(s) exactly as the tree dump does."""
         sub = XmlWriter()
         if snapshot.kind == "cluster":
+            if not summary:
+                # full form walks hosts; summary form serves straight
+                # off the (possibly still hostless) columnar shell
+                snapshot.ensure_hosts()
             if summary and snapshot.cluster.summary is None:
                 # a snapshot installed without an attached rollup
                 # (shouldn't happen via Gmetad.ingest, but keep the
@@ -312,6 +317,8 @@ class QueryEngine:
             writer.close_tag("GRID")
             return
         # cluster source
+        if len(path) > 1 or not query.summary:
+            snapshot.ensure_hosts()  # anything below needs the full form
         cluster = snapshot.cluster
         if len(path) == 1:
             writer.cluster(cluster, summary_only=query.summary)

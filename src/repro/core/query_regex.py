@@ -107,6 +107,7 @@ class RegexQueryEngine:
             if not p_source.match(source_name):
                 continue
             snapshot = self.datastore.sources[source_name]
+            snapshot.ensure_hosts()  # matches walk the full form
             if query.depth == 1:
                 element = (
                     snapshot.cluster

@@ -81,6 +81,12 @@ class GmetadConfig:
     #: ``__gmetad__`` cluster, drift auditor).  None keeps the daemon
     #: uninstrumented and its output byte-identical to the baseline.
     observability: Optional[ObservabilityConfig] = None
+    #: columnar ingest fast path: interned streaming parse straight into
+    #: structure-of-arrays columns, vectorized summarization, and one
+    #: batched RRD scatter per poll.  Off by default; turning it on is a
+    #: pure performance change -- wire output, CPU charges and archive
+    #: contents stay byte-identical to the tree path.
+    columnar: bool = False
 
     def __post_init__(self) -> None:
         if self.gridname is None:

@@ -78,6 +78,7 @@ def generate_gmetad_pages(
         snapshot = gmetad.datastore.sources[source_name]
         if snapshot.kind != "cluster" or snapshot.cluster is None:
             continue
+        snapshot.ensure_hosts()  # columnar shells materialize on read
         cluster = snapshot.cluster
         if cluster.is_summary:
             continue

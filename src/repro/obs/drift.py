@@ -61,6 +61,7 @@ def audit_gmetad(gmetad: "GmetadBase") -> DriftReport:
     for name, snapshot in gmetad.datastore.sources.items():
         if name == SELF_SOURCE or snapshot.cluster is None:
             continue
+        snapshot.ensure_hosts()  # a columnar shell *has* a full form
         if snapshot.cluster.is_summary:
             continue  # no full form to re-fold
         report.checked += 1

@@ -132,15 +132,24 @@ class Observability:
         summarize_seconds: float,
         archive_seconds: float,
         outcome: str = "ok",
+        path: str = "tree",
     ) -> None:
-        """One poll response went through parse -> summarize -> archive."""
+        """One poll response went through parse -> summarize -> archive.
+
+        ``path`` names the ingest pipeline that ran ("tree" or
+        "columnar") so stage timings attribute to the right fast path.
+        The default path adds nothing: self-metrics output stays
+        byte-identical to pre-columnar builds unless columnar ran.
+        """
         registry = self.registry
         registry.counter("ingest_bytes_in", units="bytes").inc(nbytes)
         registry.counter(f"ingests_{outcome}").inc()
+        if path != "tree":
+            registry.counter(f"ingests_{path}").inc()
         registry.histogram("stage_parse", units="s").observe(parse_seconds)
         self.record_span(
             "parse", start, parse_seconds, source=source,
-            bytes=nbytes, outcome=outcome,
+            bytes=nbytes, outcome=outcome, path=path,
         )
         if outcome == "ok" or summarize_seconds > 0:
             registry.histogram("stage_summarize", units="s").observe(

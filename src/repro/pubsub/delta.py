@@ -100,6 +100,7 @@ def flatten_snapshot(
     }
     state.update(_summary_items(snapshot.name, snapshot.summary))
     if snapshot.kind == "cluster" and snapshot.cluster is not None:
+        snapshot.ensure_hosts()  # columnar shells materialize on read
         state.update(
             _cluster_items(snapshot.name, snapshot.cluster, heartbeat_window)
         )

@@ -14,9 +14,12 @@ speedup against the unbatched store.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.rrd.store import MetricKey, RrdStore
+from repro.rrd.store import ColumnPlan, MetricKey, RrdStore
+
+if TYPE_CHECKING:
+    import numpy as np
 
 
 class BatchedRrdStore:
@@ -59,12 +62,43 @@ class BatchedRrdStore:
             float(num),
         )
 
+    def column_plan(self, keys: Sequence[MetricKey]) -> ColumnPlan:
+        """Bind keys to the backing store's series bank (pass-through)."""
+        return self.store.column_plan(keys)
+
+    def update_columns(
+        self, plan: ColumnPlan, t: float, values: "np.ndarray"
+    ) -> None:
+        """Apply one poll's columnar scatter through the batch layer.
+
+        Any queued scalar samples are flushed *first*: the scatter
+        lands at time ``t``, and a later flush of earlier-queued samples
+        for the same series would be rejected as out-of-order.  The
+        scatter itself is never queued -- it is already a batch.
+        """
+        if self._pending_count:
+            self.flush()
+        plan.update(t, values)
+
     @property
     def pending(self) -> int:
         return self._pending_count
 
     def flush(self) -> int:
         """Apply all queued samples; returns how many were written.
+
+        Flush ordering is deterministic and documented, because archive
+        state must not depend on arrival order:
+
+        - keys drain in sorted :class:`MetricKey` order (source, cluster,
+          host, metric) regardless of the order updates were queued in;
+        - within a key, samples apply in timestamp order, and the sort is
+          **stable**: two samples with the same timestamp keep their
+          arrival order, so a same-step pair ``(t, a), (t, b)``
+          accumulates ``a`` then ``b`` into the PDP exactly like the
+          unbatched store would.
+
+        ``test_batch_flush_determinism`` pins these properties.
 
         In full mode each key's run goes through
         :meth:`~repro.rrd.database.RrdDatabase.update_many` -- one

@@ -18,9 +18,14 @@ summary archives of descendants rather than full duplicates".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.rrd.database import RraSpec, RrdDatabase
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.rrd.bank import SeriesBank
 
 #: Pseudo-host name under which cluster/grid summaries are archived.
 SUMMARY_HOST = "__summary__"
@@ -39,8 +44,51 @@ class MetricKey:
         return f"{self.source}/{self.cluster}/{self.host}/{self.metric}"
 
 
+class ColumnPlan:
+    """A bound scatter target: one bank series per key, in key order.
+
+    Built once per stable poll layout by :meth:`RrdStore.column_plan`;
+    each poll then lands with a single :meth:`update` call.  Charges the
+    same update count the per-key loop would (accounting parity).
+    """
+
+    __slots__ = ("store", "keys", "indices")
+
+    def __init__(
+        self, store: "RrdStore", keys: Sequence[MetricKey],
+        indices: Optional["np.ndarray"],
+    ) -> None:
+        self.store = store
+        self.keys = list(keys)
+        self.indices = indices  # None in accounting mode
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def update(self, t: float, values: "np.ndarray") -> None:
+        """Apply one poll: ``values[j]`` is the sample for ``keys[j]``."""
+        store = self.store
+        n = len(self.keys)
+        store.update_count += n
+        if store.on_update is not None:
+            store.on_update(n)
+        if store.mode == "account":
+            return
+        store._bank.update_column(t, self.indices, values)
+
+
 class RrdStore:
-    """Creates databases on demand and routes updates to them."""
+    """Creates databases on demand and routes updates to them.
+
+    Series live in one of two homes: classic per-key
+    :class:`RrdDatabase` objects (the scalar path), or a shared
+    :class:`~repro.rrd.bank.SeriesBank` for keys bound into a
+    :class:`ColumnPlan` (the columnar scatter path).  A key belongs to
+    exactly one home -- scalar :meth:`update` calls on a bank-owned key
+    route into the bank, and :meth:`database` returns a
+    :class:`BankSeriesView` for them, so readers can't tell the
+    difference.
+    """
 
     def __init__(
         self,
@@ -58,6 +106,8 @@ class RrdStore:
         self.downtime_fill = downtime_fill
         self.on_update = on_update
         self._databases: Dict[MetricKey, RrdDatabase] = {}
+        self._bank: Optional["SeriesBank"] = None
+        self._bank_index: Dict[MetricKey, int] = {}
         self.update_count = 0
         self.create_count = 0
 
@@ -70,12 +120,57 @@ class RrdStore:
             self.on_update(1)
         if self.mode == "account":
             return
+        i = self._bank_index.get(key)
+        if i is not None:
+            self._bank.update_one(i, t, value)
+            return
         self.ensure(key).update(t, value)
+
+    def column_plan(self, keys: Sequence[MetricKey]) -> ColumnPlan:
+        """Bind ``keys`` to bank series for vectorized scatter updates.
+
+        In full mode each key gets (or keeps) a slot in the shared
+        series bank; a key already archived as a scalar database cannot
+        be re-bound (the histories would fork).  In accounting mode the
+        plan only counts.
+        """
+        if self.mode == "account":
+            return ColumnPlan(self, keys, None)
+        import numpy as np
+
+        if self._bank is None:
+            from repro.rrd.bank import SeriesBank
+
+            self._bank = SeriesBank(
+                step=self.step,
+                rra_specs=self.rra_specs,
+                downtime_fill=self.downtime_fill,
+            )
+        index = self._bank_index
+        indices = np.empty(len(keys), dtype=np.int64)
+        for j, key in enumerate(keys):
+            i = index.get(key)
+            if i is None:
+                if key in self._databases:
+                    raise ValueError(
+                        f"{key} already archived as a scalar database"
+                    )
+                i = self._bank.add_series(1)
+                index[key] = i
+                self.create_count += 1
+            indices[j] = i
+        return ColumnPlan(self, keys, indices)
+
+    def update_columns(self, plan: ColumnPlan, t: float, values: "np.ndarray") -> None:
+        """Apply one poll through a previously bound :class:`ColumnPlan`."""
+        plan.update(t, values)
 
     def ensure(self, key: MetricKey) -> RrdDatabase:
         """The database for ``key``, created on first touch (full mode)."""
         if self.mode == "account":
             raise RuntimeError("accounting-mode store keeps no databases")
+        if key in self._bank_index:
+            raise RuntimeError(f"{key} is bank-owned; use database() to read")
         db = self._databases.get(key)
         if db is None:
             db = RrdDatabase(
@@ -102,23 +197,75 @@ class RrdStore:
 
     # -- reading -----------------------------------------------------------
 
-    def database(self, key: MetricKey) -> Optional[RrdDatabase]:
-        """The database for a key, or None if never written (full mode)."""
+    def database(self, key: MetricKey):
+        """The series for a key, or None if never written (full mode).
+
+        Returns an :class:`RrdDatabase` for scalar keys and a
+        :class:`BankSeriesView` (same read surface: ``fetch``,
+        ``latest``, ``flush``, ``updates``, ``last_update_time``) for
+        bank-owned keys.
+        """
         if self.mode == "account":
             raise RuntimeError("accounting-mode store keeps no databases")
+        i = self._bank_index.get(key)
+        if i is not None:
+            return BankSeriesView(self._bank, i)
         return self._databases.get(key)
 
     def keys(self) -> List[MetricKey]:
         """Every archived series key, sorted."""
-        return sorted(self._databases)
+        return sorted([*self._databases, *self._bank_index])
 
     def keys_for_host(self, source: str, cluster: str, host: str) -> List[MetricKey]:
         """All series keys for one (source, cluster, host)."""
         return sorted(
             k
-            for k in self._databases
+            for k in (*self._databases, *self._bank_index)
             if k.source == source and k.cluster == cluster and k.host == host
         )
 
+    def fetch_series(
+        self, key: MetricKey, start: float, end: float
+    ) -> Tuple["np.ndarray", "np.ndarray", float]:
+        """Fetch one series' history regardless of which home holds it."""
+        series = self.database(key)
+        if series is None:
+            raise KeyError(f"no archive for {key}")
+        return series.fetch(start, end)
+
     def __len__(self) -> int:
-        return len(self._databases)
+        return len(self._databases) + len(self._bank_index)
+
+
+class BankSeriesView:
+    """Read/maintenance adapter giving one bank series the database API."""
+
+    __slots__ = ("bank", "index")
+
+    def __init__(self, bank: "SeriesBank", index: int) -> None:
+        self.bank = bank
+        self.index = index
+
+    @property
+    def step(self) -> float:
+        return self.bank.step
+
+    @property
+    def updates(self) -> int:
+        return self.bank.updates_of(self.index)
+
+    @property
+    def last_update_time(self) -> Optional[float]:
+        return self.bank.last_update_time_of(self.index)
+
+    def update(self, t: float, value: Optional[float]) -> None:
+        self.bank.update_one(self.index, t, value)
+
+    def flush(self, now: float) -> None:
+        self.bank.flush_one(self.index, now)
+
+    def fetch(self, start: float, end: float):
+        return self.bank.fetch(self.index, start, end)
+
+    def latest(self) -> Optional[float]:
+        return self.bank.latest(self.index)

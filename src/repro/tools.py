@@ -81,6 +81,7 @@ def gstat_from_gmetad(
             lines.append(f"SOURCE {name} -- unknown")
             continue
         flag = "" if snapshot.up else "  [UNREACHABLE, stale data]"
+        snapshot.ensure_hosts()  # columnar shells materialize on read
         if snapshot.kind == "cluster" and snapshot.cluster is not None:
             lines.extend(
                 _cluster_status_lines(

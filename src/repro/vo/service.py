@@ -44,6 +44,8 @@ class VoDirectory:
         if cluster_name not in vo.slices:
             raise VoError(f"VO {vo_name!r} has no grant on {cluster_name!r}")
         snapshot = self.gmetad.datastore.source(cluster_name)
+        if snapshot is not None:
+            snapshot.ensure_hosts()  # shell is summary-form until built
         if snapshot is None or snapshot.cluster is None or snapshot.cluster.is_summary:
             raise VoError(
                 f"cluster {cluster_name!r} not available at full resolution "

@@ -7,6 +7,8 @@ written in double quotes.
 
 from __future__ import annotations
 
+import re
+
 _ESCAPES = [
     ("&", "&amp;"),  # must be first
     ("<", "&lt;"),
@@ -15,7 +17,10 @@ _ESCAPES = [
     ("'", "&apos;"),
 ]
 
-_UNESCAPES = [(entity, char) for char, entity in reversed(_ESCAPES)]
+_ENTITY_CHARS = {entity: char for char, entity in _ESCAPES}
+
+#: one scan over the input; each source position decodes at most once
+_ENTITY_RE = re.compile(r"&(?:amp|lt|gt|quot|apos);")
 
 
 def escape_attr(value: str) -> str:
@@ -35,9 +40,17 @@ def escape_attr(value: str) -> str:
 
 
 def unescape_attr(value: str) -> str:
-    """Inverse of :func:`escape_attr`."""
+    """Inverse of :func:`escape_attr`.
+
+    Decodes in a single left-to-right scan.  The obvious sequence of
+    per-entity ``str.replace`` passes is an ordering trap: any pass
+    whose output can combine with neighbouring input to spell an entity
+    a *later* pass decodes corrupts entity-like payloads (``&amp;lt;``
+    must decode to ``&lt;``, never ``<``).  A one-pass regex cannot
+    cascade -- each source position is decoded at most once -- so
+    ``unescape_attr(escape_attr(x)) == x`` holds for every string;
+    ``test_escape_roundtrip_entity_like`` pins the property.
+    """
     if "&" not in value:
         return value
-    for entity, char in _UNESCAPES:
-        value = value.replace(entity, char)
-    return value
+    return _ENTITY_RE.sub(lambda m: _ENTITY_CHARS[m.group(0)], value)

@@ -231,6 +231,43 @@ def test_escaped_text_has_no_raw_specials(text):
     assert "<" not in escaped and '"' not in escaped
 
 
+#: fragments that concatenate into entity-like payloads -- the inputs a
+#: multi-pass unescape corrupts when one pass's output joins adjacent
+#: text into an entity a later pass decodes
+_ENTITY_FRAGMENTS = st.sampled_from(
+    [
+        "&", ";", "amp;", "lt;", "gt;", "quot;", "apos;",
+        "&amp;", "&lt;", "&gt;", "&quot;", "&apos;",
+        "&amp;lt;", "&amp;amp;", "&amp;apos;",
+        "<", ">", '"', "'", "a",
+    ]
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_ENTITY_FRAGMENTS, max_size=8).map("".join))
+def test_escape_roundtrip_entity_like(text):
+    """Round-trip holds on adversarial entity-spelling inputs.
+
+    Strings like ``&amp;lt;`` are the ordering-bug class: a cascading
+    unescape would decode them twice (``&amp;lt;`` -> ``&lt;`` ->
+    ``<``).  The single-pass decoder must return them verbatim.
+    """
+    assert unescape_attr(escape_attr(text)) == text
+
+
+def test_unescape_does_not_cascade():
+    """Entity-like payloads decode exactly one layer, never two."""
+    assert unescape_attr("&amp;lt;") == "&lt;"
+    assert unescape_attr("&amp;gt;") == "&gt;"
+    assert unescape_attr("&amp;amp;") == "&amp;"
+    assert unescape_attr("&amp;quot;") == "&quot;"
+    assert unescape_attr("&amp;amp;lt;") == "&amp;lt;"
+    # stray ampersands that spell no entity pass through untouched
+    assert unescape_attr("&amp ;lt;") == "&amp ;lt;"
+    assert unescape_attr("fish & chips") == "fish & chips"
+
+
 # -- 6: query parse/render ------------------------------------------------------
 
 @settings(max_examples=80, deadline=None)

@@ -143,3 +143,63 @@ class TestBatchedStore:
         assert batched.pending == 2
         batched.flush()
         assert len(backend) == 2
+
+    def test_batch_flush_determinism(self):
+        """Pins the ordering contract documented on ``flush``.
+
+        (1) Keys drain in sorted MetricKey order regardless of arrival
+        order; (2) within a key the timestamp sort is stable, so a
+        same-step pair accumulates in arrival order -- archive state is
+        a function of the sample *set*, not of queueing history.
+        """
+        import itertools
+
+        samples = [
+            (key("b"), 30.0, 3.0),
+            (key("a", host="h1"), 0.0, 1.0),
+            (key("b"), 0.0, 7.0),
+            (key("a"), 15.0, 2.0),
+            (key("b"), 15.0, 5.0),
+            (key("a"), 0.0, 4.0),
+        ]
+        reference = None
+        for perm in itertools.permutations(samples):
+            backend = RrdStore(mode="full", rra_specs=compact_rra_specs())
+            drained = []
+            batched = BatchedRrdStore(backend)
+            for k, t, v in perm:
+                batched.update(k, t, v)
+            # spy on drain order without changing behaviour
+            original_ensure = backend.ensure
+
+            def ensure(k, _orig=original_ensure, _log=drained):
+                _log.append(k)
+                return _orig(k)
+
+            backend.ensure = ensure
+            batched.flush()
+            assert drained == sorted(drained)  # (1) sorted key order
+            state = {
+                k: list(backend.database(k).rras[0].recent_rows())
+                for k in backend.keys()
+            }
+            if reference is None:
+                reference = state
+            else:
+                assert state == reference  # archive independent of arrival
+        # (2) same-timestamp pair applies in arrival order (stable sort):
+        # the PDP for step 0 averages 3.0 then 1.0 the same way the
+        # unbatched store fed in that order would
+        direct = RrdStore(mode="full", rra_specs=compact_rra_specs())
+        direct.update(key(), 0.0, 3.0)
+        direct.update(key(), 5.0, 1.0)
+        direct.update(key(), 15.0, 0.0)
+        backend = RrdStore(mode="full", rra_specs=compact_rra_specs())
+        batched = BatchedRrdStore(backend)
+        batched.update(key(), 0.0, 3.0)
+        batched.update(key(), 5.0, 1.0)
+        batched.update(key(), 15.0, 0.0)
+        batched.flush()
+        assert list(backend.database(key()).rras[0].recent_rows()) == list(
+            direct.database(key()).rras[0].recent_rows()
+        )

@@ -1,0 +1,200 @@
+"""SeriesBank differential tests: the bank vs per-key RrdDatabase twins.
+
+The bank stores thousands of series in shared 2-D arrays and advances a
+steady-state cohort with one vectorized pass; these tests drive a bank
+and a list of scalar databases with identical samples and require every
+observable (fetch values, times, resolution, latest, update counts,
+error messages) to match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rrd.bank import SeriesBank
+from repro.rrd.consolidate import ConsolidationFunction
+from repro.rrd.database import RrdDatabase, RraSpec, compact_rra_specs
+from repro.rrd.store import ColumnPlan, MetricKey, RrdStore
+
+
+def make_twins(n, downtime_fill="zero", specs=None):
+    specs = specs if specs is not None else compact_rra_specs()
+    bank = SeriesBank(step=15.0, rra_specs=specs, downtime_fill=downtime_fill)
+    first = bank.add_series(n)
+    assert first == 0
+    dbs = [
+        RrdDatabase(step=15.0, rra_specs=specs, downtime_fill=downtime_fill)
+        for _ in range(n)
+    ]
+    return bank, dbs
+
+
+def assert_series_match(bank, dbs, start, end):
+    for i, db in enumerate(dbs):
+        bt, bv, br = bank.fetch(i, start, end)
+        dt, dv, dr = db.fetch(start, end)
+        assert br == dr
+        assert np.array_equal(bt, dt)
+        assert np.array_equal(bv, dv, equal_nan=True), f"series {i}"
+        assert bank.latest(i) == db.latest() or (
+            bank.latest(i) is None and db.latest() is None
+        ) or (
+            np.isnan(bank.latest(i)) and np.isnan(db.latest())
+        )
+        assert bank.updates_of(i) == db.updates
+        assert bank.last_update_time_of(i) == db.last_update_time
+
+
+class TestCohortUpdates:
+    def test_uniform_cohort_matches_scalar(self):
+        bank, dbs = make_twins(8)
+        idx = np.arange(8, dtype=np.int64)
+        for step in range(40):
+            t = 10.0 + 15.0 * step
+            values = np.array([float((step + i) % 7) for i in range(8)])
+            bank.update_column(t, idx, values)
+            for i, db in enumerate(dbs):
+                db.update(t, float(values[i]))
+        assert_series_match(bank, dbs, 0.0, 15.0 * 45)
+
+    def test_nan_and_negative_zero_values(self):
+        bank, dbs = make_twins(3)
+        idx = np.arange(3, dtype=np.int64)
+        seq = [
+            np.array([np.nan, -0.0, 1.0]),
+            np.array([2.0, np.nan, -0.0]),
+            np.array([-0.0, -0.0, np.nan]),
+        ]
+        for step, values in enumerate(seq * 10):
+            t = 5.0 + 15.0 * step
+            bank.update_column(t, idx, values)
+            for i, db in enumerate(dbs):
+                db.update(t, float(values[i]))
+        assert_series_match(bank, dbs, 0.0, 15.0 * 35)
+
+    def test_stragglers_with_gaps(self):
+        # series 1 misses polls (gap -> scalar advance path); series 2
+        # joins late (fresh path); both must still match their twins
+        bank, dbs = make_twins(3)
+        for step in range(30):
+            t = 2.0 + 15.0 * step
+            cols = [0]
+            if step % 3 != 1:
+                cols.append(1)
+            if step >= 10:
+                cols.append(2)
+            idx = np.array(cols, dtype=np.int64)
+            values = np.array([float(step + c) for c in cols])
+            bank.update_column(t, idx, values)
+            for j, c in enumerate(cols):
+                dbs[c].update(t, float(values[j]))
+        assert_series_match(bank, dbs, 0.0, 15.0 * 35)
+
+    def test_multiple_updates_within_a_step(self):
+        bank, dbs = make_twins(2)
+        idx = np.arange(2, dtype=np.int64)
+        t = 0.0
+        for offset in (1.0, 6.0, 11.0, 16.0, 31.0, 33.0):
+            values = np.array([offset, -offset])
+            bank.update_column(t + offset, idx, values)
+            for i, db in enumerate(dbs):
+                db.update(t + offset, float(values[i]))
+        assert_series_match(bank, dbs, 0.0, 100.0)
+
+    @pytest.mark.parametrize("fill", ["zero", "nan"])
+    def test_downtime_fill_modes(self, fill):
+        bank, dbs = make_twins(2, downtime_fill=fill)
+        idx = np.arange(2, dtype=np.int64)
+        bank.update_column(7.0, idx, np.array([1.0, 2.0]))
+        for i, db in enumerate(dbs):
+            db.update(7.0, float([1.0, 2.0][i]))
+        # long silence, then reappear: push_fill covers the gap
+        bank.update_column(7.0 + 15.0 * 40, idx, np.array([3.0, 4.0]))
+        for i, db in enumerate(dbs):
+            db.update(7.0 + 15.0 * 40, float([3.0, 4.0][i]))
+        assert_series_match(bank, dbs, 0.0, 15.0 * 45)
+
+    def test_out_of_order_error_message_parity(self):
+        bank, dbs = make_twins(1)
+        idx = np.array([0], dtype=np.int64)
+        bank.update_column(100.0, idx, np.array([1.0]))
+        dbs[0].update(100.0, 1.0)
+        with pytest.raises(ValueError) as scalar_err:
+            dbs[0].update(50.0, 2.0)
+        with pytest.raises(ValueError) as bank_err:
+            bank.update_column(50.0, idx, np.array([2.0]))
+        assert str(bank_err.value) == str(scalar_err.value)
+
+    def test_flush_one_matches_scalar_flush(self):
+        bank, dbs = make_twins(2)
+        idx = np.arange(2, dtype=np.int64)
+        for step in range(5):
+            t = 3.0 + 15.0 * step
+            bank.update_column(t, idx, np.array([1.0, 2.0]))
+            for i, db in enumerate(dbs):
+                db.update(t, float([1.0, 2.0][i]))
+        now = 3.0 + 15.0 * 10
+        bank.flush_one(0, now)
+        bank.flush_one(1, now)
+        for db in dbs:
+            db.flush(now)
+        assert_series_match(bank, dbs, 0.0, now + 30.0)
+
+
+class TestStoreIntegration:
+    def key(self, metric, host="h0"):
+        return MetricKey("src", "c", host, metric)
+
+    def test_column_plan_binds_and_scatters(self):
+        store = RrdStore(mode="full", rra_specs=compact_rra_specs())
+        keys = [self.key("a"), self.key("b"), self.key("a", host="h1")]
+        plan = store.column_plan(keys)
+        assert isinstance(plan, ColumnPlan) and len(plan) == 3
+        assert store.create_count == 3
+        store.update_columns(plan, 10.0, np.array([1.0, 2.0, 3.0]))
+        assert store.update_count == 3
+        assert sorted(store.keys()) == sorted(keys)
+        view = store.database(self.key("b"))
+        # one sample: PDP still open, no finalized row yet (same as the
+        # scalar database after a single update)
+        assert view.updates == 1 and view.latest() is None
+        store.update_columns(plan, 25.0, np.array([4.0, 5.0, 6.0]))
+        assert view.updates == 2 and view.latest() == 2.0
+
+    def test_scalar_update_routes_into_bank(self):
+        store = RrdStore(mode="full", rra_specs=compact_rra_specs())
+        plan = store.column_plan([self.key("a")])
+        store.update_columns(plan, 10.0, np.array([1.0]))
+        store.update(self.key("a"), 25.0, 5.0)  # replay-style scalar write
+        assert store.database(self.key("a")).updates == 2
+
+    def test_bank_owned_key_rejects_ensure(self):
+        store = RrdStore(mode="full", rra_specs=compact_rra_specs())
+        store.column_plan([self.key("a")])
+        with pytest.raises(RuntimeError):
+            store.ensure(self.key("a"))
+
+    def test_scalar_owned_key_rejects_rebinding(self):
+        store = RrdStore(mode="full", rra_specs=compact_rra_specs())
+        store.update(self.key("a"), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            store.column_plan([self.key("a")])
+
+    def test_account_mode_plan_only_counts(self):
+        hits = []
+        store = RrdStore(mode="account", on_update=hits.append)
+        plan = store.column_plan([self.key("a"), self.key("b")])
+        store.update_columns(plan, 0.0, np.array([1.0, 2.0]))
+        assert store.update_count == 2
+        assert hits == [2]
+        assert len(store) == 0
+
+    def test_grown_bank_preserves_history(self):
+        specs = [RraSpec(ConsolidationFunction.AVERAGE, 1, 20)]
+        bank = SeriesBank(step=15.0, rra_specs=specs)
+        bank.add_series(2)
+        idx = np.arange(2, dtype=np.int64)
+        for step in range(6):
+            bank.update_column(1.0 + 15.0 * step, idx, np.array([1.0, 2.0]))
+        bank.add_series(200)  # forces capacity growth
+        t0, v0, _ = bank.fetch(0, 0.0, 100.0)
+        assert np.nansum(v0) > 0  # history survived the grow
