@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""A replicated read tier over the paper's Figure 2 federation.
+
+The paper's serving story is one daemon per grid node: every web
+frontend page view opens a TCP connection to *the* gmetad and downloads
+XML.  This example bolts the :mod:`repro.readtier` subsystem onto the
+root of the Fig. 2 tree and shows the pieces working together:
+
+1. four :class:`ReadReplica` processes subscribe to the root gmetad's
+   hidden ``__repl__`` replication feed (delta pub-sub, PR 5) and
+   materialize generation-stamped snapshots -- each replica serves
+   byte-identical XML to the ingest daemon at matched generations;
+2. a rendezvous-hashing :class:`FrontDoor` pins each viewer session to
+   a replica, so a fleet of viewers spreads across the tier while any
+   single viewer keeps hitting its own (cache-warm) replica;
+3. killing a replica shows the failover path: its viewers time out
+   once, fail over, and HRW re-places only *its* sessions -- everyone
+   else keeps their replica;
+4. a :class:`ViewerFleet` of 2000 Zipf-skewed viewers drives the tier
+   through the door and prints the serving split.
+
+Run:  python examples/readtier_federation.py
+"""
+
+from repro import build_paper_tree
+from repro.readtier.config import ReadTierConfig
+from repro.readtier.fleet import ViewerFleet, build_read_tier, viewer_paths
+
+WARMUP = 60.0
+FLEET_CLIENTS = 2000
+FLEET_WINDOW = 60.0
+
+
+def main() -> None:
+    federation = build_paper_tree(
+        "nlevel", hosts_per_cluster=10, archive_mode="account"
+    )
+    federation.start()
+    engine = federation.engine
+    engine.run_for(WARMUP)
+
+    # -- 1. four replicas fed from the root's replication feed ---------------
+    root = federation.gmetad("root")
+    tier = build_read_tier(
+        engine, federation.fabric, federation.tcp, root,
+        replicas=4, config=ReadTierConfig(replicas=4),
+    )
+    while not tier.synced():
+        engine.run_for(15.0)
+
+    triple = (
+        root.datastore.generation,
+        root.datastore.content_version,
+        root.datastore.detail_version,
+    )
+    print("=== replicas at a consistent generation ===")
+    for replica in tier.replicas:
+        identical = replica.serve_query("/")[0] == root.serve_query("/")[0]
+        print(f"{replica.name}: generation {replica.ingest_versions}, "
+              f"full tree byte-identical: {identical}")
+    print(f"ingest root triple: {triple}")
+
+    # -- 2. rendezvous placement: sticky sessions, spread population ---------
+    door = tier.frontdoor
+    print("\n=== rendezvous placement ===")
+    viewers = [f"operator-{i}" for i in range(12)]
+    placement = {v: door.rank(v)[0].replica.name for v in viewers}
+    for viewer in viewers[:4]:
+        print(f"{viewer} -> {placement[viewer]}")
+    by_replica = {name: 0 for name in placement.values()}
+    for name in placement.values():
+        by_replica[name] += 1
+    print(f"12 viewers over {len(by_replica)} replicas: {by_replica}")
+
+    # -- 3. lose a replica: only its viewers move ----------------------------
+    victim = tier.replicas[0]
+    federation.fabric.set_host_up(victim.host, False)
+    moved = sum(
+        1 for v in viewers
+        if placement[v] == victim.name
+    )
+    after = {
+        v: [h for h in door.rank(v) if h.replica.name != victim.name][0]
+        .replica.name
+        for v in viewers
+    }
+    stayed = sum(
+        1 for v in viewers
+        if placement[v] != victim.name and after[v] == placement[v]
+    )
+    print(f"\n=== replica loss ({victim.name} down) ===")
+    print(f"viewers that must move: {moved}; "
+          f"unaffected viewers keeping their replica: {stayed}/"
+          f"{len(viewers) - moved}")
+    federation.fabric.set_host_up(victim.host, True)
+
+    # -- 4. a Zipf-skewed viewer fleet through the front door ----------------
+    fleet = ViewerFleet(
+        engine, federation.fabric, federation.tcp, tier.address,
+        viewer_paths(root), clients=FLEET_CLIENTS, aggregators=32, seed=5,
+    ).start()
+    engine.run_for(FLEET_WINDOW)
+    fleet.stop()
+    window = fleet.take_window()
+    print(f"\n=== viewer fleet ({FLEET_CLIENTS} clients, "
+          f"{fleet.offered_qps:g} qps offered) ===")
+    print(f"sent={window.sent} ok={window.ok} "
+          f"overloaded={window.overloaded} timeouts={window.timeouts}")
+    print(f"p50 {1000 * window.percentile(0.50):.2f} ms, "
+          f"p99 {1000 * window.percentile(0.99):.2f} ms")
+    print("serving split: "
+          + ", ".join(f"{r.name}={r.queries_served}" for r in tier.replicas))
+    print(f"door: hedges={door.hedges_fired} failovers={door.failovers} "
+          f"upstream timeouts={door.upstream_timeouts}")
+
+    tier.stop()
+    federation.stop()
+
+
+if __name__ == "__main__":
+    main()

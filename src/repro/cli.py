@@ -12,6 +12,9 @@ Subcommands:
   chosen gmetad, print the XML;
 - ``trace`` -- run the federation with self-observability on and dump
   the trace spans as JSON lines (plus a per-phase summary on stderr);
+- ``readtier`` -- stand up a replicated read tier behind one gmetad of
+  the Fig. 2 tree, drive a Zipf viewer fleet through the front door,
+  and print placement/serving stats plus a byte-identity check;
 - ``check-gmetad-conf`` / ``check-gmond-conf`` -- parse real Ganglia
   config files and show how they map onto this library;
 - ``calibrate`` -- re-derive the CPU capacity anchor.
@@ -249,6 +252,78 @@ def _cmd_gstat(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_readtier(args: argparse.Namespace) -> int:
+    from repro.readtier.config import ReadTierConfig
+    from repro.readtier.fleet import ViewerFleet, build_read_tier, viewer_paths
+
+    federation = build_paper_tree(
+        args.design, hosts_per_cluster=args.hosts, seed=args.seed,
+        archive_mode="account",
+    )
+    federation.start()
+    engine = federation.engine
+    engine.run_for(args.warmup)
+    try:
+        ingest = federation.gmetad(args.at)
+    except KeyError:
+        print(f"error: unknown gmetad {args.at!r}; choose from "
+              f"{sorted(federation.gmetads)}", file=sys.stderr)
+        return 2
+    tier = build_read_tier(
+        engine, federation.fabric, federation.tcp, ingest,
+        replicas=args.replicas,
+        config=ReadTierConfig(replicas=args.replicas),
+    )
+    deadline = engine.now + 300.0
+    while not tier.synced() and engine.now < deadline:
+        engine.run_for(15.0)
+    if not tier.synced():
+        print("error: read tier never reached a consistent generation",
+              file=sys.stderr)
+        return 1
+    fleet = ViewerFleet(
+        engine, federation.fabric, federation.tcp, tier.address,
+        viewer_paths(ingest), clients=args.clients,
+        per_client_qps=args.qps, aggregators=32, seed=args.seed,
+    ).start()
+    engine.run_for(args.window)
+    fleet.stop()
+    window = fleet.take_window()
+
+    triple = (
+        ingest.datastore.generation,
+        ingest.datastore.content_version,
+        ingest.datastore.detail_version,
+    )
+    print(f"read tier at {args.at}: {args.replicas} replicas behind "
+          f"{tier.address}")
+    for replica in tier.replicas:
+        match = "matched" if replica.ingest_versions == triple else "catching up"
+        print(f"  {replica.name:16s} gen={replica.ingest_versions} "
+              f"({match})  served={replica.queries_served} "
+              f"shed={replica.queries_shed} installs={replica.installs}")
+    matched = [r for r in tier.replicas if r.ingest_versions == triple]
+    if matched:
+        replica = matched[0]
+        identical = replica.serve_query("/")[0] == ingest.serve_query("/")[0]
+        print(f"byte identity at generation {triple}: "
+              f"{'OK' if identical else 'MISMATCH'} ({replica.name})")
+    door = tier.frontdoor
+    print(f"front door: routed={door.requests_routed} "
+          f"hedges={door.hedges_fired} (won {door.hedge_wins}) "
+          f"failovers={door.failovers} exhausted={door.exhausted}")
+    qps = window.ok / args.window if args.window > 0 else 0.0
+    print(f"viewer fleet ({args.clients} clients, "
+          f"{fleet.offered_qps:g} qps offered, {args.window:g}s window): "
+          f"sent={window.sent} ok={window.ok} "
+          f"overloaded={window.overloaded} timeouts={window.timeouts}")
+    print(f"  served {qps:.1f} qps, p50 "
+          f"{1000 * window.percentile(0.50):.2f} ms, p99 "
+          f"{1000 * window.percentile(0.99):.2f} ms")
+    federation.stop()
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.bench.calibration import calibrate_capacity, measure_root_cpu
 
@@ -335,6 +410,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
     _add_common(p)
     p.set_defaults(func=_cmd_gstat)
+
+    p = sub.add_parser(
+        "readtier",
+        help="replicated read tier + viewer fleet over the Fig. 2 tree",
+    )
+    p.add_argument("--at", default="root",
+                   help="which gmetad gets the read tier (default root)")
+    p.add_argument("--replicas", type=int, default=4)
+    p.add_argument("--clients", type=int, default=2000,
+                   help="viewer fleet size (folded into aggregators)")
+    p.add_argument("--qps", type=float, default=0.02,
+                   help="per-client query rate (default 0.02)")
+    p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
+    _add_common(p)
+    p.set_defaults(func=_cmd_readtier)
 
     p = sub.add_parser("calibrate", help="re-derive the CPU capacity anchor")
     p.add_argument("--target", type=float, default=14.0)

@@ -418,3 +418,16 @@ class ServeQueue:
         self._entries.append((done_at, attached))
         if len(self._entries) > self.peak_depth:
             self.peak_depth = len(self._entries)
+
+    def take_peak_depth(self) -> int:
+        """Sample the high-water mark and reset it for the next window.
+
+        Benchmarks ramping offered load in steps need per-window peaks;
+        a lifetime-monotone mark would report step 1's saturation for
+        every later step.  The mark resets to the *current* depth, not
+        zero, so entries still in flight at the window boundary are
+        counted in the window that observes them.
+        """
+        peak = self.peak_depth
+        self.peak_depth = len(self._entries)
+        return peak

@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 from repro.core.resilience import ResilienceConfig
 from repro.net.address import Address
 from repro.obs.config import ObservabilityConfig
+from repro.readtier.config import ReadTierConfig
 
 
 @dataclass
@@ -87,6 +88,10 @@ class GmetadConfig:
     #: pure performance change -- wire output, CPU charges and archive
     #: contents stay byte-identical to the tree path.
     columnar: bool = False
+    #: replicated read tier: export a replication feed over the pub-sub
+    #: broker so ReadReplica processes can serve viewer queries.  None
+    #: keeps the single-daemon serving path byte-identical to baseline.
+    read_tier: Optional[ReadTierConfig] = None
 
     def __post_init__(self) -> None:
         if self.gridname is None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.core.resilience import Overloaded
 from repro.frontend.costmodel import PhpSaxCostModel
 from repro.frontend.views import build_view
 from repro.net.address import Address
@@ -113,6 +114,12 @@ class WebFrontend:
         result: dict = {}
 
         def on_response(payload: object, rtt: float) -> None:
+            if isinstance(payload, Overloaded):
+                # a shedding daemon (or an exhausted read-tier front
+                # door) said "busy, retry later" -- surface it as a
+                # distinct page failure instead of parsing the sentinel
+                result["overloaded"] = payload
+                return
             result["xml"] = str(payload)
             result["rtt"] = rtt
 
@@ -130,6 +137,11 @@ class WebFrontend:
         deadline = self.engine.now + self.request_timeout + 1.0
         while not result and self.engine.now < deadline:
             self.engine.run_for(0.05)
+        if "overloaded" in result:
+            raise ViewError(
+                f"{self.target} overloaded for {query!r} "
+                f"(retry after {result['overloaded'].retry_after:g}s)"
+            )
         if "error" in result or "xml" not in result:
             raise ViewError(f"no response from {self.target} for {query!r}")
 

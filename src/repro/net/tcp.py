@@ -73,6 +73,44 @@ class Response:
         return 64  # small structured control message
 
 
+class DeferredResponse:
+    """A handler's promise to answer later (proxying servers).
+
+    The TCP model calls handlers synchronously inside the server-side
+    event, which is fine for gmetad (service time is *charged*, not
+    waited out) but impossible for a proxy that must itself issue a
+    simulated request before it can answer.  A handler may return a
+    ``DeferredResponse`` instead of a :class:`Response`; the connection
+    then stays open until :meth:`resolve` supplies the real response, at
+    which point delivery proceeds exactly as if the handler had returned
+    it directly -- gray conditions are re-read at resolution time, and a
+    client whose timeout already fired sees nothing.
+    """
+
+    def __init__(self) -> None:
+        self.resolved = False
+        self._callback: Optional[Callable[["Response"], None]] = None
+        self._pending: Optional["Response"] = None
+
+    def resolve(self, response: object) -> None:
+        """Supply the response; exactly once per deferred."""
+        if self.resolved:
+            raise RuntimeError("deferred response already resolved")
+        self.resolved = True
+        if not isinstance(response, Response):
+            response = Response(response)
+        if self._callback is None:
+            self._pending = response  # resolved before the network bound us
+        else:
+            self._callback(response)
+
+    def _bind(self, callback: Callable[["Response"], None]) -> None:
+        self._callback = callback
+        if self._pending is not None:
+            pending, self._pending = self._pending, None
+            callback(pending)
+
+
 #: Server handler: (client_host, request) -> Response
 Handler = Callable[[str, object], Response]
 #: Client success callback: (payload, rtt_seconds)
@@ -198,7 +236,17 @@ class TcpNetwork:
             if not self._fabric.reachable(client, address.host):
                 return
             server.requests_served += 1
-            response = server.handler(client, payload)
+            result = server.handler(client, payload)
+            if isinstance(result, DeferredResponse):
+                result._bind(finish)  # answer comes later; stream stays open
+                return
+            finish(result)
+
+        def finish(response: object) -> None:
+            if timed_out["flag"]:
+                return  # client gave up while the proxy was working
+            if self._servers.get(address) is not server:
+                return  # server restarted/closed before it could answer
             if not isinstance(response, Response):
                 response = Response(response)
             # re-read: conditions may have changed while the request flew

@@ -62,6 +62,9 @@ class SubscriberChannel:
         self.subscription = subscription
         self.max_queue = max_queue
         self.queue: Deque[dict] = deque()
+        #: set when the broker retires this channel; pump() retry
+        #: closures scheduled before the drop check it and die quietly
+        self.dropped = False
         self.in_flight = False
         self.need_full_sync = False
         self._sync_in_flight = False
@@ -104,7 +107,7 @@ class SubscriberChannel:
 
     def pump(self) -> None:
         """Deliver the next pending message, if any and none in flight."""
-        if self.in_flight:
+        if self.dropped or self.in_flight:
             return
         if self.need_full_sync:
             message = self.broker.full_sync_message(self.subscription)
@@ -335,6 +338,15 @@ class PubSubBroker:
         self.delta_engine = DeltaEngine(
             gmetad.datastore, gmetad.config.heartbeat_window
         )
+        #: replication feed for the read tier, attached only when the
+        #: gmetad is configured with one -- baseline brokers publish
+        #: byte-identical state with zero extra work
+        self.feed = None
+        if getattr(gmetad.config, "read_tier", None) is not None:
+            from repro.readtier.feed import ReplicationFeed
+
+            self.feed = ReplicationFeed(gmetad)
+            self.delta_engine.augment = self.feed.state
         self.seq = 0
         self.channels: Dict[str, SubscriberChannel] = {}
         self.upstreams: Dict[str, Address] = dict(upstreams or {})
@@ -434,12 +446,24 @@ class PubSubBroker:
         self.relays += 1
         self._dispatch(ops)
 
+    def _sees(self, subscription: Subscription, key: str) -> bool:
+        """Path match plus the hidden-namespace gate.
+
+        ``__repl__`` keys go only to subscriptions explicitly rooted at
+        ``/__repl__``; a ``/``-rooted viewer (whose empty segment tuple
+        prefix-matches everything) never sees the replication feed.
+        """
+        if key.startswith("__repl__/") or key == "__repl__":
+            segments = subscription.segments
+            return segments is not None and segments[:1] == ("__repl__",)
+        return subscription.matches_key(key)
+
     def _dispatch(self, ops: List[DeltaOp]) -> None:
         if not ops:
             return
         self.seq += 1
         for subscription in self.registry.subscriptions():
-            scoped = [op for op in ops if subscription.matches_key(op.path)]
+            scoped = [op for op in ops if self._sees(subscription, op.path)]
             if not scoped:
                 continue
             channel = self.channels.get(subscription.sub_id)
@@ -467,7 +491,7 @@ class PubSubBroker:
         scoped = {
             key: value
             for key, value in self.current_state().items()
-            if subscription.matches_key(key)
+            if self._sees(subscription, key)
         }
         return messages.full_sync(subscription.sub_id, self.seq, scoped)
 
@@ -559,6 +583,10 @@ class PubSubBroker:
         channel = self.channels.pop(sub_id, None)
         if channel is None:
             return
+        # neutralize in-flight retry closures: a replaced channel's
+        # pending pump() must not push a stale sync at the subscriber's
+        # NEW channel mid-checkpoint (it would desync the fresh stream)
+        channel.dropped = True
         self._retired["deltas_sent"] += channel.deltas_sent
         self._retired["full_syncs_sent"] += channel.full_syncs_sent
         self._retired["deltas_dropped"] += channel.deltas_dropped

@@ -140,6 +140,10 @@ class PushClient:
         #: last endpoint that timed out on us (the per-request timeout
         #: diagnostic carries the target Address)
         self.last_timeout: Optional[TcpTimeout] = None
+        #: optional post-apply hook ``(message, outcome) -> None`` fired
+        #: after every data message lands in the stream; read-tier
+        #: replicas rebuild their datastore from it
+        self.on_applied = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -285,6 +289,8 @@ class PushClient:
         outcome = self.stream.apply_message(message)
         if outcome in ("gap", "unsynced"):
             self.request_sync()
+        if self.on_applied is not None:
+            self.on_applied(message, outcome)
         return seconds
 
     def _on_notify(self, client: str, payload: object) -> Response:

@@ -174,6 +174,10 @@ class DeltaEngine:
         self.datastore = datastore
         self.heartbeat_window = heartbeat_window
         self._state: Dict[str, str] = {}
+        #: optional extra-keys hook (() -> Dict[str, str]) merged into
+        #: every flattened view; the read tier's replication feed hangs
+        #: its hidden ``__repl__`` namespace here
+        self.augment = None
         self.diffs_computed = 0
         self.keys_scanned = 0
 
@@ -187,6 +191,8 @@ class DeltaEngine:
         new = flatten_datastore(
             self.datastore, self.heartbeat_window, exclude_sources
         )
+        if self.augment is not None:
+            new.update(self.augment())
         ops = diff_states(self._state, new)
         self.diffs_computed += 1
         self.keys_scanned += len(new) + len(ops)

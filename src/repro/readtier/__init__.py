@@ -1,0 +1,24 @@
+"""Replicated read tier: serving replicas behind a hashed front door.
+
+The paper's gmetad is both aggregator and query server; this package
+splits the two roles so read throughput scales horizontally:
+
+- :mod:`repro.readtier.feed` -- the ingest gmetad exports its per-source
+  serve fragments over the existing pub-sub delta stream (the hidden
+  ``__repl__`` namespace);
+- :mod:`repro.readtier.replica` -- :class:`ReadReplica` mirrors the feed
+  into its own datastore and serves viewer queries byte-identically to
+  the ingest daemon;
+- :mod:`repro.readtier.frontdoor` -- :class:`FrontDoor` rendezvous-hashes
+  viewer sessions across healthy replicas with hedged retries;
+- :mod:`repro.readtier.fleet` -- tier assembly plus the simulated viewer
+  fleet the benchmarks ramp.
+
+Only :class:`ReadTierConfig` is re-exported here: ``repro.core.tree``
+imports it for the ``GmetadConfig.read_tier`` gate, so this module must
+not import anything from :mod:`repro.core` (directly or transitively).
+"""
+
+from repro.readtier.config import ReadTierConfig
+
+__all__ = ["ReadTierConfig"]

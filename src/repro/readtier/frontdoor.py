@@ -1,0 +1,277 @@
+"""FrontDoor: rendezvous-hashed viewer routing across read replicas.
+
+Viewers connect to one stable endpoint; the front door picks a replica
+by highest-random-weight (rendezvous) hashing of the viewer's host name
+against each replica, so a given viewer session keeps hitting the same
+replica (warm conditional-poll generation tokens, stable latency) while
+the population as a whole spreads evenly -- and the loss of one replica
+only remaps the viewers that were on it.
+
+Health and hedging reuse the PR 3 resilience primitives:
+
+- every replica gets an :class:`~repro.core.resilience.AdaptiveTimeout`
+  (EWMA srtt + k*rttvar) fed from its observed round trips;
+- an ``OVERLOADED`` reply benches the replica for a cooldown, and the
+  request fails over to the viewer's next rendezvous choice;
+- a request that outlives its replica's adaptive deadline fires ONE
+  hedged duplicate at the next choice; first answer wins (the loser's
+  reply is ignored, its RTT still feeds the estimator).
+
+The proxied reply is produced asynchronously, which is what
+:class:`repro.net.tcp.DeferredResponse` exists for: the front door's
+handler returns a deferred, and resolves it whenever the winning
+replica answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.core.resilience import AdaptiveTimeout, Overloaded
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.net.tcp import DeferredResponse, Response, TcpNetwork, TcpTimeout
+from repro.readtier.config import ReadTierConfig
+from repro.readtier.replica import ReadReplica
+from repro.sim.engine import Engine
+from repro.sim.resources import DEFAULT_CAPACITY, CostModel, CpuAccount
+
+
+def rendezvous_weight(client: str, replica: str) -> int:
+    """Stable HRW weight of one (viewer, replica) pair.
+
+    blake2b, not the built-in ``hash()``: Python salts string hashing
+    per process, which would re-shuffle every viewer across replicas on
+    each run and make placement untestable.
+    """
+    digest = hashlib.blake2b(
+        f"{client}|{replica}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ReplicaHealth:
+    """Front-door-side view of one replica's serving health."""
+
+    def __init__(self, replica: ReadReplica, config: ReadTierConfig) -> None:
+        self.replica = replica
+        self.latency = AdaptiveTimeout(
+            floor=config.hedge_floor, ceiling=config.hedge_ceiling
+        )
+        self.benched_until = 0.0
+        self.served = 0
+        self.timeouts = 0
+        self.overloads = 0
+
+    def healthy(self, now: float) -> bool:
+        return now >= self.benched_until
+
+
+class FrontDoor:
+    """One stable query endpoint fanning viewer load across replicas."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        host: str,
+        replicas: List[ReadReplica],
+        config: Optional[ReadTierConfig] = None,
+        costs: Optional[CostModel] = None,
+        capacity: float = DEFAULT_CAPACITY,
+    ) -> None:
+        if not replicas:
+            raise ValueError("front door needs at least one replica")
+        self.engine = engine
+        self.tcp = tcp
+        self.host = host
+        self.config = config or replicas[0].config
+        self.costs = costs if costs is not None else replicas[0].costs
+        if not fabric.has_host(host):
+            fabric.add_host(host)
+        self.cpu = CpuAccount(f"frontdoor:{host}", capacity)
+        self.health: Dict[str, ReplicaHealth] = {
+            replica.name: ReplicaHealth(replica, self.config)
+            for replica in replicas
+        }
+        self.address = Address.gmetad(host)
+        # stats
+        self.requests_routed = 0
+        self.hedges_fired = 0
+        self.hedge_wins = 0
+        self.failovers = 0
+        self.upstream_timeouts = 0
+        self.exhausted = 0
+        self._started = False
+
+    def start(self) -> "FrontDoor":
+        if self._started:
+            raise RuntimeError(f"front door on {self.host} already started")
+        self._started = True
+        self.tcp.listen(self.address, self._serve)
+        return self
+
+    def stop(self) -> None:
+        self.tcp.close(self.address)
+        self._started = False
+
+    def charge(self, work_units: float, category: str) -> float:
+        """Charge CPU work to the front door's own account."""
+        return self.cpu.charge(work_units, category)
+
+    # -- placement ---------------------------------------------------------
+
+    def rank(self, client: str) -> List[ReplicaHealth]:
+        """All replicas in this viewer's rendezvous preference order."""
+        return sorted(
+            self.health.values(),
+            key=lambda h: rendezvous_weight(client, h.replica.name),
+            reverse=True,
+        )
+
+    def _candidates(self, client: str) -> List[ReplicaHealth]:
+        now = self.engine.now
+        ranked = self.rank(client)
+        healthy = [h for h in ranked if h.healthy(now)]
+        # every replica benched: better to try them in order than to
+        # reject outright -- a bench is a hint, not a death certificate
+        return healthy or ranked
+
+    # -- request path ------------------------------------------------------
+
+    def _serve(self, client: str, request: object) -> DeferredResponse:
+        self.requests_routed += 1
+        route_seconds = self.charge(
+            self.costs.query_fixed
+            + self.costs.hash_insert * len(self.health),
+            "query",
+        )
+        deferred = DeferredResponse()
+        candidates = self._candidates(client)
+        state = {"next": 0, "inflight": 0, "hedged": False}
+
+        def resolve(payload: object, service_seconds: float) -> None:
+            if not deferred.resolved:
+                deferred.resolve(
+                    Response(
+                        payload,
+                        service_seconds=route_seconds + service_seconds,
+                    )
+                )
+
+        def launch(hedge: bool = False) -> None:
+            if deferred.resolved:
+                return
+            if state["next"] >= len(candidates):
+                if state["inflight"] == 0:
+                    # nothing left to wait for: admit defeat loudly
+                    self.exhausted += 1
+                    resolve(
+                        Overloaded(retry_after=self.config.overload_cooldown),
+                        0.0,
+                    )
+                return
+            health = candidates[state["next"]]
+            state["next"] += 1
+            attempt(health, hedge)
+
+        def attempt(health: ReplicaHealth, hedge: bool) -> None:
+            state["inflight"] += 1
+            if hedge:
+                self.hedges_fired += 1
+            self.charge(self.costs.tcp_connect, "network")
+            settled = {"flag": False}
+
+            def settle() -> bool:
+                if settled["flag"]:
+                    return False
+                settled["flag"] = True
+                state["inflight"] -= 1
+                return True
+
+            def on_response(payload: object, rtt: float) -> None:
+                if not settle():
+                    return
+                health.latency.observe(rtt)
+                if isinstance(payload, Overloaded):
+                    health.overloads += 1
+                    health.benched_until = (
+                        self.engine.now + self.config.overload_cooldown
+                    )
+                    if not deferred.resolved:
+                        self.failovers += 1
+                        launch()
+                    return
+                health.served += 1
+                if deferred.resolved:
+                    return  # a hedge race already answered the viewer
+                if hedge:
+                    self.hedge_wins += 1
+                # relaying costs the cheap (cached) serve rate; the
+                # replica already paid full serialization
+                relay_size = getattr(payload, "size_bytes", None)
+                if relay_size is None:
+                    relay_size = len(str(payload))
+                seconds = self.charge(
+                    self.costs.serve_byte_cached * relay_size, "serve"
+                )
+                resolve(payload, seconds)
+
+            def on_timeout(error: TcpTimeout) -> None:
+                if not settle():
+                    return
+                health.latency.observe_timeout()
+                health.timeouts += 1
+                self.upstream_timeouts += 1
+                if not deferred.resolved:
+                    self.failovers += 1
+                    launch()
+
+            self.tcp.request(
+                self.host,
+                health.replica.address,
+                request,
+                on_response=on_response,
+                timeout=self.config.request_timeout,
+                on_timeout=on_timeout,
+                request_size=len(str(request)),
+            )
+            if not hedge and not state["hedged"]:
+                deadline = health.latency.timeout
+
+                def maybe_hedge() -> None:
+                    if (
+                        settled["flag"]
+                        or state["hedged"]
+                        or deferred.resolved
+                    ):
+                        return
+                    state["hedged"] = True
+                    launch(hedge=True)
+
+                self.engine.call_later(deadline, maybe_hedge)
+
+        launch()
+        return deferred
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate routing counters plus per-replica health."""
+        return {
+            "requests_routed": self.requests_routed,
+            "hedges_fired": self.hedges_fired,
+            "hedge_wins": self.hedge_wins,
+            "failovers": self.failovers,
+            "upstream_timeouts": self.upstream_timeouts,
+            "exhausted": self.exhausted,
+            "replicas": {
+                name: {
+                    "served": h.served,
+                    "timeouts": h.timeouts,
+                    "overloads": h.overloads,
+                    "srtt": h.latency.srtt,
+                }
+                for name, h in sorted(self.health.items())
+            },
+        }

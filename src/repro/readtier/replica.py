@@ -1,0 +1,391 @@
+"""ReadReplica: a serving process fed off one ingest gmetad.
+
+A replica owns its own simulated host, CPU account, datastore and query
+engine; it subscribes to the ingest gmetad's pub-sub broker on the
+hidden ``/__repl__`` path and mirrors the replication feed
+(:mod:`repro.readtier.feed`).  Viewer queries land on the replica's own
+``Address.gmetad`` endpoint and are served through exactly the code the
+ingest daemon uses -- same query engine, same CPU charge pattern, same
+conditional-poll handshake -- so a replica is a drop-in target for any
+existing viewer.
+
+Generation barrier
+    Each applied feed message is one atomic diff of the broker's
+    published state, so the mirror is always internally consistent.
+    The replica still *stages* every changed source -- parses both
+    fragments, rebuilds the snapshot -- before touching its datastore;
+    only when the whole batch stages cleanly are the snapshots
+    installed (and the ingest version triple from ``__repl__/@gen``
+    adopted).  Any inconsistency aborts the batch and falls back to the
+    pub-sub full-sync recovery path, so a query can never observe a
+    half-applied generation.
+
+Byte identity
+    Shipped fragments are primed into each installed snapshot's
+    ``frag_cache`` under the install's serialization stamps, so
+    whole-tree dumps splice the ingest daemon's exact strings.  Path
+    queries re-serialize from the re-parsed elements; the writer/parser
+    round trip is stable (numeric attributes render through the same
+    ``_fmt_num``, metric values stay verbatim strings), which the
+    equivalence suite pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.core.datastore import Datastore, SourceSnapshot
+from repro.core.gmetad_base import document_element_count
+from repro.core.query import (
+    GmetadQuery,
+    QueryEngine,
+    QueryError,
+    ServeQueue,
+)
+from repro.core.resilience import Overloaded
+from repro.net.address import Address
+from repro.net.fabric import Fabric
+from repro.net.tcp import Response, TcpNetwork
+from repro.pubsub import messages
+from repro.pubsub.client import PUSH_NOTIFY_PORT, PushClient
+from repro.readtier.config import ReadTierConfig
+from repro.readtier.feed import (
+    GEN_KEY,
+    REPL_PREFIX,
+    detail_key,
+    meta_key,
+    summary_key,
+)
+from repro.sim.engine import Engine
+from repro.sim.resources import DEFAULT_CAPACITY, CostModel, CpuAccount
+from repro.wire.conditional import (
+    NotModified,
+    TaggedXml,
+    next_epoch,
+    split_generation,
+)
+from repro.wire.model import SummaryInfo
+from repro.wire.parser import ParseError, parse_document
+
+_PROLOG = '<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>\n'
+
+
+class FeedError(RuntimeError):
+    """The replication feed delivered an inconsistent or unparseable batch."""
+
+
+class ReadReplica:
+    """One serving replica of an ingest gmetad."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        tcp: TcpNetwork,
+        ingest,
+        name: Optional[str] = None,
+        host: Optional[str] = None,
+        config: Optional[ReadTierConfig] = None,
+        costs: Optional[CostModel] = None,
+        capacity: float = DEFAULT_CAPACITY,
+        notify_port: int = PUSH_NOTIFY_PORT,
+    ) -> None:
+        self.engine = engine
+        self.tcp = tcp
+        self.ingest = ingest
+        self.config = (
+            config
+            or getattr(ingest.config, "read_tier", None)
+            or ReadTierConfig()
+        )
+        self.name = name or f"{ingest.config.name}-replica"
+        self.host = host or f"{ingest.config.host}-replica"
+        if not fabric.has_host(self.host):
+            fabric.add_host(self.host)
+        self.costs = costs if costs is not None else ingest.costs
+        self.cpu = CpuAccount(self.name, capacity)
+        self.datastore = Datastore()
+        self.version = getattr(ingest, "version", "2.5.4")
+        self.query_engine = QueryEngine(
+            self.datastore,
+            grid_name=ingest.config.gridname,
+            authority=ingest.config.authority_url,
+            version=self.version,
+            memoize=True,
+        )
+        self.serve_queue: Optional[ServeQueue] = (
+            ServeQueue(self.config.serve_queue_limit)
+            if self.config.serve_queue_limit > 0
+            else None
+        )
+        #: replica-private epoch: a viewer failing over between replicas
+        #: (or back to the ingest daemon) can never get a false 304
+        self._serve_epoch = next_epoch(self.name)
+        self.address = Address.gmetad(self.host)
+        self.client = PushClient(
+            engine,
+            fabric,
+            tcp,
+            Address.pubsub(ingest.config.host),
+            path=f"/{REPL_PREFIX}",
+            host=self.host,
+            port=notify_port,
+            sub_id=f"replica:{self.name}",
+            lease=self.config.lease,
+        )
+        self.client.on_applied = self._on_feed
+        #: ingest version triple (generation, content_version,
+        #: detail_version) the replica's installed view corresponds to
+        self.ingest_versions: Optional[Tuple[int, int, int]] = None
+        self.installs = 0
+        self.removals = 0
+        self.barrier_aborts = 0
+        self.queries_served = 0
+        self.queries_shed = 0
+        self.not_modified_served = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ReadReplica":
+        """Listen for viewer queries and subscribe to the feed."""
+        if self._started:
+            raise RuntimeError(f"replica {self.name} already started")
+        self._started = True
+        self.tcp.listen(self.address, self._serve)
+        self.client.start()
+        return self
+
+    def stop(self) -> None:
+        """Unsubscribe and close the query listener."""
+        self.client.stop()
+        self.tcp.close(self.address)
+        self._started = False
+
+    @property
+    def synced(self) -> bool:
+        """Whether the replica has installed a consistent generation."""
+        return self.client.stream.synced and self.ingest_versions is not None
+
+    def charge(self, work_units: float, category: str) -> float:
+        """Charge CPU work to this replica's own account."""
+        return self.cpu.charge(work_units, category)
+
+    # -- feed ingestion ----------------------------------------------------
+
+    def _on_feed(self, message: dict, outcome: str) -> None:
+        """PushClient post-apply hook: mirror changed, rebuild."""
+        if outcome == "synced":
+            self._rebuild(None)
+        elif outcome == "applied":
+            changed: Set[str] = set()
+            for op in messages.ops_of(message):
+                parts = op.path.split("/")
+                if (
+                    parts[0] != REPL_PREFIX
+                    or len(parts) < 2
+                    or parts[1].startswith("@")
+                ):
+                    continue
+                changed.add(parts[1])
+            self._rebuild(changed)
+
+    def _feed_sources(self, mirror: Dict[str, str]) -> Set[str]:
+        """Source names present in the mirrored feed (meta keys)."""
+        names: Set[str] = set()
+        for key in mirror:
+            parts = key.split("/")
+            if (
+                parts[0] == REPL_PREFIX
+                and len(parts) == 2
+                and not parts[1].startswith("@")
+            ):
+                names.add(parts[1])
+        return names
+
+    def _rebuild(self, changed: Optional[Iterable[str]]) -> None:
+        """Stage every changed source, then install atomically.
+
+        ``changed`` is None after a full sync (reconcile everything).
+        Any staging failure aborts the whole batch -- nothing installs
+        -- and requests a full sync, the pub-sub gap-recovery path.
+        """
+        mirror = self.client.state
+        gen = mirror.get(GEN_KEY)
+        if gen is None:
+            return  # broker has no feed (read_tier off upstream)
+        if changed is None:
+            names = self._feed_sources(mirror) | set(self.datastore.sources)
+        else:
+            names = set(changed)
+        staged = {}
+        removals = []
+        for source in sorted(names):
+            meta_raw = mirror.get(meta_key(source))
+            if meta_raw is None:
+                removals.append(source)
+                continue
+            detail = mirror.get(detail_key(source))
+            summary = mirror.get(summary_key(source))
+            if detail is None or summary is None:
+                self._abort_barrier()
+                return
+            try:
+                staged[source] = self._build_snapshot(
+                    source, meta_raw, detail, summary
+                )
+            except (FeedError, ParseError, ValueError, KeyError):
+                self._abort_barrier()
+                return
+        # barrier complete: every changed source staged cleanly
+        now = self.engine.now
+        for source in sorted(staged):
+            snapshot, up, detail, summary = staged[source]
+            self.datastore.install(snapshot, now)
+            snapshot.up = up
+            # the shipped strings ARE the serve output: prime the
+            # memo cache under the install's fresh stamps so dumps
+            # splice the ingest daemon's exact bytes
+            snapshot.frag_cache["full"] = (snapshot.detail_stamp, detail)
+            snapshot.frag_cache["summary"] = (snapshot.summary_stamp, summary)
+            self.installs += 1
+        for source in removals:
+            if self.datastore.remove_source(source):
+                self.removals += 1
+        try:
+            triple = tuple(int(part) for part in gen.split(":"))
+        except ValueError:
+            self._abort_barrier()
+            return
+        if len(triple) == 3:
+            self.ingest_versions = triple  # type: ignore[assignment]
+
+    def _abort_barrier(self) -> None:
+        self.barrier_aborts += 1
+        self.client.request_sync()
+
+    def _build_snapshot(
+        self, source: str, meta_raw: str, detail: str, summary: str
+    ) -> Tuple[SourceSnapshot, bool, str, str]:
+        """Parse one source's feed records back into a snapshot."""
+        meta = json.loads(meta_raw)
+        kind = meta.get("k", "cluster")
+        self.charge(
+            self.costs.parse_byte * (len(detail) + len(summary)), "parse"
+        )
+        detail_doc = parse_document(self._wrap(detail))
+        summary_doc = parse_document(self._wrap(summary))
+        self.charge(
+            self.costs.hash_insert * document_element_count(detail_doc),
+            "parse",
+        )
+        if kind == "cluster":
+            if not detail_doc.clusters or not summary_doc.clusters:
+                raise FeedError(f"feed for {source!r} lost its cluster")
+            cluster = next(iter(detail_doc.clusters.values()))
+            summary_cluster = next(iter(summary_doc.clusters.values()))
+            info = (
+                summary_cluster.summary
+                if summary_cluster.summary is not None
+                else SummaryInfo()
+            )
+            if meta.get("cs"):
+                # restore the ingest-side aliasing the full-form
+                # serialization dropped (see repro.readtier.feed)
+                cluster.summary = info
+            snapshot = SourceSnapshot(
+                name=source,
+                kind="cluster",
+                summary=info,
+                cluster=cluster,
+                authority=meta.get("a", ""),
+            )
+        else:
+            if not detail_doc.grids or not summary_doc.grids:
+                raise FeedError(f"feed for {source!r} lost its grid")
+            grid = next(iter(detail_doc.grids.values()))
+            summary_grid = next(iter(summary_doc.grids.values()))
+            info = (
+                summary_grid.summary
+                if summary_grid.summary is not None
+                else SummaryInfo()
+            )
+            snapshot = SourceSnapshot(
+                name=source,
+                kind="grid",
+                summary=info,
+                grid=grid,
+                authority=meta.get("a", ""),
+            )
+        return snapshot, bool(meta.get("u", 1)), detail, summary
+
+    def _wrap(self, fragment: str) -> str:
+        return (
+            f"{_PROLOG}"
+            f'<GANGLIA_XML VERSION="{self.version}" SOURCE="gmetad">\n'
+            f"{fragment}</GANGLIA_XML>\n"
+        )
+
+    # -- serving path (mirrors GmetadBase / Gmetad) ------------------------
+
+    def serve_query(self, request: str) -> Tuple[str, float]:
+        """Serve one request; same engine and charges as the ingest daemon."""
+        try:
+            query = GmetadQuery.parse(request)
+        except QueryError:
+            query = GmetadQuery()  # garbage in, full default dump out
+        seconds = self.charge(self.costs.query_fixed, "query")
+        xml, stats = self.query_engine.execute(query, self.engine.now)
+        seconds += self.charge(
+            self.costs.hash_insert * stats.hash_lookups, "query"
+        )
+        fresh_bytes = stats.bytes_serialized - stats.bytes_from_cache
+        seconds += self.charge(self.costs.serve_byte * fresh_bytes, "serve")
+        if stats.bytes_from_cache:
+            seconds += self.charge(
+                self.costs.serve_byte_cached * stats.bytes_from_cache, "serve"
+            )
+        return xml, seconds
+
+    def serve_generation(self, request: str) -> str:
+        """Conditional-poll token; scoped to this replica's epoch."""
+        try:
+            is_summary = GmetadQuery.parse(request).summary
+        except QueryError:
+            is_summary = False
+        if is_summary:
+            return f"{self._serve_epoch}:s{self.datastore.content_version}"
+        return f"{self._serve_epoch}:f{self.datastore.detail_version}"
+
+    def _serve(self, client: str, request: object) -> Response:
+        response = self._serve_response(client, request)
+        if self.serve_queue is not None:
+            now = self.engine.now
+            for victim in self.serve_queue.make_room(now):
+                victim.payload = Overloaded()
+                self.queries_shed += 1
+            self.serve_queue.push(now + response.service_seconds, response)
+        return response
+
+    def _serve_response(self, client: str, request: object) -> Response:
+        self.queries_served += 1
+        seconds = self.charge(self.costs.tcp_connect, "network")
+        base, presented = split_generation(str(request))
+        if presented is None:
+            xml, serve_seconds = self.serve_query(base)
+            return Response(xml, service_seconds=seconds + serve_seconds)
+        current = self.serve_generation(base)
+        if presented == current:
+            self.not_modified_served += 1
+            return Response(
+                NotModified(
+                    generation=current,
+                    localtime=float(f"{self.engine.now:.0f}"),
+                ),
+                service_seconds=seconds,
+            )
+        xml, serve_seconds = self.serve_query(base)
+        return Response(
+            TaggedXml(xml, current), service_seconds=seconds + serve_seconds
+        )

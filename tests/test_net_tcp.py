@@ -184,3 +184,95 @@ class TestStatistics:
         assert world.requests_sent == 2
         assert world.responses_delivered == 1
         assert world.timeouts == 1
+
+
+class TestDeferredResponse:
+    """A handler may return a DeferredResponse and answer later (the
+    read-tier front door proxies requests to replicas this way)."""
+
+    def test_resolve_after_return_delivers(self, engine, world):
+        from repro.net.tcp import DeferredResponse
+
+        pending = []
+
+        def handler(client, request):
+            deferred = DeferredResponse()
+            pending.append(deferred)
+            return deferred
+
+        world.listen(ADDRESS, handler)
+        got = {}
+        world.request(
+            "client", ADDRESS, "ping",
+            on_response=lambda p, rtt: got.update(payload=p, rtt=rtt),
+        )
+        engine.run_for(1.0)
+        assert pending and not got  # handler ran; viewer still waiting
+        pending[0].resolve(Response("pong", service_seconds=0.5))
+        engine.run_for(2.0)
+        assert got["payload"] == "pong"
+        assert got["rtt"] >= 0.5  # deferred service time still charged
+
+    def test_resolve_before_bind_delivers(self, engine, world):
+        """Resolving synchronously inside the handler works too."""
+        from repro.net.tcp import DeferredResponse
+
+        def handler(client, request):
+            deferred = DeferredResponse()
+            deferred.resolve(f"echo:{request}")
+            return deferred
+
+        world.listen(ADDRESS, handler)
+        got = {}
+        world.request(
+            "client", ADDRESS, "hi",
+            on_response=lambda p, rtt: got.update(payload=p),
+        )
+        engine.run_for(1.0)
+        assert got["payload"] == "echo:hi"
+
+    def test_double_resolve_rejected(self):
+        from repro.net.tcp import DeferredResponse
+
+        deferred = DeferredResponse()
+        deferred.resolve("a")
+        with pytest.raises(RuntimeError):
+            deferred.resolve("b")
+
+    def test_timeout_still_fires_if_never_resolved(self, engine, world):
+        from repro.net.tcp import DeferredResponse
+
+        world.listen(ADDRESS, lambda client, request: DeferredResponse())
+        got = {}
+        world.request(
+            "client", ADDRESS, "ping",
+            on_response=lambda p, rtt: got.update(payload=p),
+            timeout=2.0,
+            on_timeout=lambda e: got.update(error=e),
+        )
+        engine.run_for(5.0)
+        assert "error" in got and "payload" not in got
+
+    def test_late_resolve_after_timeout_is_dropped(self, engine, world):
+        from repro.net.tcp import DeferredResponse
+
+        pending = []
+
+        def handler(client, request):
+            deferred = DeferredResponse()
+            pending.append(deferred)
+            return deferred
+
+        world.listen(ADDRESS, handler)
+        got = {}
+        world.request(
+            "client", ADDRESS, "ping",
+            on_response=lambda p, rtt: got.update(payload=p),
+            timeout=1.0,
+            on_timeout=lambda e: got.update(error=e),
+        )
+        engine.run_for(3.0)
+        assert "error" in got
+        pending[0].resolve("too-late")
+        engine.run_for(3.0)
+        assert "payload" not in got  # exactly one callback fired

@@ -14,6 +14,8 @@ from repro.core.tree import GmetadConfig
 from repro.faults.injector import FaultInjector
 from repro.gmond.pseudo import PseudoGmond
 from repro.net.address import Address
+from repro.net.tcp import Response
+from repro.pubsub import messages
 from repro.pubsub.client import PushClient
 from repro.pubsub.delta import flatten_datastore
 
@@ -291,3 +293,70 @@ class TestFolding:
         engine.run_for(10.0)
         assert parent_broker.upstream_links == []
         assert len(child_broker.registry) == 0
+
+
+class TestDroppedChannelRetry:
+    def test_mid_checkpoint_reconnect_kills_stale_retry(
+        self, world, engine, fabric, tcp
+    ):
+        """Regression: a subscriber that reconnects while its old
+        channel's checkpoint sync is stuck in timeout-retry must not
+        receive the stale sync later.  The retired channel's pending
+        ``pump`` closures survive ``_drop_channel``; without the
+        ``dropped`` flag they deliver a full sync built for the OLD
+        delta chain at the subscriber's notify address, desyncing the
+        fresh stream the reconnect just established."""
+        pseudo = world.pseudo("meteor", refresh=float("inf"))
+        daemon = world.gmetad("sdsc", {"meteor": [pseudo.address]})
+        broker = daemon.attach_pubsub(notify_timeout=3.0, retry_interval=4.0)
+        for host in ("sub-host", "sub-ctl"):
+            fabric.add_host(host)
+        received = []
+
+        def on_push(client, payload):
+            message = messages.decode(payload)
+            received.append(message)
+            return Response(messages.encode(messages.ok(message.get("seq", 0))))
+
+        tcp.listen(Address("sub-host", 8700), on_push)
+
+        def subscribe(from_host):
+            replies = []
+            request = messages.subscribe(
+                "sub-1", "/meteor", 300.0, "sub-host", 8700
+            )
+            tcp.request(
+                from_host,
+                broker.address,
+                messages.encode(request),
+                on_response=lambda p, rtt: replies.append(messages.decode(p)),
+                timeout=5.0,
+            )
+            engine.run_for(2.0)
+            return replies
+
+        assert subscribe("sub-host")[0]["t"] == "full"
+        engine.run_for(30.0)
+        old = broker.channels["sub-1"]
+
+        # subscriber goes dark mid-checkpoint: the sync delivery times
+        # out and the channel schedules a retry closure
+        fabric.set_host_up("sub-host", False)
+        broker._checkpoint()
+        engine.run_for(5.0)
+        assert old.send_timeouts >= 1
+
+        # the subscriber reconnects (control request from another host,
+        # same sub_id and notify endpoint): channel replaced
+        replies = subscribe("sub-ctl")
+        assert replies and replies[0]["t"] == "full"
+        assert broker.channels["sub-1"] is not old
+        assert old.dropped
+
+        # notify endpoint comes back: the retired channel's retry must
+        # die quietly -- no stale sync, no delivery at all
+        fabric.set_host_up("sub-host", True)
+        pushed_before = len(received)
+        engine.run_for(30.0)
+        assert len(received) == pushed_before
+        assert old.full_syncs_sent == 0

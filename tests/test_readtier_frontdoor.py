@@ -1,0 +1,255 @@
+"""FrontDoor tests: rendezvous placement, failover, hedging, and the
+assembled tier (build_read_tier + ViewerFleet)."""
+
+import pytest
+
+from repro.core.gmetad import Gmetad
+from repro.core.resilience import Overloaded
+from repro.core.tree import GmetadConfig
+from repro.gmond.pseudo import PseudoGmond
+from repro.readtier.config import ReadTierConfig
+from repro.readtier.fleet import (
+    ViewerFleet,
+    ZipfPicker,
+    build_read_tier,
+    viewer_paths,
+)
+from repro.net.tcp import Response
+from repro.readtier.frontdoor import rendezvous_weight
+
+
+@pytest.fixture
+def tier_world(engine, fabric, tcp, rngs):
+    class World:
+        def build(self, replicas=2, sources=("meteor", "torus"), **cfg_kwargs):
+            config = GmetadConfig(
+                name="sdsc", host="gmeta-sdsc", archive_mode="account"
+            )
+            self.pseudos = {}
+            for i, name in enumerate(sources):
+                pseudo = PseudoGmond(
+                    engine, fabric, tcp, name, num_hosts=3 + i,
+                    rng=rngs.stream(f"pg:{name}"),
+                )
+                self.pseudos[name] = pseudo
+                config.add_source(name, [pseudo.address])
+            self.daemon = Gmetad(engine, fabric, tcp, config).start()
+            self.tier = build_read_tier(
+                engine, fabric, tcp, self.daemon, replicas=replicas,
+                config=ReadTierConfig(replicas=replicas, **cfg_kwargs),
+            )
+            return self.tier
+
+        def ask(self, client, query="/"):
+            """One request through the front door; runs until answered."""
+            box = {}
+            fabric_host = client
+            if not fabric.has_host(fabric_host):
+                fabric.add_host(fabric_host)
+            tcp.request(
+                fabric_host,
+                self.tier.address,
+                query,
+                on_response=lambda p, rtt: box.update(payload=p, rtt=rtt),
+                timeout=30.0,
+                on_timeout=lambda e: box.update(error=e),
+            )
+            deadline = engine.now + 31.0
+            while not box and engine.now < deadline:
+                engine.run_for(0.05)
+            return box
+
+    return World()
+
+
+class TestRendezvous:
+    def test_weight_is_stable(self):
+        assert rendezvous_weight("v1", "r1") == rendezvous_weight("v1", "r1")
+        assert rendezvous_weight("v1", "r1") != rendezvous_weight("v2", "r1")
+
+    def test_same_viewer_keeps_its_replica(self, tier_world, engine):
+        tier = tier_world.build(replicas=4)
+        engine.run_for(60.0)
+        first = tier.frontdoor.rank("viewer-a")[0].replica.name
+        for _ in range(5):
+            tier_world.ask("viewer-a")
+        ranked = tier.frontdoor.rank("viewer-a")
+        assert ranked[0].replica.name == first
+        assert ranked[0].served == 5
+
+    def test_population_spreads_over_replicas(self, tier_world, engine):
+        tier = tier_world.build(replicas=4)
+        engine.run_for(60.0)
+        placed = {
+            tier.frontdoor.rank(f"viewer-{i}")[0].replica.name
+            for i in range(32)
+        }
+        assert len(placed) == 4  # every replica gets somebody
+
+    def test_replica_loss_remaps_only_its_viewers(self, tier_world, engine):
+        tier = tier_world.build(replicas=4)
+        engine.run_for(60.0)
+        viewers = [f"viewer-{i}" for i in range(24)]
+        before = {
+            v: tier.frontdoor.rank(v)[0].replica.name for v in viewers
+        }
+        victim = tier.replicas[0].name
+        surviving_rank = {
+            v: [
+                h.replica.name
+                for h in tier.frontdoor.rank(v)
+                if h.replica.name != victim
+            ][0]
+            for v in viewers
+        }
+        # HRW property: removing one replica changes placement only for
+        # the viewers that were on it
+        for v in viewers:
+            if before[v] != victim:
+                assert surviving_rank[v] == before[v]
+
+
+class TestFailover:
+    def test_request_served_through_door(self, tier_world, engine):
+        tier = tier_world.build(replicas=2)
+        engine.run_for(90.0)
+        # freeze ingest so the baseline compare below isn't racing polls
+        tier_world.daemon.stop()
+        engine.run_for(5.0)
+        box = tier_world.ask("viewer-a")
+        assert str(box["payload"]) == tier_world.daemon.serve_query("/")[0]
+
+    def test_overloaded_replica_benched_and_failed_over(
+        self, tier_world, engine
+    ):
+        tier = tier_world.build(replicas=2, serve_queue_limit=0)
+        engine.run_for(90.0)
+        door = tier.frontdoor
+        primary = door.rank("viewer-a")[0]
+        # make the primary refuse: swap its serve handler for a shedder
+        tcp = tier_world.tier.frontdoor.tcp
+        tcp.close(primary.replica.address)
+        tcp.listen(
+            primary.replica.address,
+            lambda client, request: Overloaded(retry_after=1.0),
+        )
+        box = tier_world.ask("viewer-a")
+        # answered by the second choice, not the sentinel
+        assert not isinstance(box["payload"], Overloaded)
+        assert door.failovers == 1
+        assert primary.benched_until > engine.now
+        # next request skips the benched primary entirely
+        secondary = door.rank("viewer-a")[1]
+        served_before = secondary.served
+        tier_world.ask("viewer-a")
+        assert secondary.served == served_before + 1
+
+    def test_all_replicas_overloaded_yields_overloaded(
+        self, tier_world, engine
+    ):
+        tier = tier_world.build(replicas=2)
+        engine.run_for(90.0)
+        tcp = tier.frontdoor.tcp
+        for replica in tier.replicas:
+            tcp.close(replica.address)
+            tcp.listen(
+                replica.address,
+                lambda client, request: Overloaded(retry_after=1.0),
+            )
+        box = tier_world.ask("viewer-a")
+        assert isinstance(box["payload"], Overloaded)
+        assert tier.frontdoor.exhausted == 1
+
+    def test_dead_replica_times_out_then_fails_over(
+        self, tier_world, engine, fabric
+    ):
+        tier = tier_world.build(replicas=2, request_timeout=2.0)
+        engine.run_for(90.0)
+        primary = tier.frontdoor.rank("viewer-a")[0]
+        fabric.set_host_up(primary.replica.host, False)
+        box = tier_world.ask("viewer-a")
+        assert "payload" in box and not isinstance(box["payload"], Overloaded)
+        assert tier.frontdoor.upstream_timeouts >= 1
+
+
+class TestHedging:
+    def test_slow_primary_hedged_to_second_replica(self, tier_world, engine):
+        tier = tier_world.build(replicas=2, hedge_floor=0.05, hedge_ceiling=0.2)
+        engine.run_for(90.0)
+        door = tier.frontdoor
+        primary = door.rank("viewer-a")[0]
+        # prime the latency estimator with fast samples so the adaptive
+        # deadline is tight, then make the primary silently slow
+        for _ in range(5):
+            tier_world.ask("viewer-a")
+        tcp = door.tcp
+        real = tier_world.daemon.serve_query("/")[0]
+        tcp.close(primary.replica.address)
+        tcp.listen(
+            primary.replica.address,
+            # 10 s service time: far beyond the hedge deadline
+            lambda client, request: Response(real, service_seconds=10.0),
+        )
+        box = tier_world.ask("viewer-a")
+        assert str(box["payload"]) == real
+        assert door.hedges_fired == 1
+        assert door.hedge_wins == 1
+
+
+class TestViewerFleet:
+    def test_zipf_skews_toward_head(self):
+        import random
+
+        picker = ZipfPicker(50, s=1.1)
+        rng = random.Random(5)
+        picks = [picker.pick(rng) for _ in range(2000)]
+        assert picks.count(0) > picks.count(10) > 0
+        assert max(picks) < 50
+
+    def test_fleet_drives_tier(self, tier_world, engine, fabric, tcp):
+        tier = tier_world.build(replicas=2)
+        engine.run_for(90.0)
+        fleet = ViewerFleet(
+            engine, fabric, tcp, tier.address,
+            viewer_paths(tier_world.daemon),
+            clients=500, per_client_qps=0.02, aggregators=8, seed=11,
+        ).start()
+        engine.run_for(20.0)
+        fleet.stop()
+        window = fleet.take_window()
+        assert window.sent > 100
+        assert window.ok == window.sent  # nothing shed at this load
+        assert window.percentile(0.99) > 0.0
+        served = sum(r.queries_served for r in tier.replicas)
+        assert served >= window.sent
+
+    def test_take_window_resets(self, tier_world, engine, fabric, tcp):
+        tier = tier_world.build(replicas=1)
+        engine.run_for(60.0)
+        fleet = ViewerFleet(
+            engine, fabric, tcp, tier.address,
+            ["/"], clients=100, aggregators=4, seed=2,
+        ).start()
+        engine.run_for(10.0)
+        first = fleet.take_window()
+        assert first.sent > 0
+        assert fleet.window.sent == 0
+        fleet.stop()
+
+
+class TestPeakDepthSampling:
+    def test_take_peak_depth_samples_and_resets(self):
+        from repro.core.query import ServeQueue
+
+        q = ServeQueue(limit=4)
+        q.push(done_at=5.0, attached="a")
+        q.push(done_at=6.0, attached="b")
+        assert q.peak_depth == 2
+        assert q.take_peak_depth() == 2
+        # reset re-seeds from live depth, not zero: entries still
+        # pending carry into the next window
+        assert q.peak_depth == 2
+        q.make_room(now=10.0)  # both done -> purged
+        q.push(done_at=12.0, attached="c")
+        assert q.take_peak_depth() == 2  # window peak before the purge
+        assert q.take_peak_depth() == 1
