@@ -142,6 +142,8 @@ def build_paper_tree(
     resilience: Optional[ResilienceConfig] = None,
     observability: Optional[ObservabilityConfig] = None,
     columnar: bool = False,
+    binary_wire: bool = False,
+    binary_gmonds: Optional[Dict[str, bool]] = None,
 ) -> Federation:
     """Build the Fig. 2 federation for one design.
 
@@ -183,6 +185,15 @@ def build_paper_tree(
     :class:`~repro.obs.config.ObservabilityConfig` to every gmetad
     (metrics registry, trace spans, in-band ``__gmetad__`` cluster,
     drift auditor).  Default ``None``: fully uninstrumented.
+
+    ``binary_wire`` turns on the compact binary codec
+    (:mod:`repro.wire.binfmt`) on every gmetad: polls offer
+    ``accept=bin1`` and peers that can answer binary do.  Off by
+    default; per-link negotiation means flipping it never changes the
+    installed state, only the bytes that carried it.
+    ``binary_gmonds`` maps cluster names to capability overrides for
+    mixed-fleet experiments (``{"sdsc-c0": False}`` keeps that emulator
+    XML-only); unlisted clusters follow ``binary_wire``.
     """
     engine = engine or Engine()
     fabric = Fabric()
@@ -205,6 +216,7 @@ def build_paper_tree(
             resilience=resilience,
             observability=observability,
             columnar=columnar,
+            binary_wire=binary_wire,
         )
         tree.add_gmetad(configs[name])
 
@@ -227,6 +239,11 @@ def build_paper_tree(
                         if refresh_interval is not None
                         else poll_interval
                     )
+                ),
+                binary_capable=(
+                    binary_gmonds.get(cluster_name, binary_wire)
+                    if binary_gmonds is not None
+                    else binary_wire
                 ),
             )
             pseudos[cluster_name] = pseudo

@@ -292,6 +292,11 @@ class ColumnarDocument:
     version: str
     source: str
     clusters: List[ColumnarCluster]
+    #: METRIC elements that fell off the regex fast lane during the parse
+    #: (attribute order drifted from the canonical writer order); the
+    #: slow path still parsed them correctly, but a nonzero count means
+    #: the canonical-order assumption the binary codec shares is broken
+    fast_lane_misses: int = 0
 
     @property
     def element_count(self) -> int:

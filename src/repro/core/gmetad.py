@@ -32,7 +32,8 @@ from repro.core.query import (
     QueryError,
 )
 from repro.core.summarize import merge_summaries, summarize_cluster
-from repro.wire.model import GangliaDocument
+from repro.wire.binfmt import FrameError, encode_summary_document
+from repro.wire.model import ClusterElement, GangliaDocument, GridElement
 
 
 class Gmetad(GmetadBase):
@@ -217,6 +218,75 @@ class Gmetad(GmetadBase):
                 self.costs.serve_byte_cached * stats.bytes_from_cache, "serve"
             )
         return xml, seconds
+
+    def serve_binary(self, request: str):
+        """Binary answer for the whole-tree summary poll.
+
+        Only the federation poll shape (``/?filter=summary``) goes
+        binary: it is the request every parent/peer sends on the
+        background timescale, so it dominates serve-side wide-area
+        bytes.  Path queries and full dumps decline (``None``) and fall
+        back to XML.  The document built here mirrors the query engine's
+        ``_write_tree``/``_source_fragment`` shapes element for element,
+        so a binary-decoding parent installs exactly the state an
+        XML-parsing parent would.
+        """
+        try:
+            query = GmetadQuery.parse(request)
+        except QueryError:
+            return None
+        if query.path or not query.summary:
+            return None
+        now = self.engine.now
+        seconds = self.charge(self.costs.query_fixed, "query")
+        doc = GangliaDocument(version=self.version, source="gmetad")
+        top = GridElement(
+            name=self.config.gridname,
+            authority=self.config.authority_url,
+            # same truncation the XML envelope's LOCALTIME attr applies
+            localtime=float(f"{now:.0f}"),
+        )
+        for name in self.datastore.source_names():
+            snapshot = self.datastore.sources[name]
+            if snapshot.kind == "cluster":
+                cluster = snapshot.cluster
+                if cluster.summary is None:
+                    # mirror _source_fragment's hostless synthesis
+                    top.add_cluster(
+                        ClusterElement(
+                            name=cluster.name,
+                            localtime=cluster.localtime,
+                            summary=snapshot.summary,
+                        )
+                    )
+                else:
+                    top.add_cluster(
+                        ClusterElement(
+                            name=cluster.name,
+                            owner=cluster.owner,
+                            localtime=cluster.localtime,
+                            url=cluster.url,
+                            summary=cluster.summary,
+                        )
+                    )
+            else:
+                top.add_grid(
+                    GridElement(
+                        name=snapshot.grid.name,
+                        authority=snapshot.authority or snapshot.grid.authority,
+                        summary=snapshot.summary,
+                    )
+                )
+        doc.add_grid(top)
+        try:
+            frame = encode_summary_document(doc)
+        except FrameError:
+            # a source without a usable summary: let XML (and its
+            # error behavior, whatever it is) stay the source of truth
+            return None
+        self.last_serve_cached_bytes = 0
+        seconds += self.charge(self.costs.serve_byte * len(frame), "serve")
+        return frame, seconds
 
     def request_is_summary(self, request: str) -> bool:
         """Summary-form answers key off content_version (see base)."""

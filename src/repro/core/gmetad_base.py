@@ -32,6 +32,15 @@ from repro.rrd.store import RrdStore
 from repro.sim.engine import Engine
 from repro.sim.resources import DEFAULT_CAPACITY, CostModel, CpuAccount
 from repro.sim.rng import derive_seed
+from repro.wire.binfmt import (
+    CLUSTER_DOC,
+    CODEC_BINARY,
+    BinaryFrame,
+    FrameError,
+    decode_document,
+    materialize_document,
+    split_accept,
+)
 from repro.wire.conditional import (
     NotModified,
     TaggedXml,
@@ -118,6 +127,14 @@ class GmetadBase:
             from repro.columnar import InternPool
 
             self._intern_pool = InternPool()
+        #: pool binary frames decode into: the columnar pool when the
+        #: columnar path is on (ids stay stable across polls, so the
+        #: delta trackers keep working), a dedicated one otherwise
+        self._decode_pool = self._intern_pool
+        if config.binary_wire and self._decode_pool is None:
+            from repro.columnar import InternPool
+
+            self._decode_pool = InternPool()
         if not fabric.has_host(config.host):
             fabric.add_host(config.host)
         store = RrdStore(
@@ -155,6 +172,7 @@ class GmetadBase:
                 resilience=config.resilience,
                 rng=self._breaker_rng(source.name),
                 obs=self.obs,
+                accept_binary=config.binary_wire,
             )
         self._server = tcp.listen(Address.gmetad(config.host), self._serve)
         resilience = config.resilience
@@ -177,6 +195,8 @@ class GmetadBase:
         self.parse_errors = 0
         self.polls_salvaged = 0
         self.polls_quarantined = 0
+        self.frames_ingested = 0
+        self.frame_errors = 0
         self.queries_served = 0
         self.queries_shed = 0
         #: frag-cache bytes of the most recent serve (set by subclasses
@@ -240,6 +260,7 @@ class GmetadBase:
             resilience=self.config.resilience,
             rng=self._breaker_rng(source.name),
             obs=self.obs,
+            accept_binary=self.config.binary_wire,
         )
         self.pollers[source.name] = poller
         self.config.data_sources.append(source)
@@ -281,7 +302,11 @@ class GmetadBase:
 
     # -- polling path (background timescale) ----------------------------------
 
-    def _on_data(self, source: str, xml: str, rtt: float) -> None:
+    def _on_data(self, source: str, payload: object, rtt: float) -> None:
+        if isinstance(payload, BinaryFrame):
+            self._on_frame(source, payload, rtt)
+            return
+        xml = str(payload)
         now = self.engine.now
         if self.ingest_tap is not None:
             self.ingest_tap(source, xml, now)
@@ -318,6 +343,13 @@ class GmetadBase:
             except ParseError as exc:
                 self._on_parse_error(source, xml, exc, now, busy0)
                 return
+        if cdoc is not None and cdoc.fast_lane_misses and obs is not None:
+            # a writer attribute-order drift silently degrades the regex
+            # fast lane to the generic path; surface it (satellite of
+            # the binary codec, which shares the canonical-order bet)
+            obs.registry.counter("parse_fast_lane_misses").inc(
+                cdoc.fast_lane_misses
+            )
         element_count = (
             cdoc.element_count if cdoc is not None else document_element_count(doc)
         )
@@ -345,6 +377,99 @@ class GmetadBase:
                 max(0.0, by_category["archive"] - archive0),
                 path="columnar" if cdoc is not None else "tree",
             )
+        self._publish(source, now)
+
+    def _on_frame(self, source: str, frame: BinaryFrame, rtt: float) -> None:
+        """Ingest one binary-codec poll response.
+
+        Decode feeds the same pipeline as XML -- the columnar ingest
+        when that path is on, a materialized document tree otherwise --
+        so datastore contents are identical whichever codec the link
+        negotiated.  A frame that fails validation is quarantined whole:
+        decode happens entirely before any install, so a truncated or
+        bit-flipped frame can never leave partial state behind.
+        """
+        now = self.engine.now
+        obs = self.obs
+        busy0 = self.cpu.total_busy_seconds if obs is not None else 0.0
+        self.charge(self.costs.tcp_connect, "network")
+        self.charge(self.costs.binfmt_byte * len(frame.data), "parse")
+        try:
+            kind, document = decode_document(frame.data, self._decode_pool)
+        except FrameError as exc:
+            self._on_frame_error(source, frame, exc, now, busy0)
+            return
+        columnar = (
+            kind == CLUSTER_DOC
+            and self.config.columnar
+            and self.supports_columnar
+        )
+        if kind == CLUSTER_DOC:
+            element_count = document.element_count
+            if not columnar:
+                document = materialize_document(document)
+        else:
+            element_count = document_element_count(document)
+        self.charge(self.costs.hash_insert * element_count, "parse")
+        self.polls_ingested += 1
+        self.frames_ingested += 1
+        if obs is None:
+            if columnar:
+                self.ingest_columnar(source, document, now)
+            else:
+                self.ingest(source, document, now)
+        else:
+            parse_seconds = self.cpu.total_busy_seconds - busy0
+            by_category = self.cpu.window.by_category
+            summarize0 = by_category["summarize"]
+            archive0 = by_category["archive"]
+            if columnar:
+                self.ingest_columnar(source, document, now)
+            else:
+                self.ingest(source, document, now)
+            obs.record_ingest(
+                source, len(frame.data), now, parse_seconds,
+                max(0.0, by_category["summarize"] - summarize0),
+                max(0.0, by_category["archive"] - archive0),
+                path="columnar" if columnar else "tree",
+                codec="binary",
+            )
+        self._publish(source, now)
+
+    def _on_frame_error(
+        self,
+        source: str,
+        frame: BinaryFrame,
+        exc: FrameError,
+        now: float,
+        busy0: float,
+    ) -> None:
+        """A binary frame failed validation: quarantine, force XML retry.
+
+        Unlike XML corruption there is no salvage here -- a frame is
+        all-or-nothing by design (the CRC covers the whole body).  The
+        source degrades to its last-good snapshot via ``mark_corrupt``
+        and the poller drops to XML for its next attempt, where the
+        salvage machinery can do its partial-recovery work if the link
+        is persistently dirty.
+        """
+        self.parse_errors += 1
+        self.frame_errors += 1
+        if self.obs is not None:
+            self.obs.record_ingest(
+                source, len(frame.data), now,
+                self.cpu.total_busy_seconds - busy0, 0.0, 0.0,
+                outcome="frame_error", codec="binary",
+            )
+        self.datastore.mark_corrupt(
+            source, now, f"bad binary frame: {exc}",
+            kind=self.source_kind(source),
+        )
+        self.polls_quarantined += 1
+        poller = self.pollers.get(source)
+        if poller is not None:
+            poller.note_frame_error()
+            poller.note_bad_payload(salvaged=False)
         self._publish(source, now)
 
     def _on_parse_error(
@@ -488,8 +613,24 @@ class GmetadBase:
         obs = self.obs
         seconds = self.charge(self.costs.tcp_connect, "network")
         base, presented = split_generation(str(request))
+        base, accept = split_accept(base)
+        wants_binary = accept == CODEC_BINARY and self.config.binary_wire
         if presented is None:
-            # unconditional request: plain XML, exactly as before
+            # unconditional request: plain payload, exactly as before
+            if wants_binary:
+                binary = self.serve_binary(base)
+                if binary is not None:
+                    frame, serve_seconds = binary
+                    if obs is not None:
+                        obs.record_serve(
+                            base, seconds + serve_seconds, len(frame),
+                            cached_bytes=self.last_serve_cached_bytes,
+                            codec="binary",
+                        )
+                    return Response(
+                        BinaryFrame(frame),
+                        service_seconds=seconds + serve_seconds,
+                    )
             self.last_serve_cached_bytes = 0
             xml, serve_seconds = self.serve_query(base)
             if obs is not None:
@@ -513,6 +654,20 @@ class GmetadBase:
                 ),
                 service_seconds=seconds,
             )
+        if wants_binary:
+            binary = self.serve_binary(base)
+            if binary is not None:
+                frame, serve_seconds = binary
+                if obs is not None:
+                    obs.record_serve(
+                        base, seconds + serve_seconds, len(frame),
+                        cached_bytes=self.last_serve_cached_bytes,
+                        codec="binary",
+                    )
+                return Response(
+                    BinaryFrame(frame, generation=current),
+                    service_seconds=seconds + serve_seconds,
+                )
         self.last_serve_cached_bytes = 0
         xml, serve_seconds = self.serve_query(base)
         if obs is not None:
@@ -558,3 +713,13 @@ class GmetadBase:
     def serve_query(self, request: str) -> tuple[str, float]:
         """Returns (xml, service_seconds_charged)."""
         raise NotImplementedError
+
+    def serve_binary(self, request: str):
+        """Answer one request as binary frame bytes, if this design can.
+
+        Returns ``(frame_bytes, service_seconds_charged)`` or ``None``
+        to decline -- the caller then serves XML, which is always
+        correct: the requester's ``accept=`` token is an offer, not a
+        demand.  The base implementation declines everything.
+        """
+        return None

@@ -39,6 +39,7 @@ from repro.core.tree import DataSourceConfig
 from repro.net.address import Address
 from repro.net.tcp import TcpNetwork, TcpTimeout
 from repro.sim.engine import Engine, PeriodicTask
+from repro.wire.binfmt import BinaryFrame, with_accept
 from repro.wire.conditional import (
     NO_GENERATION,
     NotModified,
@@ -49,8 +50,10 @@ from repro.wire.conditional import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.observability import Observability
 
-#: Delivered on success: (source_name, xml_text, rtt_seconds)
-OnData = Callable[[str, str, float], None]
+#: Delivered on success: (source_name, payload, rtt_seconds); the payload
+#: is the XML text, or a :class:`~repro.wire.binfmt.BinaryFrame` when the
+#: source answered the ``accept=`` handshake in binary
+OnData = Callable[[str, object, float], None]
 #: Delivered when a full fail-over cycle came up empty: (source_name, error)
 OnSourceDown = Callable[[str, str], None]
 #: Delivered on a NOT-MODIFIED answer: (source_name, notice, rtt_seconds)
@@ -75,6 +78,7 @@ class DataSourcePoller:
         resilience: Optional[ResilienceConfig] = None,
         rng: Optional[random.Random] = None,
         obs: Optional["Observability"] = None,
+        accept_binary: bool = False,
     ) -> None:
         self.engine = engine
         self.tcp = tcp
@@ -149,6 +153,16 @@ class DataSourcePoller:
         self.polls_skipped = 0
         self.bad_payloads = 0
         self.overloaded_replies = 0
+        #: offer the binary codec on the request line (``accept=bin1``);
+        #: a legacy server ignores the token and answers XML unchanged
+        self.accept_binary = accept_binary
+        #: one-shot suppression of the accept token after a frame error:
+        #: the very next poll is forced back to XML so a decoder bug (or
+        #: persistent link corruption) can never starve the source
+        self._xml_fallback = False
+        self._requested_binary = False
+        self.frames_received = 0
+        self.frame_errors = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -207,6 +221,10 @@ class DataSourcePoller:
         self.polls += 1
         address = self.current_address
         request = self.request
+        self._requested_binary = self.accept_binary and not self._xml_fallback
+        self._xml_fallback = False
+        if self._requested_binary:
+            request = with_accept(request)
         if self.conditional:
             request = with_generation(
                 request, self.last_generation or NO_GENERATION
@@ -252,6 +270,18 @@ class DataSourcePoller:
             if score > best_score:
                 best_score, best_offset = score, offset
         self._address_index = (self._address_index + best_offset) % n
+
+    def note_frame_error(self) -> None:
+        """A binary frame from this poll failed validation.
+
+        Forgetting the generation token matters: the frame carried a
+        token we never applied, and presenting it next poll would earn a
+        NOT-MODIFIED for content we do not have.  The ingest layer calls
+        :meth:`note_bad_payload` separately for the health/breaker side.
+        """
+        self.frame_errors += 1
+        self.last_generation = None
+        self._xml_fallback = True
 
     def note_bad_payload(self, salvaged: bool = False) -> None:
         """The ingest layer rejected this poll's payload (corruption).
@@ -300,6 +330,15 @@ class DataSourcePoller:
             if self.on_not_modified is not None:
                 self.on_not_modified(self.config.name, payload, rtt)
             return
+        if isinstance(payload, BinaryFrame):
+            self.frames_received += 1
+            self.last_generation = payload.generation
+            if self.obs is not None:
+                if self._requested_binary:
+                    self.obs.record_negotiation("accepted")
+                self.obs.record_poll(self.config.name, rtt, "data")
+            self.on_data(self.config.name, payload, rtt)
+            return
         if isinstance(payload, TaggedXml):
             self.last_generation = payload.generation
         else:
@@ -307,6 +346,10 @@ class DataSourcePoller:
             # protocol; forget any stale token so we never expect a match
             self.last_generation = None
         if self.obs is not None:
+            if self._requested_binary:
+                # we offered binary, the peer answered XML: a legacy
+                # (or deliberately XML-only) endpoint on this link
+                self.obs.record_negotiation("fell_back")
             self.obs.record_poll(self.config.name, rtt, "data")
         self.on_data(self.config.name, str(payload), rtt)
 

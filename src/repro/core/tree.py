@@ -88,6 +88,12 @@ class GmetadConfig:
     #: pure performance change -- wire output, CPU charges and archive
     #: contents stay byte-identical to the tree path.
     columnar: bool = False
+    #: compact binary wire codec (``repro.wire.binfmt``): offer
+    #: ``accept=bin1`` on every poll, answer binary to peers that offer
+    #: it, and speak binary on the pub-sub data plane.  Per-link
+    #: negotiated -- XML-only peers on either side of any link keep
+    #: getting XML, byte-identical to baseline.  Off by default.
+    binary_wire: bool = False
     #: replicated read tier: export a replication feed over the pub-sub
     #: broker so ReadReplica processes can serve viewer queries.  None
     #: keeps the single-daemon serving path byte-identical to baseline.

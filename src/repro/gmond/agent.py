@@ -22,6 +22,12 @@ from repro.net.address import Address
 from repro.net.tcp import Response, TcpNetwork
 from repro.net.udp import MulticastChannel
 from repro.sim.engine import Engine, PeriodicTask
+from repro.wire.binfmt import (
+    CODEC_BINARY,
+    BinaryFrame,
+    encode_cluster_document,
+    split_accept,
+)
 from repro.wire.conditional import (
     NotModified,
     TaggedXml,
@@ -91,6 +97,8 @@ class GmondAgent:
         self._started = False
         self.reports_sent = 0
         self.not_modified_served = 0
+        self.binary_served = 0
+        self._binfmt_pool = None  # lazy: XML-only pollers never build one
         # incremental serving state (only used when the config flag is on)
         self._serve_epoch = next_epoch(f"gmond-{self.host}")
         self._xml_cache: Optional[tuple[int, str]] = None
@@ -229,19 +237,55 @@ class GmondAgent:
         off (the default) every serve renders fresh, exactly as before.
         """
         now = self.engine.now
+        base, accept = split_accept(str(request))
+        wants_binary = (
+            self.config.binary_serving and accept == CODEC_BINARY
+        )
         if not self.config.incremental_serving:
+            if wants_binary:
+                return Response(self._render_frame(now))
             doc = GangliaDocument(version="2.5.4", source="gmond")
             doc.add_cluster(self.state.to_cluster_element(now))
             return Response(write_document(doc))
-        _, presented = split_generation(str(request))
+        _, presented = split_generation(base)
         current = f"{self._serve_epoch}:{self.state.version}"
         if presented is not None and presented == current:
             self.not_modified_served += 1
             return Response(NotModified(generation=current, localtime=now))
+        if wants_binary:
+            # binary always renders fresh (plain-mode semantics): the
+            # fragment cache's TN/LOCALTIME freeze is an XML-layer trade
+            # the codec does not mirror
+            frame = self._render_frame(now)
+            if presented is not None:
+                return Response(BinaryFrame(frame.data, generation=current))
+            return Response(frame)
         xml = self._render_cached(now)
         if presented is not None:
             return Response(TaggedXml(xml, current))
         return Response(xml)
+
+    def _render_frame(self, now: float) -> BinaryFrame:
+        """Encode the live cluster report as one binary frame."""
+        from repro.columnar.layout import (
+            ColumnarDocument,
+            InternPool,
+            columns_from_cluster,
+        )
+
+        if self._binfmt_pool is None:
+            self._binfmt_pool = InternPool()
+        doc = ColumnarDocument(
+            version="2.5.4",
+            source="gmond",
+            clusters=[
+                columns_from_cluster(
+                    self.state.to_cluster_element(now), self._binfmt_pool
+                )
+            ],
+        )
+        self.binary_served += 1
+        return BinaryFrame(encode_cluster_document(doc))
 
     def _render_cached(self, now: float) -> str:
         """Assemble the report from memoized per-host fragments."""

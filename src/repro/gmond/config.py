@@ -37,6 +37,11 @@ class GmondConfig:
     #: staleness trade a live agent's own heartbeat makes moot anyway
     #: (the soft state moves every ~20 s, so matches are rare).
     incremental_serving: bool = False
+    #: honour ``accept=bin1`` on TCP polls by answering a binary frame
+    #: (:mod:`repro.wire.binfmt`) instead of XML.  On by default: a
+    #: capable agent only speaks binary when the poller asks, so
+    #: XML-only pollers are unaffected either way.
+    binary_serving: bool = True
     metric_defs: Sequence[MetricDef] = field(default_factory=builtin_catalog)
 
     def __post_init__(self) -> None:

@@ -28,6 +28,12 @@ from repro.net.address import Address
 from repro.net.fabric import Fabric
 from repro.net.tcp import Response, TcpNetwork
 from repro.sim.engine import Engine
+from repro.wire.binfmt import (
+    CODEC_BINARY,
+    BinaryFrame,
+    encode_cluster_document,
+    split_accept,
+)
 from repro.wire.conditional import (
     NotModified,
     TaggedXml,
@@ -53,6 +59,7 @@ class PseudoGmond:
         metric_defs: Optional[Sequence[MetricDef]] = None,
         service_seconds: float = 0.002,
         server_host: Optional[str] = None,
+        binary_capable: bool = True,
     ) -> None:
         if num_hosts <= 0:
             raise ValueError("num_hosts must be positive")
@@ -84,6 +91,15 @@ class PseudoGmond:
         ]
         self._cached_xml: Optional[str] = None
         self._built_at = float("-inf")
+        #: a gmond that predates the binary codec: ignores ``accept=``
+        #: and always answers XML (the mixed-fleet test lever)
+        self.binary_capable = binary_capable
+        #: per-generation encoded binary frame + the instance-local
+        #: intern pool feeding it (lazy: XML-only fleets never build one)
+        self._pool = None
+        self._cached_frame: Optional[bytes] = None
+        self._frame_gen = -1
+        self.binary_served = 0
         #: per-host serialized fragments; an entry is dropped whenever
         #: its host's values move, so a k-host mutation re-renders k
         #: fragments and memcpys the other H-k
@@ -258,10 +274,38 @@ class PseudoGmond:
             self._refresh(at)
         return self._cached_xml
 
+    def current_frame(self, now: Optional[float] = None) -> bytes:
+        """The binary frame the emulator would serve right now.
+
+        Encoded once per content generation from the same cluster tree
+        the XML serializer reads, so a binary poller and an XML poller
+        asking at the same instant install identical state.
+        """
+        self.current_xml(now)  # refresh on the same schedule as XML
+        if self._cached_frame is None or self._frame_gen != self._gen:
+            from repro.columnar.layout import (
+                ColumnarDocument,
+                InternPool,
+                columns_from_cluster,
+            )
+
+            if self._pool is None:
+                self._pool = InternPool()
+            doc = ColumnarDocument(
+                version="2.5.4",
+                source="gmond",
+                clusters=[columns_from_cluster(self._cluster, self._pool)],
+            )
+            self._cached_frame = encode_cluster_document(doc)
+            self._frame_gen = self._gen
+        return self._cached_frame
+
     def _serve(self, client: str, request: object) -> Response:
         self.requests += 1
         base, presented = split_generation(str(request))
+        base, accept = split_accept(base)
         xml = self.current_xml()  # refresh BEFORE comparing generations
+        wants_binary = self.binary_capable and accept == CODEC_BINARY
         if presented is not None:
             current = self.generation
             if presented == current:
@@ -273,8 +317,20 @@ class PseudoGmond:
                     ),
                     service_seconds=self.service_seconds,
                 )
+            if wants_binary:
+                self.binary_served += 1
+                return Response(
+                    BinaryFrame(self.current_frame(), generation=current),
+                    service_seconds=self.service_seconds,
+                )
             return Response(
                 TaggedXml(xml, current), service_seconds=self.service_seconds
+            )
+        if wants_binary:
+            self.binary_served += 1
+            return Response(
+                BinaryFrame(self.current_frame()),
+                service_seconds=self.service_seconds,
             )
         return Response(xml, service_seconds=self.service_seconds)
 

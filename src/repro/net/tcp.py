@@ -326,15 +326,25 @@ class TcpNetwork:
             )
         return response, spike_extra
 
-    def _mangle(self, payload: object, truncate: bool) -> str:
+    def _mangle(self, payload: object, truncate: bool) -> object:
         """Damage a payload the way a broken stream would.
 
-        The result is always a plain string: a mangled tagged payload
-        loses its generation token (the token was part of the bytes), so
-        a client can never present a stale token as if the corrupt body
-        were the content it names.  Structured control messages
-        (NOT-MODIFIED and friends) arrive as unparseable junk.
+        Text payloads come back as a plain string: a mangled tagged
+        payload loses its generation token (the token was part of the
+        bytes), so a client can never present a stale token as if the
+        corrupt body were the content it names.  Binary payloads (raw
+        bytes, or frame objects carrying a bytes ``data`` attribute)
+        get their bytes flipped or cut, again with any generation token
+        stripped -- the frame CRC turns either into a clean decode
+        error.  Structured control messages (NOT-MODIFIED and friends)
+        arrive as unparseable junk.
         """
+        raw = self._binary_of(payload)
+        if raw is not None:
+            damaged = self._mangle_bytes(raw, truncate)
+            if isinstance(payload, (bytes, bytearray)):
+                return damaged
+            return type(payload)(damaged)  # frame object, token dropped
         text: Optional[str] = None
         if isinstance(payload, str):
             text = payload
@@ -352,3 +362,25 @@ class TcpNetwork:
             return junk
         pos = self._rng.randrange(0, len(text) - len(junk))
         return text[:pos] + junk + text[pos + len(junk):]
+
+    @staticmethod
+    def _binary_of(payload: object) -> Optional[bytes]:
+        """The wire bytes of a binary payload, or None for text forms."""
+        if isinstance(payload, (bytes, bytearray)):
+            return bytes(payload)
+        data = getattr(payload, "data", None)
+        if isinstance(data, (bytes, bytearray)):
+            return bytes(data)
+        return None
+
+    def _mangle_bytes(self, raw: bytes, truncate: bool) -> bytes:
+        """Bit-flip or truncate a byte string (never empty)."""
+        if truncate:
+            keep = max(1, int(len(raw) * self._rng.uniform(0.1, 0.9)))
+            return raw[:keep]
+        damaged = bytearray(raw)
+        if not damaged:
+            return raw
+        pos = self._rng.randrange(0, len(damaged))
+        damaged[pos] ^= 1 << self._rng.randrange(0, 8)
+        return bytes(damaged)

@@ -47,6 +47,10 @@ class Observability:
         self.auditor = DriftAuditor(gmetad)
         self._tasks: List["PeriodicTask"] = []
         self.started = False
+        #: per-codec {xml,binary} byte-counter variants exist only on
+        #: binary-enabled daemons: a baseline daemon's self-cluster
+        #: output must stay byte-identical to pre-codec builds
+        self._codec_split = bool(getattr(gmetad.config, "binary_wire", False))
 
     # -- lifecycle (driven by GmetadBase.start/stop) ------------------------
 
@@ -133,6 +137,7 @@ class Observability:
         archive_seconds: float,
         outcome: str = "ok",
         path: str = "tree",
+        codec: str = "xml",
     ) -> None:
         """One poll response went through parse -> summarize -> archive.
 
@@ -140,9 +145,16 @@ class Observability:
         "columnar") so stage timings attribute to the right fast path.
         The default path adds nothing: self-metrics output stays
         byte-identical to pre-columnar builds unless columnar ran.
+        ``codec`` names the wire encoding ("xml" or "binary"); per-codec
+        byte counters appear only on binary-enabled daemons, so baseline
+        self-metric output is untouched.
         """
         registry = self.registry
         registry.counter("ingest_bytes_in", units="bytes").inc(nbytes)
+        if self._codec_split:
+            registry.counter(f"ingest_bytes_in_{codec}", units="bytes").inc(
+                nbytes
+            )
         registry.counter(f"ingests_{outcome}").inc()
         if path != "tree":
             registry.counter(f"ingests_{path}").inc()
@@ -176,11 +188,16 @@ class Observability:
         nbytes: int,
         cached_bytes: int = 0,
         outcome: str = "ok",
+        codec: str = "xml",
     ) -> None:
         registry = self.registry
         registry.counter("serves_total").inc()
         registry.counter(f"serves_{outcome}").inc()
         registry.counter("serve_bytes_out", units="bytes").inc(nbytes)
+        if self._codec_split:
+            registry.counter(f"serve_bytes_out_{codec}", units="bytes").inc(
+                nbytes
+            )
         registry.counter("serve_bytes_cached", units="bytes").inc(cached_bytes)
         registry.histogram("stage_serve", units="s").observe(seconds)
         now = self.gmetad.engine.now
@@ -192,12 +209,22 @@ class Observability:
     def record_shed(self, count: int = 1) -> None:
         self.registry.counter("serves_shed").inc(count)
 
-    def record_push(self, nbytes: int, seconds: float = 0.0) -> None:
+    def record_push(
+        self, nbytes: int, seconds: float = 0.0, codec: str = "xml"
+    ) -> None:
         registry = self.registry
         registry.counter("push_notifications").inc()
         registry.counter("push_bytes_out", units="bytes").inc(nbytes)
+        if self._codec_split:
+            registry.counter(f"push_bytes_out_{codec}", units="bytes").inc(
+                nbytes
+            )
         now = self.gmetad.engine.now
         self.record_span("push", now, seconds, bytes=nbytes)
+
+    def record_negotiation(self, outcome: str) -> None:
+        """One ``accept=`` handshake resolved: "accepted" or "fell_back"."""
+        self.registry.counter(f"codec_negotiations_{outcome}").inc()
 
     # -- derived gauges + in-band mount --------------------------------------
 
@@ -216,6 +243,13 @@ class Observability:
         )
         registry.gauge("daemon_queries_served").set(gmetad.queries_served)
         registry.gauge("daemon_queries_shed").set(gmetad.queries_shed)
+        if self._codec_split:
+            registry.gauge("daemon_frames_ingested").set(
+                getattr(gmetad, "frames_ingested", 0)
+            )
+            registry.gauge("daemon_frame_errors").set(
+                getattr(gmetad, "frame_errors", 0)
+            )
         conditional_total = gmetad.polls_ingested + gmetad.polls_not_modified
         registry.gauge("conditional_poll_hit_ratio").set(
             gmetad.polls_not_modified / conditional_total

@@ -118,7 +118,9 @@ class SubscriberChannel:
         else:
             return
         was_sync = self._sync_in_flight
-        encoded = messages.encode(message)
+        encoded = messages.encode_for(
+            message, self.broker.codec_for(self.subscription.sub_id)
+        )
         self.broker.charge_push(encoded)
         self.in_flight = True
 
@@ -150,7 +152,7 @@ class SubscriberChannel:
             on_response=on_response,
             timeout=self.broker.notify_timeout,
             on_timeout=on_timeout,
-            request_size=len(encoded),
+            request_size=messages.wire_size(encoded),
         )
 
 
@@ -248,6 +250,13 @@ class UpstreamLink:
                 self.broker.lease,
                 self.broker.address.host,
                 self.broker.address.port,
+                # advertise binary on the relay plane when this broker's
+                # daemon speaks it; an XML-only child ignores the field
+                accept=(
+                    "bin1"
+                    if getattr(self.broker.gmetad.config, "binary_wire", False)
+                    else None
+                ),
             ),
             on_reply,
             on_fail=lambda e: setattr(self, "_subscribe_in_flight", False),
@@ -349,6 +358,10 @@ class PubSubBroker:
             self.delta_engine.augment = self.feed.state
         self.seq = 0
         self.channels: Dict[str, SubscriberChannel] = {}
+        #: negotiated data-plane codec per subscription ("bin1" entries
+        #: only; absence means JSON).  Binary is granted only when the
+        #: daemon's ``binary_wire`` flag is on AND the subscriber asked.
+        self.codecs: Dict[str, str] = {}
         self.upstreams: Dict[str, Address] = dict(upstreams or {})
         self._links: Dict[Tuple[str, str], UpstreamLink] = {}
         self._sweep_task: Optional[PeriodicTask] = None
@@ -406,15 +419,24 @@ class PubSubBroker:
 
     # -- accounting ---------------------------------------------------------
 
-    def charge_push(self, encoded: str) -> None:
+    def codec_for(self, sub_id: str) -> str:
+        """The negotiated data-plane codec for one subscription."""
+        return self.codecs.get(sub_id, "xml")
+
+    def charge_push(self, encoded: object) -> None:
         """Charge one outbound notification to the gmetad's CPU."""
-        self.bytes_pushed += len(encoded)
+        nbytes = messages.wire_size(encoded)
+        self.bytes_pushed += nbytes
         seconds = self.gmetad.charge(self.gmetad.costs.tcp_connect, "network")
         seconds += self.gmetad.charge(
-            self.gmetad.costs.serve_byte * len(encoded), "serve"
+            self.gmetad.costs.serve_byte * nbytes, "serve"
         )
         if self.gmetad.obs is not None:
-            self.gmetad.obs.record_push(len(encoded), seconds)
+            self.gmetad.obs.record_push(
+                nbytes,
+                seconds,
+                codec="binary" if isinstance(encoded, bytes) else "xml",
+            )
 
     def charge_control(self, encoded: str) -> None:
         """Charge an upstream control request (subscribe/renew/sync)."""
@@ -520,6 +542,7 @@ class PubSubBroker:
             sub_id = message.get("id", "")
             self.registry.unsubscribe(sub_id)
             self._drop_channel(sub_id)
+            self.codecs.pop(sub_id, None)
             self._refresh_folding()
             reply = messages.ok()
         elif kind == "sync":
@@ -528,9 +551,16 @@ class PubSubBroker:
             reply = self._handle_upstream_notification(message)
         else:
             reply = messages.error(f"unknown message type {kind!r}")
-        encoded = messages.encode(reply)
+        # data-plane replies (the initial/requested full sync) honour the
+        # subscriber's negotiated codec; control replies stay JSON
+        codec = (
+            self.codec_for(message.get("id", ""))
+            if reply.get("t") in ("delta", "full")
+            else "xml"
+        )
+        encoded = messages.encode_for(reply, codec)
         seconds += self.gmetad.charge(
-            self.gmetad.costs.serve_byte * len(encoded), "serve"
+            self.gmetad.costs.serve_byte * messages.wire_size(encoded), "serve"
         )
         return Response(encoded, service_seconds=seconds)
 
@@ -546,6 +576,17 @@ class PubSubBroker:
         except (SubscriptionError, ValueError) as exc:
             return messages.error(str(exc))
         self.subscribes += 1
+        offered = message.get("acc")
+        if offered == "bin1" and getattr(
+            self.gmetad.config, "binary_wire", False
+        ):
+            self.codecs[subscription.sub_id] = "bin1"
+            if self.gmetad.obs is not None:
+                self.gmetad.obs.record_negotiation("accepted")
+        else:
+            self.codecs.pop(subscription.sub_id, None)
+            if offered and self.gmetad.obs is not None:
+                self.gmetad.obs.record_negotiation("fell_back")
         self._drop_channel(subscription.sub_id)  # replace, keep counters
         channel = SubscriberChannel(self, subscription, self.max_queue)
         # the subscribe response IS the initial full sync; the delta
@@ -596,6 +637,7 @@ class PubSubBroker:
         expired = self.registry.expire(self.engine.now)
         for subscription in expired:
             self._drop_channel(subscription.sub_id)
+            self.codecs.pop(subscription.sub_id, None)
         if expired:
             self._refresh_folding()
 

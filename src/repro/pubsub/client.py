@@ -107,6 +107,7 @@ class PushClient:
         renew_interval: Optional[float] = None,
         request_timeout: float = 5.0,
         costs: Optional[PhpSaxCostModel] = None,
+        accept_binary: bool = False,
     ) -> None:
         self.engine = engine
         self.tcp = tcp
@@ -119,6 +120,10 @@ class PushClient:
         )
         self.request_timeout = request_timeout
         self.costs = costs or PhpSaxCostModel()
+        #: offer the binary data-plane codec at subscribe time; the
+        #: broker only grants it when its daemon's binary_wire is on, so
+        #: notifications may arrive as str or bytes either way
+        self.accept_binary = accept_binary
         self.sub_id = sub_id or f"{host}:{port}"
         self.notify_address = Address(host, port)
         self.stream = DeltaStream()
@@ -176,12 +181,19 @@ class PushClient:
 
     # -- control-plane requests --------------------------------------------
 
-    def _request(self, message: dict, on_reply, *, track_timeout=None) -> None:
+    def _request(
+        self, message: dict, on_reply, *, track_timeout=None, with_payload=False
+    ) -> None:
         encoded = messages.encode(message)
         self.control_bytes_sent += len(encoded)
 
         def on_response(payload: object, rtt: float) -> None:
-            on_reply(messages.decode(payload))
+            if with_payload:
+                # data-bearing replies: the caller needs the raw wire
+                # payload (str or binary frame) for honest byte counts
+                on_reply(messages.decode(payload), payload)
+            else:
+                on_reply(messages.decode(payload))
 
         def on_timeout(error: TcpTimeout) -> None:
             self.timeouts += 1
@@ -205,10 +217,10 @@ class PushClient:
             return
         self._subscribe_in_flight = True
 
-        def on_reply(message: dict) -> None:
+        def on_reply(message: dict, payload: object) -> None:
             self._subscribe_in_flight = False
             if message.get("t") == "full":
-                self._apply_data(message, messages.encode(message))
+                self._apply_data(message, payload)
                 if not self.connected:
                     self.connected = True
             else:
@@ -225,9 +237,11 @@ class PushClient:
                 self.lease,
                 self.notify_address.host,
                 self.notify_address.port,
+                accept="bin1" if self.accept_binary else None,
             ),
             on_reply,
             track_timeout=on_timeout,
+            with_payload=True,
         )
 
     def _renew_tick(self) -> None:
@@ -260,31 +274,35 @@ class PushClient:
             return
         self._sync_in_flight = True
 
-        def on_reply(message: dict) -> None:
+        def on_reply(message: dict, payload: object) -> None:
             self._sync_in_flight = False
             if message.get("t") == "full":
-                self._apply_data(message, messages.encode(message))
+                self._apply_data(message, payload)
 
         def on_timeout(error: TcpTimeout) -> None:
             self._sync_in_flight = False
             self.connected = False
 
         self._request(
-            messages.sync_request(self.sub_id), on_reply, track_timeout=on_timeout
+            messages.sync_request(self.sub_id),
+            on_reply,
+            track_timeout=on_timeout,
+            with_payload=True,
         )
 
     # -- data plane ---------------------------------------------------------
 
-    def _apply_data(self, message: dict, encoded: str) -> float:
+    def _apply_data(self, message: dict, encoded: object) -> float:
         """Apply a data message, charge the cost model; returns seconds."""
-        self.bytes_received += len(encoded)
+        nbytes = messages.wire_size(encoded)
+        self.bytes_received += nbytes
         if message.get("t") == "full":
             events = len(message.get("state", ()))
             self.full_syncs_received += 1
         else:
             events = len(message.get("ops", ()))
             self.deltas_received += 1
-        seconds = self.costs.parse_seconds(len(encoded), events)
+        seconds = self.costs.parse_seconds(nbytes, events)
         self.apply_seconds_total += seconds
         outcome = self.stream.apply_message(message)
         if outcome in ("gap", "unsynced"):
@@ -294,10 +312,16 @@ class PushClient:
         return seconds
 
     def _on_notify(self, client: str, payload: object) -> Response:
-        message = messages.decode(payload)
+        try:
+            message = messages.decode(payload)
+        except messages.MessageError as exc:
+            # a mangled notification (e.g. a corrupted binary frame)
+            # must not kill the listener: refuse the ack so the broker
+            # retries, falling back to a full sync if the gap persists
+            return Response(messages.encode(messages.error(str(exc))))
         if message.get("t") not in ("delta", "full"):
             return Response(messages.encode(messages.error("not-a-notification")))
-        seconds = self._apply_data(message, str(payload))
+        seconds = self._apply_data(message, payload)
         return Response(
             messages.encode(messages.ok(self.stream.last_seq)),
             service_seconds=seconds,

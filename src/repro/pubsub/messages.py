@@ -38,10 +38,43 @@ def encode(message: dict) -> str:
     return json.dumps(message, separators=(",", ":"), sort_keys=True)
 
 
+def encode_for(message: dict, codec: str = "xml") -> object:
+    """Serialize for one subscriber's negotiated codec.
+
+    Only the data-plane messages (``delta``/``full``) have a binary
+    form; control messages stay JSON under every codec because both
+    ends must read them before any negotiation has happened.
+    """
+    if codec == "bin1" and message.get("t") in ("delta", "full"):
+        from repro.wire import binfmt
+
+        return binfmt.encode_message(message)
+    return encode(message)
+
+
+def wire_size(encoded: object) -> int:
+    """Bytes on the wire for one encoded message (str or frame)."""
+    if isinstance(encoded, (str, bytes, bytearray)):
+        return len(encoded)
+    if isinstance(encoded, dict):  # loopback convenience: never encoded
+        return len(encode(encoded))
+    return len(str(encoded))
+
+
 def decode(payload: object) -> dict:
-    """Parse a wire string back into a message dict."""
+    """Parse a wire string (or binary frame) back into a message dict."""
     if isinstance(payload, dict):  # already decoded (loopback convenience)
         return payload
+    if isinstance(payload, (bytes, bytearray)):
+        from repro.wire import binfmt
+
+        try:
+            kind, body = binfmt.open_frame(bytes(payload))
+            if kind != binfmt.PUBSUB_MSG:
+                raise binfmt.FrameError(f"unexpected frame kind {kind}")
+            return binfmt.decode_message(body)
+        except binfmt.FrameError as exc:
+            raise MessageError(f"bad binary message: {exc}") from None
     if not isinstance(payload, str):
         raise MessageError(f"expected str payload, got {type(payload).__name__}")
     try:
@@ -57,9 +90,14 @@ def decode(payload: object) -> dict:
 
 
 def subscribe(
-    sub_id: str, path: str, lease: float, notify_host: str, notify_port: int
+    sub_id: str,
+    path: str,
+    lease: float,
+    notify_host: str,
+    notify_port: int,
+    accept: Optional[str] = None,
 ) -> dict:
-    return {
+    message = {
         "t": "sub",
         "id": sub_id,
         "path": path,
@@ -67,6 +105,11 @@ def subscribe(
         "nh": notify_host,
         "np": notify_port,
     }
+    if accept:
+        # codec offer, mirroring the poll path's ``accept=`` token; a
+        # broker that predates the codec simply ignores the field
+        message["acc"] = accept
+    return message
 
 
 def renew(sub_id: str, lease: float) -> dict:

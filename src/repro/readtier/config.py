@@ -39,6 +39,10 @@ class ReadTierConfig:
     overload_cooldown: float = 3.0
     #: replication-feed subscription lease (soft state, gmond-style)
     lease: float = 60.0
+    #: offer the binary pub-sub codec (``accept=bin1``) on the feed
+    #: subscription.  Effective only when the ingest daemon's
+    #: ``binary_wire`` is on; otherwise the broker falls back to JSON.
+    binary_feed: bool = False
 
     def __post_init__(self) -> None:
         if self.replicas < 1:

@@ -17,6 +17,13 @@ Keys under ``__repl__`` are delivered only to subscriptions rooted at
 ``/__repl__`` (the broker gates them), so ordinary subscribers -- and
 every existing pub-sub byte-count benchmark -- see nothing new.
 
+The feed's *values* are codec-agnostic strings; when the ingest
+daemon's ``binary_wire`` is on and the replica subscribes with
+``ReadTierConfig.binary_feed``, the delta/full messages that carry
+them travel as :mod:`repro.wire.binfmt` PUBSUB frames instead of JSON
+-- same keys, same fragments, fewer bytes (negotiated per
+subscription, so XML-feed replicas coexist on the same broker).
+
 The ``cs`` meta bit records whether the ingest snapshot's cluster
 element carries an attached summary (``Gmetad.ingest`` aliases
 ``cluster.summary`` with ``snapshot.summary``).  Full-form cluster

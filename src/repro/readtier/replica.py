@@ -133,6 +133,7 @@ class ReadReplica:
             port=notify_port,
             sub_id=f"replica:{self.name}",
             lease=self.config.lease,
+            accept_binary=self.config.binary_feed,
         )
         self.client.on_applied = self._on_feed
         #: ingest version triple (generation, content_version,

@@ -64,6 +64,10 @@ class CostModel:
     query_fixed: float = 60.0
     #: cost of one hash-table insert while building the parsed snapshot
     hash_insert: float = 4.0
+    #: cost to decode one byte of a binary wire frame (column installs
+    #: are bulk ``frombuffer`` copies plus an inflate pass -- far below
+    #: the character-at-a-time XML ``parse_byte``)
+    binfmt_byte: float = 0.05
 
     def scaled(self, factor: float) -> "CostModel":
         """Return a copy with every coefficient multiplied by ``factor``."""

@@ -86,6 +86,12 @@ class GangliaParser:
 
     def __init__(self, validate: bool = True) -> None:
         self.validate = validate
+        #: METRIC elements that missed the ``_METRIC_FAST_RE`` lane and
+        #: fell through to the generic path.  The fallback is correct
+        #: but silent -- a writer attribute-order drift would quietly
+        #: turn the whole parse O(slow), and the binary codec shares the
+        #: same canonical-order assumption -- so consumers surface this.
+        self.fast_lane_misses = 0
 
     def parse(self, text: str, handler: SaxHandler) -> int:
         """Feed ``text`` through ``handler``; returns the event count.
@@ -115,6 +121,10 @@ class GangliaParser:
                     fast_metric(*fm.groups())
                     events += 2  # start + end of a self-closing element
                     continue
+                if match.group(1).startswith("METRIC "):
+                    # a real METRIC the fast lane could not take
+                    # ("METRICS " has no trailing space after "METRIC")
+                    self.fast_lane_misses += 1
             if validate:
                 # Anything between tags must be whitespace (no text nodes).
                 gap = text[pos : match.start()]
@@ -765,14 +775,16 @@ def parse_columnar(
     attributes); the caller re-parses with :func:`parse_document`.
     """
     builder = ColumnarBuilder(pool)
+    parser = GangliaParser(validate=validate)
     try:
-        GangliaParser(validate=validate).parse(text, builder)
+        parser.parse(text, builder)
     except KeyError as exc:
         # a required attribute is missing; the tree path's KeyError (or
         # the DTD's ParseError) is the behavior contract -- defer to it
         raise ColumnarFallback(f"missing attribute {exc}") from None
     if builder.document is None:
         raise ParseError("document produced no GANGLIA_XML root")
+    builder.document.fast_lane_misses = parser.fast_lane_misses
     return builder.document
 
 
