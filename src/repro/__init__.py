@@ -63,6 +63,7 @@ from repro.rrd.database import RrdDatabase
 from repro.sim.engine import Engine
 from repro.sim.resources import CostModel
 from repro.sim.rng import RngRegistry
+from repro.storage import StorageTier, StorageTierConfig, StorageUnavailable
 
 __version__ = "1.0.0"
 
@@ -94,6 +95,9 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FaultEvent",
+    "StorageTier",
+    "StorageTierConfig",
+    "StorageUnavailable",
     "FederationProbe",
     "SoakReport",
     "Federation",

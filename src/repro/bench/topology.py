@@ -29,6 +29,7 @@ from repro.core.gmetad_base import GmetadBase
 from repro.core.resilience import ResilienceConfig
 from repro.core.tree import GmetadConfig, MonitorTree
 from repro.obs.config import ObservabilityConfig
+from repro.storage.config import StorageTierConfig
 from repro.gmond.pseudo import PseudoGmond
 from repro.net.fabric import Fabric
 from repro.net.tcp import TcpNetwork
@@ -144,6 +145,7 @@ def build_paper_tree(
     columnar: bool = False,
     binary_wire: bool = False,
     binary_gmonds: Optional[Dict[str, bool]] = None,
+    storage_tier: Optional[StorageTierConfig] = None,
 ) -> Federation:
     """Build the Fig. 2 federation for one design.
 
@@ -194,6 +196,13 @@ def build_paper_tree(
     ``binary_gmonds`` maps cluster names to capability overrides for
     mixed-fleet experiments (``{"sdsc-c0": False}`` keeps that emulator
     XML-only); unlisted clusters follow ``binary_wire``.
+
+    ``storage_tier`` attaches one shared
+    :class:`~repro.storage.config.StorageTierConfig` to every gmetad:
+    each daemon archives through its own fleet of simulated storage
+    nodes (clustering-driven shard placement, R-way replication,
+    failover fetch, anti-entropy repair).  Default ``None``: the
+    single-store baseline, byte-for-byte.
     """
     engine = engine or Engine()
     fabric = Fabric()
@@ -217,6 +226,7 @@ def build_paper_tree(
             observability=observability,
             columnar=columnar,
             binary_wire=binary_wire,
+            storage_tier=storage_tier,
         )
         tree.add_gmetad(configs[name])
 

@@ -15,6 +15,9 @@ Subcommands:
 - ``readtier`` -- stand up a replicated read tier behind one gmetad of
   the Fig. 2 tree, drive a Zipf viewer fleet through the front door,
   and print placement/serving stats plus a byte-identity check;
+- ``storage`` -- archive one gmetad of the Fig. 2 tree through a
+  sharded, replicated storage-node fleet, kill a node mid-run, and
+  print placement, failover and repair stats;
 - ``check-gmetad-conf`` / ``check-gmond-conf`` -- parse real Ganglia
   config files and show how they map onto this library;
 - ``calibrate`` -- re-derive the CPU capacity anchor.
@@ -324,6 +327,74 @@ def _cmd_readtier(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_storage(args: argparse.Namespace) -> int:
+    from repro.faults.injector import FaultInjector
+    from repro.faults.schedules import FaultEvent, FaultSchedule
+    from repro.storage import StorageTierConfig
+
+    config = StorageTierConfig(
+        nodes=args.nodes,
+        shards=args.shards,
+        replication=args.replication,
+        repair_interval=args.repair_interval,
+    )
+    federation = build_paper_tree(
+        args.design, hosts_per_cluster=args.hosts, seed=args.seed,
+        archive_mode="full", storage_tier=config,
+    )
+    federation.start()
+    engine = federation.engine
+    injector = FaultInjector(engine, federation.fabric)
+    try:
+        gmetad = federation.gmetad(args.at)
+    except KeyError:
+        print(f"error: unknown gmetad {args.at!r}; choose from "
+              f"{sorted(federation.gmetads)}", file=sys.stderr)
+        return 2
+    tier = gmetad.rrd_store
+    injector.register_storage_tier(tier)
+    kill_at = args.warmup + args.window / 3.0
+    schedule = FaultSchedule([
+        FaultEvent(at=kill_at, action="storage_kill", host="st00",
+                   duration=args.window / 3.0),
+    ])
+    schedule.apply(injector)
+    engine.run_for(args.warmup + args.window)
+    stats = tier.stats()
+    print(f"storage tier at {args.at}: {args.nodes} nodes x "
+          f"{args.shards} shards, R={args.replication} "
+          f"({args.window:.0f}s window, st00 killed at t={kill_at:.0f}s)")
+    for node in tier.nodes.values():
+        state = "up" if node.up else "DOWN"
+        print(f"  {node.name}  {state:4s}  updates={node.updates_applied:8d} "
+              f"busy={node.busy_seconds:8.3f}s flushes={node.flushes} "
+              f"kills={node.kills}")
+    print(f"logical updates: {int(stats['logical_updates'])} "
+          f"({int(stats['physical_updates'])} physical across replicas)")
+    print(f"series: {int(stats['series'])} in {int(stats['shards'])} shards; "
+          f"groups migrated by clustering: {int(stats['groups_migrated'])}")
+    print(f"failover fetches: {int(stats['failover_fetches'])}  "
+          f"stale: {int(stats['stale_fetches'])}  "
+          f"failed: {int(stats['fetch_failures'])}  "
+          f"updates lost: {int(stats['updates_lost'])}")
+    print(f"under-replicated shards now: "
+          f"{int(stats['under_replicated_shards'])}; "
+          f"repairs completed: {int(stats['repairs_completed'])}")
+    if tier.repair_times:
+        worst = max(tier.repair_times)
+        print(f"time-to-repair: worst {worst:.1f}s over "
+              f"{len(tier.repair_times)} incidents "
+              f"(deadline {config.repair_deadline:.0f}s: "
+              f"{'OK' if worst <= config.repair_deadline else 'MISSED'})")
+    crit = stats["critical_path_seconds"]
+    if crit > 0:
+        print(f"parallel flush: critical path {crit:.3f}s of "
+              f"{stats['total_node_seconds']:.3f}s total node time "
+              f"({stats['total_node_seconds'] / crit:.2f}x overlap)")
+    federation.stop()
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.bench.calibration import calibrate_capacity, measure_root_cpu
 
@@ -425,6 +496,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
     _add_common(p)
     p.set_defaults(func=_cmd_readtier)
+
+    p = sub.add_parser(
+        "storage",
+        help="sharded+replicated storage tier under a node-kill schedule",
+    )
+    p.add_argument("--at", default="sdsc",
+                   help="which gmetad's tier to inspect (default sdsc)")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--shards", type=int, default=16)
+    p.add_argument("--replication", type=int, default=2)
+    p.add_argument("--repair-interval", type=float, default=15.0)
+    p.add_argument("--design", choices=("nlevel", "1level"), default="nlevel")
+    _add_common(p)
+    p.set_defaults(func=_cmd_storage)
 
     p = sub.add_parser("calibrate", help="re-derive the CPU capacity anchor")
     p.add_argument("--target", type=float, default=14.0)

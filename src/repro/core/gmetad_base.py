@@ -137,10 +137,28 @@ class GmetadBase:
             self._decode_pool = InternPool()
         if not fabric.has_host(config.host):
             fabric.add_host(config.host)
-        store = RrdStore(
-            mode=config.archive_mode,
-            rra_specs=rra_specs if rra_specs is not None else compact_rra_specs(),
-        )
+        if config.storage_tier is not None:
+            from repro.storage.tier import StorageTier
+
+            store = StorageTier(
+                engine,
+                config.storage_tier,
+                mode=config.archive_mode,
+                rra_specs=(
+                    rra_specs if rra_specs is not None else compact_rra_specs()
+                ),
+                # storage-node work is clocked in seconds: one physical
+                # RRD update costs its CPU work units at this daemon's
+                # capacity (units/second)
+                update_cost=self.costs.rrd_update / capacity,
+            )
+        else:
+            store = RrdStore(
+                mode=config.archive_mode,
+                rra_specs=(
+                    rra_specs if rra_specs is not None else compact_rra_specs()
+                ),
+            )
         self.archiver = Archiver(
             store, self.charge, self.costs, config.heartbeat_window
         )
@@ -229,6 +247,8 @@ class GmetadBase:
             poller.start()
         if self.obs is not None:
             self.obs.start()
+        if getattr(self.archiver.store, "is_storage_tier", False):
+            self.archiver.store.start()
         return self
 
     def stop(self) -> None:
@@ -237,6 +257,8 @@ class GmetadBase:
             poller.stop()
         if self.obs is not None:
             self.obs.stop()
+        if getattr(self.archiver.store, "is_storage_tier", False):
+            self.archiver.store.stop()
         self.tcp.close(Address.gmetad(self.config.host))
         self._started = False
 

@@ -21,6 +21,7 @@ from repro.core.resilience import ResilienceConfig
 from repro.net.address import Address
 from repro.obs.config import ObservabilityConfig
 from repro.readtier.config import ReadTierConfig
+from repro.storage.config import StorageTierConfig
 
 
 @dataclass
@@ -98,6 +99,12 @@ class GmetadConfig:
     #: broker so ReadReplica processes can serve viewer queries.  None
     #: keeps the single-daemon serving path byte-identical to baseline.
     read_tier: Optional[ReadTierConfig] = None
+    #: replicated, sharded storage tier: series placed across a fleet of
+    #: simulated storage nodes by feature clustering, hot shards
+    #: replicated R-way, failover fetch + anti-entropy repair on node
+    #: death.  None keeps the single-store archiver path byte-identical
+    #: to baseline.
+    storage_tier: Optional[StorageTierConfig] = None
 
     def __post_init__(self) -> None:
         if self.gridname is None:

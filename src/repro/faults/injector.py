@@ -22,6 +22,7 @@ class FaultInjector:
         self.engine = engine
         self.fabric = fabric
         self._flappers: List[Tuple[PeriodicTask, str]] = []
+        self._storage_tiers: List[object] = []
         self.log: List[tuple] = []  # (time, action, subject)
 
     def _record(self, action: str, subject: str) -> None:
@@ -244,6 +245,57 @@ class FaultInjector:
         self.engine.call_later(at, spike)
         if duration is not None:
             self.engine.call_later(at + duration, clear)
+
+    # -- storage nodes (repro.storage) -----------------------------------
+
+    def register_storage_tier(self, tier) -> None:
+        """Make a gmetad's storage tier addressable by node name.
+
+        Multiple tiers may register (one per gmetad); a kill targets the
+        node name in every tier that has it, so schedules stay
+        tier-agnostic the way host schedules are fabric-agnostic.
+        """
+        self._storage_tiers.append(tier)
+
+    def _storage_targets(self, node: str) -> List[object]:
+        tiers = [t for t in self._storage_tiers if t.has_node(node)]
+        if not tiers:
+            raise KeyError(f"no registered storage tier has node {node!r}")
+        return tiers
+
+    def kill_storage_node(
+        self, node: str, at: float = 0.0, duration: Optional[float] = None
+    ) -> None:
+        """Fail-stop one storage node at ``at``; restart after ``duration``.
+
+        ``duration=None`` leaves the node down until an explicit
+        ``restart_storage_node`` (or forever -- anti-entropy will
+        re-replicate its shards onto survivors either way).
+        """
+
+        def down() -> None:
+            for tier in self._storage_targets(node):
+                tier.kill_node(node)
+            self._record("storage-kill", node)
+
+        def up() -> None:
+            for tier in self._storage_targets(node):
+                tier.restart_node(node)
+            self._record("storage-restart", node)
+
+        self.engine.call_later(at, down)
+        if duration is not None:
+            self.engine.call_later(at + duration, up)
+
+    def restart_storage_node(self, node: str, at: float = 0.0) -> None:
+        """Bring a killed storage node back at the given time."""
+
+        def up() -> None:
+            for tier in self._storage_targets(node):
+                tier.restart_node(node)
+            self._record("storage-restart", node)
+
+        self.engine.call_later(at, up)
 
     # -- simulated cluster members (pseudo-gmond) ------------------------------
 

@@ -27,6 +27,8 @@ _ACTIONS = (
     "corrupt",
     "degrade",
     "spike",
+    "storage_kill",
+    "storage_restart",
 )
 #: Actions that operate on the links between ``group_a`` and ``group_b``.
 _GROUP_ACTIONS = ("partition", "corrupt", "degrade", "spike")
@@ -59,7 +61,11 @@ class FaultEvent:
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
             raise ValueError(f"unknown fault action {self.action!r}")
-        if self.action in ("crash", "recover", "flap") and not self.host:
+        if (
+            self.action
+            in ("crash", "recover", "flap", "storage_kill", "storage_restart")
+            and not self.host
+        ):
             raise ValueError(f"action {self.action!r} requires a host")
         if self.action in _GROUP_ACTIONS and not (
             self.group_a and self.group_b
@@ -110,6 +116,12 @@ class FaultSchedule:
                     down_fraction=event.down_fraction,
                     start=event.at,
                 )
+            elif event.action == "storage_kill":
+                injector.kill_storage_node(
+                    event.host, event.at, event.duration
+                )
+            elif event.action == "storage_restart":
+                injector.restart_storage_node(event.host, event.at)
             elif event.action == "partition":
                 injector.partition(
                     event.group_a, event.group_b, event.at, event.duration

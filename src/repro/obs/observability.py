@@ -51,6 +51,15 @@ class Observability:
         #: binary-enabled daemons: a baseline daemon's self-cluster
         #: output must stay byte-identical to pre-codec builds
         self._codec_split = bool(getattr(gmetad.config, "binary_wire", False))
+        #: storage-tier instruments exist only when the tier is on, for
+        #: the same reason; the tier also streams per-shard flush
+        #: timings into this registry once attached
+        store = getattr(getattr(gmetad, "archiver", None), "store", None)
+        self._storage_tier = (
+            store if getattr(store, "is_storage_tier", False) else None
+        )
+        if self._storage_tier is not None:
+            self._storage_tier.attach_registry(self.registry)
 
     # -- lifecycle (driven by GmetadBase.start/stop) ------------------------
 
@@ -284,6 +293,27 @@ class Observability:
         registry.gauge("cpu_busy_seconds").set(
             gmetad.cpu.total_busy_seconds
         )
+        tier = self._storage_tier
+        if tier is not None:
+            registry.gauge("storage_nodes_up").set(tier.nodes_up())
+            registry.gauge("storage_nodes_down").set(
+                len(tier.nodes) - tier.nodes_up()
+            )
+            registry.gauge("storage_under_replicated_shards").set(
+                tier.under_replicated_shards()
+            )
+            registry.gauge("storage_failover_fetches").set(
+                tier.failover_fetches
+            )
+            registry.gauge("storage_stale_fetches").set(tier.stale_fetches)
+            registry.gauge("storage_fetch_failures").set(tier.fetch_failures)
+            registry.gauge("storage_updates_lost").set(tier.updates_lost)
+            registry.gauge("storage_repairs_completed").set(
+                tier.repairs_completed
+            )
+            registry.gauge("storage_groups_migrated").set(
+                tier.groups_migrated
+            )
 
     def refresh_self_cluster(self) -> None:
         """Re-render and install the ``__gmetad__`` cluster in band."""

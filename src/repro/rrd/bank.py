@@ -306,6 +306,34 @@ class SeriesBank:
         self.size += count
         return first
 
+    def copy_series_from(self, src: "SeriesBank", src_i: int, dst_i: int) -> None:
+        """Overwrite series ``dst_i`` with the full state of ``src[src_i]``.
+
+        The replication primitive of the storage tier: step clock, PDP
+        accumulators and every RRA rung are copied column-wise, so the
+        destination series answers ``fetch``/``latest`` identically to
+        the source.  Banks must share step and RRA ladder.
+        """
+        if src.step != self.step or len(src.rras) != len(self.rras):
+            raise ValueError("banks must share step and RRA ladder")
+        for mine, theirs in zip(self.rras, src.rras):
+            if (
+                mine.cf is not theirs.cf
+                or mine.pdp_per_row != theirs.pdp_per_row
+                or mine.rows != theirs.rows
+            ):
+                raise ValueError("banks must share step and RRA ladder")
+        self._started[dst_i] = src._started[src_i]
+        self._cur_step[dst_i] = src._cur_step[src_i]
+        self._pdp_sum[dst_i] = src._pdp_sum[src_i]
+        self._pdp_count[dst_i] = src._pdp_count[src_i]
+        self._last_t[dst_i] = src._last_t[src_i]
+        self._updates[dst_i] = src._updates[src_i]
+        for mine, theirs in zip(self.rras, src.rras):
+            mine.values[:, dst_i] = theirs.values[:, src_i]
+            for name in _BankRra.__slots__[5:]:
+                getattr(mine, name)[dst_i] = getattr(theirs, name)[src_i]
+
     # -- writing -------------------------------------------------------------
 
     def update_column(

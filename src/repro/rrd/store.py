@@ -195,6 +195,54 @@ class RrdStore:
             float(num),
         )
 
+    def clone_series_from(self, key: MetricKey, src: "RrdStore") -> bool:
+        """Replicate one series' full state from another store.
+
+        The storage tier's repair/re-replication primitive: after the
+        copy, this store answers ``fetch``/``latest``/``updates`` for
+        ``key`` identically to ``src``.  The series lands in the same
+        home it has in the source (bank slot or scalar database); a key
+        that already lives in the *other* home here is an error -- the
+        histories would fork.  Returns False when there is nothing to
+        copy (unknown key, or either store only accounts).
+        """
+        if self.mode == "account" or src.mode == "account":
+            return False
+        src_i = src._bank_index.get(key)
+        if src_i is not None:
+            if key in self._databases:
+                raise ValueError(
+                    f"{key} is a scalar database here but bank-owned in src"
+                )
+            if self._bank is None:
+                from repro.rrd.bank import SeriesBank
+
+                self._bank = SeriesBank(
+                    step=self.step,
+                    rra_specs=self.rra_specs,
+                    downtime_fill=self.downtime_fill,
+                )
+            dst_i = self._bank_index.get(key)
+            if dst_i is None:
+                dst_i = self._bank.add_series(1)
+                self._bank_index[key] = dst_i
+                self.create_count += 1
+            self._bank.copy_series_from(src._bank, src_i, dst_i)
+            return True
+        db = src._databases.get(key)
+        if db is None:
+            return False
+        if key in self._bank_index:
+            raise ValueError(
+                f"{key} is bank-owned here but a scalar database in src"
+            )
+        import copy
+
+        if key not in self._databases:
+            self.create_count += 1
+        self._databases[key] = copy.deepcopy(db)
+        return True
+
     # -- reading -----------------------------------------------------------
 
     def database(self, key: MetricKey):

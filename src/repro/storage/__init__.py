@@ -1,0 +1,27 @@
+"""Replicated, sharded storage tier behind the gmetad archiver.
+
+Gated by ``GmetadConfig.storage_tier`` (a :class:`StorageTierConfig`);
+``None`` -- the default -- keeps the single-store archiver path
+byte-identical to baseline.  See DESIGN.md §12.
+"""
+
+from repro.storage.config import StorageTierConfig
+from repro.storage.node import StorageNode, make_node_names
+from repro.storage.placement import (
+    GroupFeatures,
+    ShardMap,
+    assign_groups,
+)
+from repro.storage.tier import StorageTier, StorageUnavailable, TierColumnPlan
+
+__all__ = [
+    "StorageTierConfig",
+    "StorageNode",
+    "make_node_names",
+    "GroupFeatures",
+    "ShardMap",
+    "assign_groups",
+    "StorageTier",
+    "StorageUnavailable",
+    "TierColumnPlan",
+]

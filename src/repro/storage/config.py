@@ -1,0 +1,88 @@
+"""Configuration for the replicated, sharded storage tier.
+
+Kept dependency-free (plain dataclass, no repro imports) because
+:mod:`repro.core.tree` imports it into :class:`GmetadConfig` -- the
+config gate must not drag the storage fleet into the core import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StorageTierConfig:
+    """Knobs for one gmetad's simulated storage-node fleet.
+
+    Attaching this to ``GmetadConfig.storage_tier`` replaces the
+    daemon's single :class:`~repro.rrd.store.RrdStore` with a
+    :class:`~repro.storage.tier.StorageTier`: series are partitioned
+    into ``shards`` placed across ``nodes`` simulated storage nodes by
+    feature clustering, hot shards replicate ``hot_replication``-way,
+    and fetches fail over to surviving replicas when a node dies.
+    ``None`` (the default) keeps the single-store archiver path
+    byte-identical to baseline.
+    """
+
+    #: number of simulated storage nodes behind the archiver
+    nodes: int = 4
+    #: number of series shards (placement unit; K in the placement math)
+    shards: int = 16
+    #: base replica count for every shard
+    replication: int = 1
+    #: replica count for *hot* shards (0 means "same as replication")
+    hot_replication: int = 0
+    #: fraction of shards (by query heat) promoted to hot replication
+    hot_fraction: float = 0.25
+    #: root seed for the deterministic placement machinery
+    placement_seed: int = 20031201
+    #: how often the clustering-driven placement refinement runs
+    #: (seconds of simulated time; 0 disables periodic rebalancing)
+    rebalance_interval: float = 120.0
+    #: cap on series *groups* moved between shards per rebalance pass
+    #: (the "bounded movement" of the clustering refinement)
+    max_group_moves: int = 8
+    #: k-means iteration budget for the feature clustering
+    kmeans_iterations: int = 8
+    #: anti-entropy sweep cadence (seconds; 0 disables self-repair)
+    repair_interval: float = 15.0
+    #: target: every under-replicated shard is restored to its replica
+    #: count within this many seconds of the incident (reported against
+    #: measured time-to-repair; the sweep cadence must make it feasible)
+    repair_deadline: float = 60.0
+    #: simulated seconds of storage-node work per physical RRD update
+    #: (defaults to the CostModel's rrd_update when left at 0)
+    rrd_update_cost: float = 0.0
+    #: simulated seconds of storage-node work to re-replicate one series
+    repair_cost_per_series: float = 2.0e-5
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("storage tier needs at least one node")
+        if self.shards < 1:
+            raise ValueError("storage tier needs at least one shard")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.hot_replication < 0:
+            raise ValueError("hot_replication must be >= 0 (0 = base)")
+        if not (0.0 <= self.hot_fraction <= 1.0):
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.rebalance_interval < 0:
+            raise ValueError("rebalance_interval must be >= 0")
+        if self.max_group_moves < 0:
+            raise ValueError("max_group_moves must be >= 0")
+        if self.kmeans_iterations < 1:
+            raise ValueError("kmeans_iterations must be >= 1")
+        if self.repair_interval < 0:
+            raise ValueError("repair_interval must be >= 0")
+        if self.repair_deadline <= 0:
+            raise ValueError("repair_deadline must be positive")
+        if self.rrd_update_cost < 0:
+            raise ValueError("rrd_update_cost must be >= 0")
+        if self.repair_cost_per_series < 0:
+            raise ValueError("repair_cost_per_series must be >= 0")
+
+    @property
+    def effective_hot_replication(self) -> int:
+        """Replica count hot shards actually get (never below base)."""
+        return max(self.replication, self.hot_replication or self.replication)

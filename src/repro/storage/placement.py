@@ -1,0 +1,289 @@
+"""Clustering-driven shard placement for the storage tier.
+
+Two layers, deliberately separate:
+
+- **Series groups -> shards** (:func:`assign_groups`): every archived
+  series belongs to a *group* -- one ``(source, cluster, host)`` -- and
+  groups are packed into K shards by a seeded k-means over their feature
+  vectors (update rate, query heat, source/cluster affinity) followed by
+  a weight-balanced slicing of the cluster ordering.  Affinity
+  coordinates are derived from the ``(source, cluster)`` names, so hosts
+  of one cluster land adjacent and usually share shards -- the
+  clustering-aware co-location of SNIPPETS.md snippet 1.
+- **Shards -> storage nodes** (:class:`ShardMap`): each shard owns an
+  ordered replica list (primary first).  Rebalancing after a node join
+  or leave is *bounded*: a single membership change moves at most
+  ``ceil(slots/N)`` shards (``ceil(K/N)`` at R=1), never a full
+  reshuffle -- the property the Hypothesis suite pins.
+
+Everything here is pure data manipulation: deterministic given
+(features, seed), no simulation clock, no randomness beyond
+seed-derived streams.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.rng import derive_seed
+
+#: A series group: every key of one (source, cluster, host) moves as a unit.
+GroupKey = Tuple[str, str, str]
+
+#: Weight of the affinity coordinates relative to the (normalized) rate
+#: and heat axes.  Affinity dominates so same-cluster groups cluster
+#: together unless their load profiles diverge hard.
+_AFFINITY_WEIGHT = 2.0
+
+
+@dataclass(frozen=True)
+class GroupFeatures:
+    """Placement features for one series group."""
+
+    update_rate: float = 0.0  # archive updates per observation window
+    query_heat: float = 0.0   # fetches served from the group's series
+
+    def weight(self) -> float:
+        """Packing weight: how much storage work the group represents."""
+        return 1.0 + self.update_rate + self.query_heat
+
+
+def _affinity_point(group: GroupKey, seed: int) -> Tuple[float, float]:
+    """Stable 2-D coordinate shared by all hosts of one (source, cluster)."""
+    source, cluster, _host = group
+    span = float(2**63)
+    x = derive_seed(seed, f"aff-x:{source}") / span
+    y = derive_seed(seed, f"aff-y:{source}/{cluster}") / span
+    return x, y
+
+
+def _feature_vectors(
+    groups: Sequence[GroupKey],
+    features: Dict[GroupKey, GroupFeatures],
+    seed: int,
+) -> List[Tuple[float, ...]]:
+    max_rate = max(
+        (features[g].update_rate for g in groups), default=0.0
+    ) or 1.0
+    max_heat = max(
+        (features[g].query_heat for g in groups), default=0.0
+    ) or 1.0
+    vectors = []
+    for g in groups:
+        f = features[g]
+        ax, ay = _affinity_point(g, seed)
+        vectors.append(
+            (
+                f.update_rate / max_rate,
+                f.query_heat / max_heat,
+                ax * _AFFINITY_WEIGHT,
+                ay * _AFFINITY_WEIGHT,
+            )
+        )
+    return vectors
+
+
+def _sq_dist(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def _kmeans_labels(
+    vectors: List[Tuple[float, ...]], k: int, seed: int, iterations: int
+) -> List[int]:
+    """Seeded Lloyd iterations; ties and init are deterministic."""
+    n = len(vectors)
+    k = min(k, n)
+    rng = random.Random(derive_seed(seed, "kmeans-init"))
+    order = list(range(n))
+    rng.shuffle(order)
+    centroids = [list(vectors[i]) for i in order[:k]]
+    labels = [0] * n
+    for _ in range(iterations):
+        moved = False
+        for i, v in enumerate(vectors):
+            best, best_d = 0, math.inf
+            for c, centroid in enumerate(centroids):
+                d = _sq_dist(v, centroid)
+                if d < best_d - 1e-15:
+                    best, best_d = c, d
+            if labels[i] != best:
+                labels[i] = best
+                moved = True
+        sums = [[0.0] * len(vectors[0]) for _ in range(k)]
+        counts = [0] * k
+        for i, v in enumerate(vectors):
+            c = labels[i]
+            counts[c] += 1
+            for j, x in enumerate(v):
+                sums[c][j] += x
+        for c in range(k):
+            if counts[c]:  # empty clusters keep their old centroid
+                centroids[c] = [s / counts[c] for s in sums[c]]
+        if not moved:
+            break
+    return labels
+
+
+def assign_groups(
+    features: Dict[GroupKey, GroupFeatures],
+    shards: int,
+    seed: int,
+    iterations: int = 8,
+) -> Dict[GroupKey, int]:
+    """Deterministically place every group into one of ``shards`` shards.
+
+    k-means clusters the feature vectors (so similar groups are adjacent
+    in the packing order), then the cluster-sorted group sequence is
+    sliced into shards at equal *weight* boundaries.  Balanced shard
+    weights are what make the per-node flush critical path scale with
+    node count; the adjacency is what keeps a cluster's hosts
+    co-located.
+    """
+    groups = sorted(features)
+    if not groups:
+        return {}
+    vectors = _feature_vectors(groups, features, seed)
+    labels = _kmeans_labels(vectors, shards, seed, iterations)
+    ordered = sorted(range(len(groups)), key=lambda i: (labels[i], groups[i]))
+    total = sum(features[g].weight() for g in groups)
+    assignment: Dict[GroupKey, int] = {}
+    cum = 0.0
+    shard = 0
+    for i in ordered:
+        g = groups[i]
+        # advance to the shard whose weight band contains the cumulative
+        # midpoint of this group -- never past the last shard
+        mid = cum + features[g].weight() / 2.0
+        while shard < shards - 1 and mid >= (shard + 1) * total / shards:
+            shard += 1
+        assignment[g] = shard
+        cum += features[g].weight()
+    return assignment
+
+
+class ShardMap:
+    """Shard -> ordered replica (storage node) lists, rebalanced minimally.
+
+    The invariant the bounded-movement guarantee rests on: replica slots
+    stay balanced across live nodes (max load - min load <= 1).  Under
+    that invariant a dead node holds at most ``ceil(slots/N)`` slots (so
+    a leave changes at most that many shards) and a join pulls at most
+    ``ceil(slots/(N+1))`` slots onto the new node -- both within the
+    ``ceil(K/N)``-at-R=1 budget.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        node_names: Sequence[str],
+        replication: int = 1,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if not node_names:
+            raise ValueError("need at least one node")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.shards = shards
+        self.node_names: List[str] = sorted(node_names)
+        n = len(self.node_names)
+        self.targets: List[int] = [min(replication, n)] * shards
+        # round-robin start: primary s % N, backups on the next nodes --
+        # balanced per replica rank, so per-node load starts balanced
+        self.replicas: List[List[str]] = [
+            [self.node_names[(s + r) % n] for r in range(self.targets[s])]
+            for s in range(shards)
+        ]
+
+    # -- queries -----------------------------------------------------------
+
+    def target(self, shard: int) -> int:
+        return self.targets[shard]
+
+    def set_target(self, shard: int, replication: int) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.targets[shard] = replication
+
+    def loads(self, live: Sequence[str]) -> Dict[str, int]:
+        """Replica slots currently assigned per live node."""
+        load = {name: 0 for name in live}
+        for nodes in self.replicas:
+            for name in nodes:
+                if name in load:
+                    load[name] += 1
+        return load
+
+    def shards_on(self, node: str) -> List[int]:
+        return [s for s, nodes in enumerate(self.replicas) if node in nodes]
+
+    # -- mutation ----------------------------------------------------------
+
+    def replace_replica(self, shard: int, old: str, new: str) -> None:
+        """Swap one replica in place (repair picked a replacement node)."""
+        nodes = self.replicas[shard]
+        nodes[nodes.index(old)] = new
+
+    def add_replica(self, shard: int, node: str) -> None:
+        if node in self.replicas[shard]:
+            raise ValueError(f"{node} already replicates shard {shard}")
+        self.replicas[shard].append(node)
+
+    def rebalance(self, live: Sequence[str]) -> int:
+        """Adapt to the live set; returns how many shards changed.
+
+        Three deterministic passes: evict dead replicas, refill each
+        shard to its target from the least-loaded live nodes, then drain
+        the load spread to <= 1 by moving single replicas from the most-
+        to the least-loaded node (this is the only pass a pure join
+        exercises, and it only ever moves slots *onto* underloaded
+        nodes).
+        """
+        live_set = set(live)
+        for name in sorted(live_set):
+            if name not in self.node_names:
+                self.node_names.append(name)
+        self.node_names.sort()
+        changed = set()
+
+        for s, nodes in enumerate(self.replicas):
+            kept = [n for n in nodes if n in live_set]
+            if len(kept) != len(nodes):
+                changed.add(s)
+            self.replicas[s] = kept
+
+        if not live_set:
+            return len(changed)
+        load = self.loads(sorted(live_set))
+        for s in range(self.shards):
+            nodes = self.replicas[s]
+            want = min(self.targets[s], len(live_set))
+            while len(nodes) < want:
+                candidates = [n for n in load if n not in nodes]
+                if not candidates:
+                    break
+                pick = min(candidates, key=lambda n: (load[n], n))
+                nodes.append(pick)
+                load[pick] += 1
+                changed.add(s)
+
+        for _ in range(sum(self.targets)):
+            lo = min(load, key=lambda n: (load[n], n))
+            hi = max(load, key=lambda n: (load[n], n))
+            if load[hi] - load[lo] <= 1:
+                break
+            moved = False
+            for s in sorted(self.shards_on(hi)):
+                if lo not in self.replicas[s]:
+                    self.replace_replica(s, hi, lo)
+                    load[hi] -= 1
+                    load[lo] += 1
+                    changed.add(s)
+                    moved = True
+                    break
+            if not moved:
+                break
+        return len(changed)

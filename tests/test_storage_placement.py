@@ -1,0 +1,172 @@
+"""Placement properties: deterministic clustering, bounded shard movement.
+
+The two guarantees the storage tier's placement layer makes:
+
+- :func:`assign_groups` is a pure function of (features, seed) -- same
+  inputs, same placement, across calls and across processes;
+- :class:`ShardMap.rebalance` after a *single* node join or leave moves
+  at most ``ceil(K/N)`` shards (at R=1), never a full reshuffle.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.placement import (
+    GroupFeatures,
+    ShardMap,
+    assign_groups,
+)
+
+
+def grid_features(clusters=4, hosts=12, rate=1.0, heat=0.0):
+    """Uniform features over a clusters x hosts grid of groups."""
+    return {
+        (f"src{c}", f"cluster{c}", f"host{h:02d}"): GroupFeatures(
+            update_rate=rate, query_heat=heat
+        )
+        for c in range(clusters)
+        for h in range(hosts)
+    }
+
+
+class TestAssignGroups:
+    def test_empty_features(self):
+        assert assign_groups({}, shards=8, seed=1) == {}
+
+    def test_covers_every_group_within_range(self):
+        features = grid_features()
+        assignment = assign_groups(features, shards=8, seed=7)
+        assert set(assignment) == set(features)
+        assert all(0 <= s < 8 for s in assignment.values())
+
+    def test_deterministic_across_calls(self):
+        features = grid_features(rate=2.0, heat=3.0)
+        first = assign_groups(features, shards=16, seed=42)
+        second = assign_groups(features, shards=16, seed=42)
+        assert first == second
+
+    def test_weight_balanced_shards(self):
+        """Equal-weight groups land in near-equal-weight shards."""
+        features = grid_features(clusters=4, hosts=16)
+        assignment = assign_groups(features, shards=8, seed=3)
+        sizes = [0] * 8
+        for s in assignment.values():
+            sizes[s] += 1
+        assert max(sizes) - min(sizes) <= 2  # 64 groups over 8 shards
+        assert min(sizes) > 0
+
+    def test_cluster_affinity_colocates_hosts(self):
+        """Hosts of one cluster occupy a contiguous slice of shards --
+        not a scatter across the whole ring."""
+        features = grid_features(clusters=4, hosts=12)
+        assignment = assign_groups(features, shards=8, seed=11)
+        for c in range(4):
+            shards = {
+                assignment[g] for g in assignment if g[0] == f"src{c}"
+            }
+            # 12 of 48 equal-weight groups ~ a quarter of 8 shards, plus
+            # at most one boundary spill on each side
+            assert len(shards) <= 4, f"cluster {c} scattered to {shards}"
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        shards=st.integers(min_value=1, max_value=32),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_deterministic_given_features_and_seed(
+        self, rates, shards, seed
+    ):
+        features = {
+            ("s", f"c{i % 3}", f"h{i}"): GroupFeatures(
+                update_rate=rate, query_heat=float(i)
+            )
+            for i, rate in enumerate(rates)
+        }
+        first = assign_groups(features, shards, seed)
+        second = assign_groups(features, shards, seed)
+        assert first == second
+        assert set(first) == set(features)
+        assert all(0 <= s < shards for s in first.values())
+
+
+class TestShardMap:
+    def test_initial_assignment_balanced(self):
+        shard_map = ShardMap(16, [f"st{i:02d}" for i in range(4)])
+        loads = shard_map.loads(shard_map.node_names)
+        assert set(loads.values()) == {4}
+
+    def test_replication_gives_distinct_replicas(self):
+        shard_map = ShardMap(8, ["a", "b", "c"], replication=2)
+        for nodes in shard_map.replicas:
+            assert len(nodes) == 2
+            assert len(set(nodes)) == 2
+
+    def test_replication_capped_at_node_count(self):
+        shard_map = ShardMap(4, ["a", "b"], replication=5)
+        assert all(len(nodes) == 2 for nodes in shard_map.replicas)
+
+    def test_replace_and_add_replica(self):
+        shard_map = ShardMap(4, ["a", "b", "c"])
+        old = shard_map.replicas[0][0]
+        new = next(n for n in ("a", "b", "c") if n != old)
+        with pytest.raises(ValueError):
+            shard_map.add_replica(0, old)
+        shard_map.replace_replica(0, old, "c" if new != "c" else "b")
+        assert old not in shard_map.replicas[0]
+
+    @given(
+        shards=st.integers(min_value=1, max_value=64),
+        node_count=st.integers(min_value=2, max_value=12),
+        victim=st.integers(min_value=0, max_value=11),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_single_leave_moves_at_most_ceil_k_over_n(
+        self, shards, node_count, victim
+    ):
+        names = [f"st{i:02d}" for i in range(node_count)]
+        shard_map = ShardMap(shards, names)
+        dead = names[victim % node_count]
+        survivors = [n for n in names if n != dead]
+        moved = shard_map.rebalance(survivors)
+        assert moved <= math.ceil(shards / node_count)
+        # every shard is healed onto a survivor
+        for nodes in shard_map.replicas:
+            assert len(nodes) == 1
+            assert nodes[0] in survivors
+        loads = shard_map.loads(survivors)
+        assert max(loads.values()) - min(loads.values()) <= 1
+
+    @given(
+        shards=st.integers(min_value=1, max_value=64),
+        node_count=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_single_join_moves_at_most_ceil_k_over_n(
+        self, shards, node_count
+    ):
+        names = [f"st{i:02d}" for i in range(node_count)]
+        shard_map = ShardMap(shards, names)
+        joined = names + ["zz-new"]
+        moved = shard_map.rebalance(joined)
+        assert moved <= math.ceil(shards / node_count)
+        loads = shard_map.loads(joined)
+        assert max(loads.values()) - min(loads.values()) <= 1
+        # the new node actually took its share
+        assert loads["zz-new"] >= shards // (node_count + 1)
+
+    def test_rebalance_is_deterministic(self):
+        def run():
+            shard_map = ShardMap(16, [f"st{i:02d}" for i in range(4)])
+            shard_map.rebalance([f"st{i:02d}" for i in range(4) if i != 1])
+            shard_map.rebalance([f"st{i:02d}" for i in range(5)])
+            return [list(nodes) for nodes in shard_map.replicas]
+
+        assert run() == run()
