@@ -1,0 +1,18 @@
+"""Streaming analytics + predictive alerting over the archive tier.
+
+A vectorized stage that runs on :class:`~repro.rrd.bank.SeriesBank`'s
+2-D ring arrays at each archive flush: rolling derivatives, EWMA
+trend/anomaly z-scores and time-to-threshold prediction, feeding the
+predictive rule kinds in :mod:`repro.core.alarms` and publishing its
+own signals as an in-band ``__analytics__`` cluster.
+"""
+
+from repro.analytics.config import ANALYTICS_SOURCE, AnalyticsConfig
+from repro.analytics.engine import AnalyticsEngine, SeriesReading
+
+__all__ = [
+    "ANALYTICS_SOURCE",
+    "AnalyticsConfig",
+    "AnalyticsEngine",
+    "SeriesReading",
+]

@@ -1,0 +1,110 @@
+"""Vectorized analytics kernels over a time-major window matrix.
+
+Every kernel takes the ``(k, n)`` matrix produced by
+:meth:`repro.rrd.bank.SeriesBank.window_matrix` -- ``k`` archive rows
+(oldest first) by ``n`` series -- and reduces it column-wise with whole-
+bank numpy operations.  There is no per-series Python dispatch anywhere:
+cost scales as array ops over the window, not as interpreter loops over
+the series population.  NaN marks rows a series has not written (or
+consolidated away under xff); all kernels mask it out per column.
+
+``tests/test_analytics_kernels.py`` pins each kernel against a scalar
+per-series reference implementation (the differential test).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def latest_values(values: np.ndarray) -> np.ndarray:
+    """Each series' newest non-NaN row value (NaN when it has none)."""
+    k, n = values.shape
+    mask = ~np.isnan(values)
+    # per column: offset (from the newest row) of the last valid row
+    back = np.argmax(mask[::-1], axis=0)
+    latest = values[k - 1 - back, np.arange(n)]
+    latest[~mask.any(axis=0)] = np.nan
+    return latest
+
+
+def rolling_slope(
+    values: np.ndarray, row_seconds: float, min_points: int
+) -> np.ndarray:
+    """Per-series least-squares slope over the window, in units/second.
+
+    NaN rows are excluded per column; columns with fewer than
+    ``min_points`` known rows (or no time spread) report NaN.  One
+    masked moment computation across the whole matrix.
+    """
+    k, n = values.shape
+    mask = ~np.isnan(values)
+    x = np.arange(k, dtype=float)[:, None] * row_seconds
+    y = np.where(mask, values, 0.0)
+    cnt = mask.sum(axis=0)
+    sx = (x * mask).sum(axis=0)
+    sy = y.sum(axis=0)
+    sxx = (x * x * mask).sum(axis=0)
+    sxy = (x * y).sum(axis=0)
+    denom = cnt * sxx - sx * sx
+    slope = np.full(n, np.nan)
+    ok = (cnt >= max(2, min_points)) & (denom > 0)
+    slope[ok] = (cnt[ok] * sxy[ok] - sx[ok] * sy[ok]) / denom[ok]
+    return slope
+
+
+def ewma_mean_var(
+    values: np.ndarray, alpha: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """EWMA mean and variance per series, walked oldest row to newest.
+
+    The standard recurrences -- ``mean += alpha * d`` and
+    ``var = (1 - alpha) * (var + alpha * d^2)`` -- seeded from each
+    series' first known row.  The loop is over the (constant, small)
+    window length; every iteration is a whole-row vector op.
+    """
+    k, n = values.shape
+    mean = np.full(n, np.nan)
+    var = np.zeros(n)
+    for j in range(k):
+        row = values[j]
+        known = ~np.isnan(row)
+        fresh = known & np.isnan(mean)
+        mean[fresh] = row[fresh]
+        upd = known & ~np.isnan(mean) & ~fresh
+        d = row[upd] - mean[upd]
+        incr = alpha * d
+        mean[upd] += incr
+        var[upd] = (1.0 - alpha) * (var[upd] + d * incr)
+    return mean, var
+
+
+def ewma_zscore(
+    values: np.ndarray,
+    alpha: float,
+    min_points: int,
+    floor_abs: float = 1e-6,
+    floor_rel: float = 0.05,
+) -> np.ndarray:
+    """Anomaly z-score of each series' newest row vs its own history.
+
+    The baseline is the EWMA mean/variance of rows ``0..k-2``; the
+    newest row is scored against it, with the denominator floored at
+    ``floor_abs + floor_rel * |mean|`` so a near-constant series does
+    not alarm on float dust.  Columns with fewer than ``min_points``
+    history rows (or a NaN newest row) report NaN.
+    """
+    if values.shape[0] < 2:
+        return np.full(values.shape[1], np.nan)
+    history = values[:-1]
+    newest = values[-1]
+    mean, var = ewma_mean_var(history, alpha)
+    cnt = (~np.isnan(history)).sum(axis=0)
+    std = np.sqrt(np.maximum(var, 0.0))
+    z = np.full(values.shape[1], np.nan)
+    ok = (cnt >= min_points) & ~np.isnan(newest) & ~np.isnan(mean)
+    denom = np.maximum(std[ok], floor_abs + floor_rel * np.abs(mean[ok]))
+    z[ok] = (newest[ok] - mean[ok]) / denom
+    return z

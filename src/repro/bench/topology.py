@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analytics.config import AnalyticsConfig
 from repro.core.gmetad import Gmetad
 from repro.core.gmetad_1level import OneLevelGmetad
 from repro.core.gmetad_base import GmetadBase
@@ -146,6 +147,7 @@ def build_paper_tree(
     binary_wire: bool = False,
     binary_gmonds: Optional[Dict[str, bool]] = None,
     storage_tier: Optional[StorageTierConfig] = None,
+    analytics: Optional[AnalyticsConfig] = None,
 ) -> Federation:
     """Build the Fig. 2 federation for one design.
 
@@ -203,6 +205,13 @@ def build_paper_tree(
     nodes (clustering-driven shard placement, R-way replication,
     failover fetch, anti-entropy repair).  Default ``None``: the
     single-store baseline, byte-for-byte.
+
+    ``analytics`` attaches one shared
+    :class:`~repro.analytics.config.AnalyticsConfig` to every gmetad:
+    each archive flush triggers a vectorized trend/anomaly pass over the
+    daemon's archived series, feeding the predictive alarm-rule kinds
+    and an in-band ``__analytics__`` signal cluster.  Default ``None``:
+    no analytics, output byte-identical to baseline.
     """
     engine = engine or Engine()
     fabric = Fabric()
@@ -227,6 +236,7 @@ def build_paper_tree(
             columnar=columnar,
             binary_wire=binary_wire,
             storage_tier=storage_tier,
+            analytics=analytics,
         )
         tree.add_gmetad(configs[name])
 

@@ -10,6 +10,7 @@ Recognized directives::
     scalability on|off          # off selects the 1-level design
     trusted_hosts host1 host2 ...
     rrd_rootdir "/var/lib/ganglia/rrds"
+    analytics on|off            # streaming analytics stage (default off)
 
 ``data_source`` follows the real daemon's convention: the optional
 second token is the polling interval in seconds (default 15); each
@@ -23,6 +24,7 @@ import shlex
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.analytics.config import AnalyticsConfig
 from repro.core.tree import DataSourceConfig, GmetadConfig
 from repro.net.address import GMOND_XML_PORT, Address
 
@@ -45,6 +47,7 @@ class ParsedGmetadConf:
     authority: Optional[str] = None
     xml_port: int = 8651
     scalability: bool = True  # True -> N-level, False -> 1-level
+    analytics: bool = False   # streaming analytics + predictive alerting
     trusted_hosts: List[str] = field(default_factory=list)
     rrd_rootdir: str = "/var/lib/ganglia/rrds"
     data_sources: List[DataSourceConfig] = field(default_factory=list)
@@ -59,6 +62,8 @@ class ParsedGmetadConf:
             archive_mode=archive_mode,
         )
         config.data_sources = list(self.data_sources)
+        if self.analytics:
+            config.analytics = AnalyticsConfig()
         return config
 
     @property
@@ -151,6 +156,10 @@ def parse_gmetad_conf(text: str) -> ParsedGmetadConf:
             if len(tokens) != 2 or tokens[1] not in ("on", "off"):
                 raise ConfigError("scalability takes on|off", line_number)
             parsed.scalability = tokens[1] == "on"
+        elif directive == "analytics":
+            if len(tokens) != 2 or tokens[1] not in ("on", "off"):
+                raise ConfigError("analytics takes on|off", line_number)
+            parsed.analytics = tokens[1] == "on"
         elif directive == "trusted_hosts":
             parsed.trusted_hosts.extend(tokens[1:])
         elif directive == "rrd_rootdir":

@@ -12,11 +12,30 @@ the standard hysteresis that keeps a single noisy sample from paging a
 human.  Evaluation runs on the polling timescale: alarms inspect the
 latest fully-parsed snapshot, never block queries, and cost one pass
 over the matched metrics.
+
+Three rule kinds:
+
+- ``"value"`` (default) -- threshold on the current value.  Host-depth
+  selectors alarm on *silence*: how long since the host was last heard
+  from, measured against engine-now.  The snapshot's parse-time ``TN``
+  alone is wrong here: under conditional polls (PR 2) a NOT-MODIFIED
+  reply re-confirms the held report without re-parsing it, freezing the
+  stored TN, and when a source dies the snapshot stops moving entirely.
+  Both re-base correctly through the source's ``last_success`` stamp.
+- ``"anomaly"`` -- threshold on the EWMA z-score the analytics stage
+  (``repro.analytics``) computes over the series' archived history.
+- ``"predict_cross"`` -- fires when the series' fitted trend crosses
+  the threshold within ``within_seconds`` (alert *before* the static
+  rule would).  The compared value is the predicted time-to-cross.
+
+Predictive kinds evaluate against ``gmetad.analytics`` and simply skip
+subjects with no reading (or daemons with the analytics gate off).
 """
 
 from __future__ import annotations
 
 import enum
+import math
 import operator
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -35,6 +54,9 @@ _OPS: Dict[str, Callable[[float, float], bool]] = {
     "!=": operator.ne,
 }
 
+#: rule kinds (see module docstring)
+RULE_KINDS = ("value", "anomaly", "predict_cross")
+
 
 class AlarmState(enum.Enum):
     OK = "ok"
@@ -47,8 +69,13 @@ class AlarmRule:
     """One alarm definition.
 
     ``selector`` is a regex path query over *metrics* (depth 3) or
-    *hosts* (depth 2; the condition then applies to the host's TN --
-    letting a rule express "host silent for 60s").
+    *hosts* (depth 2; the condition then applies to the host's silence
+    time -- letting a rule express "host silent for 60s").
+
+    ``kind`` picks what the condition applies to: the current value,
+    the analytics z-score, or -- for ``"predict_cross"`` -- the
+    predicted seconds until the trend crosses ``threshold``, which must
+    land within ``within_seconds`` for the rule to be true.
     """
 
     name: str
@@ -57,12 +84,23 @@ class AlarmRule:
     threshold: float
     hold_seconds: float = 0.0
     severity: str = "warning"
+    kind: str = "value"
+    within_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.op not in _OPS:
             raise ValueError(f"unknown operator {self.op!r}")
         if self.hold_seconds < 0:
             raise ValueError("hold_seconds must be non-negative")
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if self.kind == "predict_cross":
+            if self.within_seconds <= 0:
+                raise ValueError("predict_cross requires within_seconds > 0")
+            if self.op not in (">", ">=", "<", "<="):
+                raise ValueError(
+                    "predict_cross needs a directional operator (<, <=, >, >=)"
+                )
 
     def condition(self, value: float) -> bool:
         """Apply the threshold predicate to one value."""
@@ -83,7 +121,15 @@ class Alarm:
 
 @dataclass(frozen=True)
 class Notification:
-    """What gets relayed to the human observer."""
+    """What gets relayed to the human observer.
+
+    ``reason`` qualifies the transition: fires carry the rule kind that
+    tripped ("threshold", "anomaly", "predicted"); resolves distinguish
+    "cleared" (the subject is still reported and its condition went
+    false -- ``value`` is fresh) from "vanished" (the subject left the
+    snapshot entirely -- ``value`` is the last value seen *before* it
+    disappeared, not a current reading).
+    """
 
     time: float
     kind: str  # "fire" | "resolve"
@@ -91,14 +137,24 @@ class Notification:
     subject: str
     value: float
     severity: str
+    reason: str = ""
 
     def render(self) -> str:
         """One printable notification line."""
         arrow = "!!" if self.kind == "fire" else "ok"
+        suffix = f" ({self.reason})" if self.reason else ""
         return (
             f"[{self.time:10.1f}] {arrow} {self.severity.upper():8s} "
-            f"{self.rule}: {self.subject} value={self.value:.3f}"
+            f"{self.rule}: {self.subject} value={self.value:.3f}{suffix}"
         )
+
+
+#: fire reason per rule kind
+_FIRE_REASONS = {
+    "value": "threshold",
+    "anomaly": "anomaly",
+    "predict_cross": "predicted",
+}
 
 
 class AlarmEngine:
@@ -115,6 +171,7 @@ class AlarmEngine:
         self.rules: List[AlarmRule] = []
         self.alarms: Dict[Tuple[str, str], Alarm] = {}
         self.notifications: List[Notification] = []
+        self.evaluations = 0
         self._notify_cb = notify
         self._query_engine = RegexQueryEngine(gmetad.datastore)
         self._task: Optional[PeriodicTask] = None
@@ -141,9 +198,25 @@ class AlarmEngine:
             self._task.stop()
             self._task = None
 
-    # -- evaluation ----------------------------------------------------------
+    # -- per-subject value extraction ----------------------------------------
 
-    def _extract_value(self, element) -> Optional[float]:
+    def _silence_seconds(self, source: str, host: HostElement, now: float) -> float:
+        """Engine-now-relative time since the host was last heard from.
+
+        The parsed ``TN`` dates the host's report *within* the snapshot;
+        the snapshot itself was last confirmed at the source's
+        ``last_success`` (a fresh install or a NOT-MODIFIED touch, which
+        re-asserts the held report at confirmation time).  Silence is
+        the sum: report age at confirmation plus how long ago the
+        confirmation was -- so it keeps accruing while the source is
+        unreachable instead of freezing at the stale parse-time TN.
+        """
+        snapshot = self.gmetad.datastore.source(source)
+        if snapshot is None:
+            return host.tn
+        return host.tn + max(0.0, now - snapshot.last_success)
+
+    def _extract_value(self, source: str, element, now: float) -> Optional[float]:
         if isinstance(element, MetricElement):
             if not element.is_numeric:
                 return None
@@ -152,32 +225,78 @@ class AlarmEngine:
             except ValueError:
                 return None
         if isinstance(element, HostElement):
-            return element.tn  # host-level rules act on silence time
+            return self._silence_seconds(source, element, now)
         return None
+
+    def _predicted_cross(self, rule: AlarmRule, reading) -> Optional[float]:
+        """Seconds until the fitted trend crosses the rule threshold.
+
+        0 when already across, ``inf`` when not heading toward the
+        threshold, None when there is no usable trend yet.
+        """
+        latest = reading.latest
+        slope = reading.slope
+        if math.isnan(latest) or math.isnan(slope):
+            return None
+        if rule.condition(latest):
+            return 0.0
+        rising = rule.op in (">", ">=")
+        approaching = slope > 0 if rising else slope < 0
+        if not approaching:
+            return math.inf
+        return (rule.threshold - latest) / slope
+
+    def _rule_value(self, rule: AlarmRule, match, now: float) -> Optional[float]:
+        """The scalar this rule compares for one matched subject."""
+        if rule.kind == "value":
+            return self._extract_value(match.path[0], match.element, now)
+        # predictive kinds read the analytics stage; metric subjects only
+        if not isinstance(match.element, MetricElement) or len(match.path) != 3:
+            return None
+        analytics = getattr(self.gmetad, "analytics", None)
+        if analytics is None:
+            return None
+        reading = analytics.reading(*match.path)
+        if reading is None:
+            return None
+        if rule.kind == "anomaly":
+            return None if math.isnan(reading.zscore) else reading.zscore
+        return self._predicted_cross(rule, reading)
+
+    def _rule_truth(self, rule: AlarmRule, value: float) -> bool:
+        if rule.kind == "predict_cross":
+            return value <= rule.within_seconds
+        return rule.condition(value)
+
+    # -- evaluation ----------------------------------------------------------
 
     def evaluate(self) -> List[Notification]:
         """One evaluation pass; returns notifications emitted this pass."""
         now = self.gmetad.engine.now
+        self.evaluations += 1
         emitted: List[Notification] = []
-        active_subjects: Dict[Tuple[str, str], float] = {}
+        seen: set = set()  # every (rule, subject) that matched this pass
+        active: Dict[Tuple[str, str], float] = {}  # ... whose condition holds
         for rule in self.rules:
             for match in self._query_engine.search(rule.selector):
-                value = self._extract_value(match.element)
+                value = self._rule_value(rule, match, now)
                 if value is None:
                     continue
                 key = (rule.name, match.path_text)
-                if rule.condition(value):
-                    active_subjects[key] = value
+                seen.add(key)
+                if self._rule_truth(rule, value):
+                    active[key] = value
                 alarm = self.alarms.get(key)
                 if alarm is None:
                     alarm = Alarm(rule=rule, subject=match.path_text)
                     self.alarms[key] = alarm
                 alarm.last_value = value
-        # state transitions (including subjects that matched before but
-        # no longer satisfy the condition -- or vanished entirely)
-        for key, alarm in self.alarms.items():
-            if key in active_subjects:
-                value = active_subjects[key]
+        # state transitions; iterate over a copy so vanished subjects
+        # can be pruned (the dict stays bounded by the live subject set)
+        for key in list(self.alarms):
+            alarm = self.alarms[key]
+            if key in active:
+                value = active[key]
                 if alarm.state is AlarmState.OK:
                     alarm.state = AlarmState.PENDING
                     alarm.since = now
@@ -188,17 +307,39 @@ class AlarmEngine:
                     alarm.state = AlarmState.FIRING
                     alarm.fired_at = now
                     emitted.append(
-                        self._emit(now, "fire", alarm, value)
+                        self._emit(
+                            now, "fire", alarm, value,
+                            reason=_FIRE_REASONS[alarm.rule.kind],
+                        )
                     )
-            else:
+            elif key in seen:
+                # subject still reported; its condition went false
                 if alarm.state is AlarmState.FIRING:
                     emitted.append(
-                        self._emit(now, "resolve", alarm, alarm.last_value)
+                        self._emit(
+                            now, "resolve", alarm, alarm.last_value,
+                            reason="cleared",
+                        )
                     )
                 alarm.state = AlarmState.OK
+            else:
+                # subject vanished from the snapshot: resolve anything
+                # firing (last_value is honestly labeled stale), then
+                # drop the entry -- churned hosts must not leak state
+                if alarm.state is AlarmState.FIRING:
+                    emitted.append(
+                        self._emit(
+                            now, "resolve", alarm, alarm.last_value,
+                            reason="vanished",
+                        )
+                    )
+                del self.alarms[key]
         return emitted
 
-    def _emit(self, now: float, kind: str, alarm: Alarm, value: float) -> Notification:
+    def _emit(
+        self, now: float, kind: str, alarm: Alarm, value: float,
+        reason: str = "",
+    ) -> Notification:
         notification = Notification(
             time=now,
             kind=kind,
@@ -206,6 +347,7 @@ class AlarmEngine:
             subject=alarm.subject,
             value=value,
             severity=alarm.rule.severity,
+            reason=reason,
         )
         self.notifications.append(notification)
         if self._notify_cb is not None:
@@ -241,5 +383,32 @@ def standard_rules(load_threshold: float = 5.0, silence: float = 60.0) -> List[A
             threshold=silence,
             hold_seconds=0.0,
             severity="critical",
+        ),
+    ]
+
+
+def predictive_rules(
+    load_threshold: float = 5.0,
+    horizon: float = 120.0,
+    anomaly_z: float = 4.0,
+) -> List[AlarmRule]:
+    """Analytics-backed rule set: alert *before* the static rules trip."""
+    return [
+        AlarmRule(
+            name="load-predicted",
+            selector=r"~/.*/.*/load_one",
+            op=">",
+            threshold=load_threshold,
+            kind="predict_cross",
+            within_seconds=horizon,
+            severity="warning",
+        ),
+        AlarmRule(
+            name="load-anomaly",
+            selector=r"~/.*/.*/load_one",
+            op=">",
+            threshold=anomaly_z,
+            kind="anomaly",
+            severity="warning",
         ),
     ]

@@ -18,7 +18,7 @@ Archiving policy differences between the designs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.rrd.batch import BatchedRrdStore
 from repro.rrd.store import ColumnPlan, MetricKey, RrdStore
@@ -79,6 +79,15 @@ class Archiver:
         self._held_columns: Dict[str, Dict[str, Tuple[ColumnPlan, "np.ndarray"]]] = {}
         #: (source, cluster) -> cached scatter plan
         self._column_plans: Dict[Tuple[str, str], _DetailPlan] = {}
+        #: called as (source, t) after every archive write -- detail,
+        #: summary or NOT-MODIFIED replay.  The analytics stage
+        #: (repro.analytics) registers here so trend/anomaly kernels run
+        #: exactly when fresh rows may have closed; None costs nothing.
+        self.on_flush: Optional[Callable[[str, float], None]] = None
+
+    def _flushed(self, source: str, t: float) -> None:
+        if self.on_flush is not None:
+            self.on_flush(source, t)
 
     def archive_cluster_detail(
         self, source: str, cluster: ClusterElement, t: float
@@ -117,6 +126,7 @@ class Archiver:
             held_columns.pop(cluster.name, None)
         self.detail_updates += updates
         self.charge(updates * self.costs.rrd_update, "archive")
+        self._flushed(source, t)
         return updates
 
     def archive_cluster_detail_columns(
@@ -166,6 +176,7 @@ class Archiver:
             held_detail.pop(cols.name, None)  # counterpart of the pop above
         self.detail_updates += updates
         self.charge(updates * self.costs.rrd_update, "archive")
+        self._flushed(source, t)
         return updates
 
     def archive_summary(
@@ -190,6 +201,7 @@ class Archiver:
         self._held_summary.setdefault(source, {})[cluster] = batch
         self.summary_updates += updates
         self.charge(updates * self.costs.rrd_update, "archive")
+        self._flushed(source, t)
         return updates
 
     def replay(self, source: str, t: float) -> int:
@@ -212,6 +224,7 @@ class Archiver:
                 updates += 2
         self.replayed_updates += updates
         self.charge(updates * self.costs.rrd_update, "archive")
+        self._flushed(source, t)
         return updates
 
     def forget(self, source: str) -> None:

@@ -169,6 +169,14 @@ class GmetadBase:
             if config.observability is not None and config.observability.enabled
             else None
         )
+        #: streaming analytics stage; None (the default) registers no
+        #: flush hook, so the archiver path is untouched and output
+        #: stays byte-identical to baseline
+        self.analytics = None
+        if config.analytics is not None and config.analytics.enabled:
+            from repro.analytics.engine import AnalyticsEngine
+
+            self.analytics = AnalyticsEngine(self, config.analytics)
         self.pollers: Dict[str, DataSourcePoller] = {}
         stride = (
             config.poll_interval / max(1, len(config.data_sources))

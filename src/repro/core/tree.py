@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
+from repro.analytics.config import AnalyticsConfig
 from repro.core.resilience import ResilienceConfig
 from repro.net.address import Address
 from repro.obs.config import ObservabilityConfig
@@ -105,6 +106,12 @@ class GmetadConfig:
     #: death.  None keeps the single-store archiver path byte-identical
     #: to baseline.
     storage_tier: Optional[StorageTierConfig] = None
+    #: streaming analytics stage (``repro.analytics``): vectorized
+    #: trend/anomaly/time-to-cross kernels over the archive bank at each
+    #: flush, predictive alarm-rule kinds, and an in-band
+    #: ``__analytics__`` signal cluster.  None keeps the daemon's output
+    #: byte-identical to baseline.
+    analytics: Optional[AnalyticsConfig] = None
 
     def __post_init__(self) -> None:
         if self.gridname is None:

@@ -262,6 +262,51 @@ class PseudoGmond:
         self.mutations += 1
         return len(indices)
 
+    def set_metric_values(
+        self,
+        updates: Dict[int, Dict[str, float]],
+        now: Optional[float] = None,
+    ) -> int:
+        """Pin named metric values on selected hosts (the scripted driver).
+
+        ``updates`` maps host index -> {metric name: value}.  Unlike
+        :meth:`mutate`, touched values are *chosen*, not drawn -- the
+        lever fault-replay schedules use to script ramps and step
+        changes while everything else about the wire document (format,
+        generation tokens, fragment memoization) behaves exactly like
+        organic churn.  Touched hosts report fresh (``TN=0``); untouched
+        hosts keep their memoized fragments.  Returns hosts touched.
+        """
+        at = self.engine.now if now is None else now
+        if not updates:
+            return 0
+        # make sure the skeleton is built before partial invalidation
+        self.current_xml(at)
+        for index, metrics in sorted(updates.items()):
+            if not (0 <= index < self.num_hosts):
+                raise IndexError(f"host index {index} out of range")
+            host, volatiles = self._volatile[index]
+            named = {element.name: (element, mdef) for element, mdef in volatiles}
+            host.tn = 0.0
+            host.reported = at
+            for metric_name, value in metrics.items():
+                if metric_name not in named:
+                    raise KeyError(
+                        f"{metric_name!r} is not a volatile metric of {self.name}"
+                    )
+                element, mdef = named[metric_name]
+                if mdef.mtype.is_integral:
+                    element.val = str(int(value))
+                else:
+                    element.val = format_value(float(value), mdef.mtype)
+                element.tn = 0.0
+            self._host_frags.pop(host.name, None)
+        self._cluster.localtime = at
+        self._cached_xml = self._assemble()
+        self._gen += 1
+        self.mutations += 1
+        return len(updates)
+
     @property
     def generation(self) -> str:
         """The opaque content-generation token served right now."""

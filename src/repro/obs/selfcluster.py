@@ -57,33 +57,29 @@ def build_self_cluster(
     return cluster
 
 
-def install_self_cluster(gmetad: "GmetadBase", now: float) -> ClusterElement:
-    """Summarize, archive and install the self-cluster into ``gmetad``.
+def install_inband_cluster(
+    gmetad: "GmetadBase", source: str, cluster: ClusterElement, now: float
+) -> ClusterElement:
+    """Summarize, archive and install a synthetic cluster in band.
 
     The exact pipeline a polled source goes through (minus download and
     parse -- the data was never serialized).  Summarize and archive
     charges are real: keeping histories of your own metrics costs the
-    same simulated CPU as anyone else's.  Returns the installed cluster.
+    same simulated CPU as anyone else's.  Shared by the ``__gmetad__``
+    self-cluster and the ``__analytics__`` signal cluster
+    (:mod:`repro.analytics`).  Returns the installed cluster.
     """
-    obs = gmetad.obs
-    assert obs is not None, "install_self_cluster requires observability"
-    cluster = build_self_cluster(
-        obs.registry,
-        gmetad.config.host,
-        now,
-        refresh_interval=obs.config.self_cluster_interval or 15.0,
-    )
     summary, samples = summarize_cluster(
         cluster, gmetad.config.heartbeat_window
     )
     cluster.summary = summary
     gmetad.charge(gmetad.costs.summarize_metric * samples, "summarize")
     if gmetad.config.archive_local_detail:
-        gmetad.archiver.archive_cluster_detail(SELF_SOURCE, cluster, now)
-    gmetad.archiver.archive_summary(SELF_SOURCE, cluster.name, summary, now)
+        gmetad.archiver.archive_cluster_detail(source, cluster, now)
+    gmetad.archiver.archive_summary(source, cluster.name, summary, now)
     gmetad.datastore.install(
         SourceSnapshot(
-            name=SELF_SOURCE,
+            name=source,
             kind="cluster",
             summary=summary,
             cluster=cluster,
@@ -92,3 +88,16 @@ def install_self_cluster(gmetad: "GmetadBase", now: float) -> ClusterElement:
         now,
     )
     return cluster
+
+
+def install_self_cluster(gmetad: "GmetadBase", now: float) -> ClusterElement:
+    """Summarize, archive and install the self-cluster into ``gmetad``."""
+    obs = gmetad.obs
+    assert obs is not None, "install_self_cluster requires observability"
+    cluster = build_self_cluster(
+        obs.registry,
+        gmetad.config.host,
+        now,
+        refresh_interval=obs.config.self_cluster_interval or 15.0,
+    )
+    return install_inband_cluster(gmetad, SELF_SOURCE, cluster, now)

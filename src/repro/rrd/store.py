@@ -108,6 +108,7 @@ class RrdStore:
         self._databases: Dict[MetricKey, RrdDatabase] = {}
         self._bank: Optional["SeriesBank"] = None
         self._bank_index: Dict[MetricKey, int] = {}
+        self._bank_keys_cache: List[MetricKey] = []
         self.update_count = 0
         self.create_count = 0
 
@@ -259,6 +260,25 @@ class RrdStore:
         if i is not None:
             return BankSeriesView(self._bank, i)
         return self._databases.get(key)
+
+    def bank_series(self) -> Tuple[Optional["SeriesBank"], List[MetricKey]]:
+        """The shared bank and its index-ordered key list.
+
+        ``keys[i]`` names bank column ``i`` -- the inverse of the
+        key-to-index map, which the analytics stage needs to label the
+        columns of :meth:`SeriesBank.window_matrix`.  Returns
+        ``(None, [])`` when no columnar plan ever ran.  Indices are
+        allocated densely and never reused, so the inverse is rebuilt
+        only when series were added since the last call.
+        """
+        if self._bank is None:
+            return None, []
+        if len(self._bank_keys_cache) != len(self._bank_index):
+            ordered: List[Optional[MetricKey]] = [None] * self._bank.size
+            for key, i in self._bank_index.items():
+                ordered[i] = key
+            self._bank_keys_cache = ordered  # type: ignore[assignment]
+        return self._bank, self._bank_keys_cache
 
     def keys(self) -> List[MetricKey]:
         """Every archived series key, sorted."""

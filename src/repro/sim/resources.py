@@ -32,6 +32,7 @@ CATEGORIES = (
     "archive",     # RRD database updates
     "query",       # query engine dispatch
     "network",     # TCP connection setup / teardown
+    "analytics",   # vectorized trend/anomaly kernels over the archives
     "other",
 )
 
@@ -68,6 +69,10 @@ class CostModel:
     #: are bulk ``frombuffer`` copies plus an inflate pass -- far below
     #: the character-at-a-time XML ``parse_byte``)
     binfmt_byte: float = 0.05
+    #: cost per series per analytics pass (slope/EWMA/z-score kernels
+    #: are whole-bank numpy column ops, so the per-series increment is
+    #: tiny next to ``rrd_update``)
+    analytics_series: float = 2.0
 
     def scaled(self, factor: float) -> "CostModel":
         """Return a copy with every coefficient multiplied by ``factor``."""
