@@ -144,6 +144,7 @@ def build_paper_tree(
     resilience: Optional[ResilienceConfig] = None,
     observability: Optional[ObservabilityConfig] = None,
     columnar: bool = False,
+    columnar_serve: bool = False,
     binary_wire: bool = False,
     binary_gmonds: Optional[Dict[str, bool]] = None,
     storage_tier: Optional[StorageTierConfig] = None,
@@ -184,6 +185,11 @@ def build_paper_tree(
     streaming parse, vectorized summarization, batched RRD scatter) on
     every gmetad.  Off by default for the same reason as
     ``incremental``; flipping it changes wall-clock time only.
+
+    ``columnar_serve`` additionally serves detail and path queries by
+    splicing pre-rendered per-host fragments straight from the columns
+    (:mod:`repro.serve`) -- replies stay byte-identical, unchanged-host
+    bytes are charged at the memcpy rate.  Requires ``columnar``.
 
     ``observability`` attaches one shared
     :class:`~repro.obs.config.ObservabilityConfig` to every gmetad
@@ -234,6 +240,7 @@ def build_paper_tree(
             resilience=resilience,
             observability=observability,
             columnar=columnar,
+            columnar_serve=columnar_serve,
             binary_wire=binary_wire,
             storage_tier=storage_tier,
             analytics=analytics,

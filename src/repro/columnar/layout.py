@@ -75,6 +75,15 @@ class InternPool:
             self.strings.append(s)
         return i
 
+    def lookup(self, s: str) -> Optional[int]:
+        """The id for ``s`` if already interned; never allocates.
+
+        Serve-side probes (is this metric name known?) must not grow
+        the pool: an attacker-controlled query path interning its junk
+        would bloat every escaped-string cache built parallel to it.
+        """
+        return self._ids.get(s)
+
     def mtype_id(self, raw: str) -> Optional[int]:
         """Id of a TYPE attribute value, or None if not a metric type."""
         i = self._mtype_ids.get(raw)
@@ -243,8 +252,12 @@ class ColumnarCluster:
             url=self.url,
         )
 
-    def materialize_into(self, cluster: ClusterElement) -> ClusterElement:
-        """Rebuild the exact host tree the tree parser would have built."""
+    def materialize_host(self, h: int) -> HostElement:
+        """Rebuild one host's exact element subtree by row-slice.
+
+        Lets consumers that need only a few hosts (VO-filtered views,
+        single-host tools) avoid materializing the whole cluster.
+        """
         pool = self.pool
         strings = pool.strings
         starts = self.host_row_start
@@ -257,31 +270,35 @@ class ColumnarCluster:
         tn = self.metric_tn
         tmax = self.metric_tmax
         dmax = self.metric_dmax
-        for h, host_name in enumerate(self.host_names):
-            host = HostElement(
-                name=host_name,
-                ip=self.host_ip[h],
-                reported=float(self.host_reported[h]),
-                tn=float(self.host_tn[h]),
-                tmax=float(self.host_tmax[h]),
-                dmax=float(self.host_dmax[h]),
-                location=self.host_location[h],
+        host = HostElement(
+            name=self.host_names[h],
+            ip=self.host_ip[h],
+            reported=float(self.host_reported[h]),
+            tn=float(self.host_tn[h]),
+            tmax=float(self.host_tmax[h]),
+            dmax=float(self.host_dmax[h]),
+            location=self.host_location[h],
+        )
+        metrics = host.metrics
+        for r in range(starts[h], starts[h + 1]):
+            metric = MetricElement(
+                name=strings[name_ids[r]],
+                val=vals[r],
+                mtype=pool.mtype_at(type_ids[r]),
+                units=strings[units_ids[r]],
+                tn=float(tn[r]),
+                tmax=float(tmax[r]),
+                dmax=float(dmax[r]),
+                slope=pool.slope_at(slope_ids[r]),
+                source=strings[source_ids[r]],
             )
-            metrics = host.metrics
-            for r in range(starts[h], starts[h + 1]):
-                metric = MetricElement(
-                    name=strings[name_ids[r]],
-                    val=vals[r],
-                    mtype=pool.mtype_at(type_ids[r]),
-                    units=strings[units_ids[r]],
-                    tn=float(tn[r]),
-                    tmax=float(tmax[r]),
-                    dmax=float(dmax[r]),
-                    slope=pool.slope_at(slope_ids[r]),
-                    source=strings[source_ids[r]],
-                )
-                metrics[metric.name] = metric
-            cluster.hosts[host_name] = host
+            metrics[metric.name] = metric
+        return host
+
+    def materialize_into(self, cluster: ClusterElement) -> ClusterElement:
+        """Rebuild the exact host tree the tree parser would have built."""
+        for h, host_name in enumerate(self.host_names):
+            cluster.hosts[host_name] = self.materialize_host(h)
         return cluster
 
 

@@ -86,6 +86,13 @@ class SourceSnapshot:
     frag_cache: Dict[str, Tuple[int, str]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: columnar-serve fragment arena (duck-typed FragmentArena); installed
+    #: alongside the columns so the query engine can splice pre-rendered
+    #: per-host fragments instead of materializing
+    arena: Optional[object] = field(default=None, repr=False, compare=False)
+    #: owning datastore (set by install/mark_failure) so ensure_hosts can
+    #: account materializations; repr=False also breaks the repr cycle
+    owner: Optional["Datastore"] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind not in ("cluster", "grid"):
@@ -110,6 +117,10 @@ class SourceSnapshot:
             and not self.cluster.hosts
         ):
             self.columns.materialize_into(self.cluster)
+            owner = self.owner
+            if owner is not None:
+                # the count the columnar serve fast path drives to zero
+                owner.materializations += 1
 
 
 class Datastore:
@@ -123,6 +134,10 @@ class Datastore:
         self._stamp = 0           # per-snapshot serialization stamp source
         self._rollup: Optional[SummaryInfo] = None
         self._rollup_generation = -1
+        #: lazy DOM builds (``SourceSnapshot.ensure_hosts`` doing real
+        #: work); 0 on a columnar-serve daemon means no query ever paid
+        #: for a host tree
+        self.materializations = 0
 
     def _next_stamp(self) -> int:
         self._stamp += 1
@@ -150,6 +165,7 @@ class Datastore:
             snapshot.corrupt_polls = previous.corrupt_polls
         snapshot.up = True
         snapshot.last_success = now
+        snapshot.owner = self
         self.sources[snapshot.name] = snapshot
         self.generation += 1
         self._content_changed(snapshot)
@@ -184,6 +200,7 @@ class Datastore:
                     summary=SummaryInfo(),
                     cluster=ClusterElement(name=name),
                 )
+            snapshot.owner = self
             self.sources[name] = snapshot
             self._content_changed(snapshot)  # a new (empty) element appears
         snapshot.up = False

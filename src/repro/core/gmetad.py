@@ -32,7 +32,11 @@ from repro.core.query import (
     QueryError,
 )
 from repro.core.summarize import merge_summaries, summarize_cluster
-from repro.wire.binfmt import FrameError, encode_summary_document
+from repro.serve.fragments import summary_cluster_element
+from repro.wire.binfmt import (
+    FrameError,
+    encode_summary_document,
+)
 from repro.wire.model import ClusterElement, GangliaDocument, GridElement
 
 
@@ -53,11 +57,16 @@ class Gmetad(GmetadBase):
             authority=self.config.authority_url,
             version=self.version,
             memoize=self.config.incremental,
+            columnar_serve=self.config.columnar_serve,
         )
         #: per-source delta summarizers (cluster sources only)
         self._summary_trackers: Dict[str, ClusterSummaryTracker] = {}
         #: per-source columnar delta summarizers (config.columnar)
         self._columnar_trackers: Dict[str, object] = {}
+        #: per-source fragment arenas (config.columnar_serve); they live
+        #: on the daemon, not the snapshot, so fragments survive snapshot
+        #: replacement and only changed hosts re-render
+        self._serve_arenas: Dict[str, object] = {}
 
     # -- polling ------------------------------------------------------------
 
@@ -185,6 +194,15 @@ class Gmetad(GmetadBase):
         if self.config.archive_local_detail:
             self.archiver.archive_cluster_detail_columns(source, cols, now)
         self.archiver.archive_summary(source, cols.name, summary, now)
+        arena = None
+        if self.config.columnar_serve:
+            from repro.serve import FragmentArena
+
+            arena = self._serve_arenas.get(source)
+            if arena is None:
+                arena = FragmentArena()
+                self._serve_arenas[source] = arena
+            arena.install(cols)
         self.datastore.install(
             SourceSnapshot(
                 name=source,
@@ -192,6 +210,7 @@ class Gmetad(GmetadBase):
                 summary=summary,
                 cluster=shell,
                 columns=cols,
+                arena=arena,
                 authority=self.config.authority_url,
             ),
             now,
@@ -222,20 +241,27 @@ class Gmetad(GmetadBase):
     def serve_binary(self, request: str):
         """Binary answer for the whole-tree summary poll.
 
-        Only the federation poll shape (``/?filter=summary``) goes
+        The federation poll shape (``/?filter=summary``) always answers
         binary: it is the request every parent/peer sends on the
         background timescale, so it dominates serve-side wide-area
-        bytes.  Path queries and full dumps decline (``None``) and fall
-        back to XML.  The document built here mirrors the query engine's
-        ``_write_tree``/``_source_fragment`` shapes element for element,
-        so a binary-decoding parent installs exactly the state an
-        XML-parsing parent would.
+        bytes.  With ``columnar_serve`` on, single-source full dumps
+        (``/source``) answer binary too -- a CLUSTER_DOC frame encoded
+        straight from the held columns, the no-XML path capable readtier
+        viewers negotiate.  Everything else declines (``None``) and
+        falls back to XML.  The documents built here mirror the query
+        engine's ``_write_tree``/``_source_fragment`` shapes element for
+        element, so a binary-decoding peer installs exactly the state an
+        XML-parsing peer would.
         """
         try:
             query = GmetadQuery.parse(request)
         except QueryError:
             return None
-        if query.path or not query.summary:
+        if query.path:
+            if query.summary or len(query.path) != 1:
+                return None
+            return self._serve_binary_detail(query)
+        if not query.summary:
             return None
         now = self.engine.now
         seconds = self.charge(self.costs.query_fixed, "query")
@@ -249,26 +275,18 @@ class Gmetad(GmetadBase):
         for name in self.datastore.source_names():
             snapshot = self.datastore.sources[name]
             if snapshot.kind == "cluster":
-                cluster = snapshot.cluster
-                if cluster.summary is None:
-                    # mirror _source_fragment's hostless synthesis
-                    top.add_cluster(
-                        ClusterElement(
-                            name=cluster.name,
-                            localtime=cluster.localtime,
-                            summary=snapshot.summary,
-                        )
+                # the shared hostless-shell synthesis picks the element;
+                # copy it host-free for the encoder
+                element = summary_cluster_element(snapshot)
+                top.add_cluster(
+                    ClusterElement(
+                        name=element.name,
+                        owner=element.owner,
+                        localtime=element.localtime,
+                        url=element.url,
+                        summary=element.summary,
                     )
-                else:
-                    top.add_cluster(
-                        ClusterElement(
-                            name=cluster.name,
-                            owner=cluster.owner,
-                            localtime=cluster.localtime,
-                            url=cluster.url,
-                            summary=cluster.summary,
-                        )
-                    )
+                )
             else:
                 top.add_grid(
                     GridElement(
@@ -288,6 +306,29 @@ class Gmetad(GmetadBase):
         seconds += self.charge(self.costs.serve_byte * len(frame), "serve")
         return frame, seconds
 
+    def _serve_binary_detail(self, query: GmetadQuery):
+        """A CLUSTER_DOC frame for one cluster source, straight from columns.
+
+        The no-XML serving path: a ``bin1``-capable viewer (or readtier
+        front door) asking for ``/source`` gets the columns re-framed,
+        never serialized to text.  Requires ``columnar_serve`` and held
+        columns; anything else declines to the XML engine.
+        """
+        if not self.config.columnar_serve:
+            return None
+        from repro.serve import columnar_detail_frame
+
+        frame = columnar_detail_frame(
+            self.datastore.source(query.path[0]), self.version
+        )
+        if frame is None:
+            return None
+        seconds = self.charge(self.costs.query_fixed, "query")
+        seconds += self.charge(self.costs.hash_insert, "query")
+        self.last_serve_cached_bytes = 0
+        seconds += self.charge(self.costs.serve_byte * len(frame), "serve")
+        return frame, seconds
+
     def request_is_summary(self, request: str) -> bool:
         """Summary-form answers key off content_version (see base)."""
         try:
@@ -299,6 +340,7 @@ class Gmetad(GmetadBase):
         super().remove_data_source(name)
         self._summary_trackers.pop(name, None)
         self._columnar_trackers.pop(name, None)
+        self._serve_arenas.pop(name, None)
 
     # -- convenience for tools/alarms -----------------------------------------
 

@@ -601,7 +601,17 @@ class GmetadBase:
         snapshot = self.datastore.source(source)
         if snapshot is None or snapshot.cluster is None:
             return 0
-        snapshot.ensure_hosts()  # columnar snapshots materialize on read
+        columns = snapshot.columns
+        if columns is not None and not snapshot.cluster.hosts:
+            # columnar snapshot: materialize only the hosts the damage
+            # swallowed, by row-slice, instead of the whole cluster
+            carried = 0
+            for cluster in doc.clusters.values():
+                for i, name in enumerate(columns.host_names):
+                    if name not in cluster.hosts:
+                        cluster.hosts[name] = columns.materialize_host(i)
+                        carried += 1
+            return carried
         carried = 0
         for cluster in doc.clusters.values():
             for name, host in snapshot.cluster.hosts.items():

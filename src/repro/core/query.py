@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Tuple
 
 from repro.core.datastore import Datastore
+from repro.serve.fragments import memoized_source_fragment, summary_cluster_element
 from repro.wire.model import ClusterElement, GridElement, HostElement
 from repro.wire.writer import XmlWriter
 
@@ -124,12 +125,18 @@ class QueryEngine:
         authority: str,
         version: str = "2.5.4",
         memoize: bool = False,
+        columnar_serve: bool = False,
     ) -> None:
         self.datastore = datastore
         self.grid_name = grid_name
         self.authority = authority
         self.version = version
         self.memoize = memoize
+        #: serve detail and path replies off each snapshot's fragment
+        #: arena (pre-rendered per-host bytes) instead of materializing
+        #: the DOM; replies stay byte-identical, reused fragment bytes
+        #: are reported via ``QueryStats.bytes_from_cache``
+        self.columnar_serve = columnar_serve
 
     # -- public API ---------------------------------------------------------
 
@@ -227,39 +234,32 @@ class QueryEngine:
         form = "summary" if summary else "full"
         for name in self.datastore.source_names():
             snapshot = self.datastore.sources[name]
-            stamp = snapshot.summary_stamp if summary else snapshot.detail_stamp
             if self.memoize:
-                cached = snapshot.frag_cache.get(form)
-                if cached is not None and cached[0] == stamp:
-                    writer.raw(cached[1])
-                    stats.bytes_from_cache += len(cached[1])
-                    continue
-            fragment = self._source_fragment(snapshot, summary)
-            if self.memoize:
-                snapshot.frag_cache[form] = (stamp, fragment)
+                fragment, from_cache = memoized_source_fragment(
+                    self, snapshot, form, stats
+                )
+                if from_cache:
+                    stats.bytes_from_cache += len(fragment)
+            else:
+                fragment = self._source_fragment(snapshot, summary, stats)
             writer.raw(fragment)
         writer.close_tag("GRID")
 
-    def _source_fragment(self, snapshot, summary: bool) -> str:
+    def _source_fragment(self, snapshot, summary: bool, stats=None) -> str:
         """Serialize one source's element(s) exactly as the tree dump does."""
         sub = XmlWriter()
         if snapshot.kind == "cluster":
-            if not summary:
-                # full form walks hosts; summary form serves straight
-                # off the (possibly still hostless) columnar shell
-                snapshot.ensure_hosts()
-            if summary and snapshot.cluster.summary is None:
-                # a snapshot installed without an attached rollup
-                # (shouldn't happen via Gmetad.ingest, but keep the
-                # engine total): synthesize an empty-form element
-                shell = ClusterElement(
-                    name=snapshot.cluster.name,
-                    localtime=snapshot.cluster.localtime,
-                    summary=snapshot.summary,
-                )
-                sub.cluster(shell, summary_only=True)
+            if summary:
+                # summary form serves straight off the (possibly still
+                # hostless) columnar shell; the synthesized-shell case
+                # lives in the shared helper
+                sub.cluster(summary_cluster_element(snapshot), summary_only=True)
             else:
-                sub.cluster(snapshot.cluster, summary_only=summary)
+                fragment = self._arena_detail(snapshot, stats)
+                if fragment is not None:
+                    return fragment
+                snapshot.ensure_hosts()  # full form walks hosts
+                sub.cluster(snapshot.cluster, summary_only=False)
         elif summary:
             merged = GridElement(
                 name=snapshot.grid.name,
@@ -270,6 +270,28 @@ class QueryEngine:
         else:
             sub.grid(snapshot.grid)
         return sub.result()
+
+    def _arena_detail(self, snapshot, stats=None):
+        """Full-form cluster fragment from the arena, or None to fall back.
+
+        Falls back for sources without columns/arena and for empty
+        clusters (whose detail form writes summary info when a rollup is
+        attached -- the writer's ``is_summary`` rule -- which the arena
+        does not model).
+        """
+        if not self.columnar_serve:
+            return None
+        arena = snapshot.arena
+        if (
+            arena is None
+            or snapshot.columns is None
+            or snapshot.columns.host_count == 0
+        ):
+            return None
+        fragment, reused = arena.detail_fragment()
+        if stats is not None:
+            stats.bytes_from_cache += reused
+        return fragment
 
     def _write_path(
         self, writer: XmlWriter, query: GmetadQuery, stats: QueryStats
@@ -317,6 +339,15 @@ class QueryEngine:
             writer.close_tag("GRID")
             return
         # cluster source
+        if not query.summary and self.columnar_serve:
+            arena = snapshot.arena
+            if (
+                arena is not None
+                and snapshot.columns is not None
+                and snapshot.columns.host_count > 0
+            ):
+                self._write_path_columnar(writer, path, snapshot, arena, stats)
+                return
         if len(path) > 1 or not query.summary:
             snapshot.ensure_hosts()  # anything below needs the full form
         cluster = snapshot.cluster
@@ -349,6 +380,45 @@ class QueryEngine:
             hosts={host.name: host},
         )
         writer.cluster(shell)
+
+    def _write_path_columnar(
+        self, writer: XmlWriter, path, snapshot, arena, stats: QueryStats
+    ) -> None:
+        """Path-query replies spliced from the arena (no ``ensure_hosts``).
+
+        Byte-identical to the DOM branch: the same shell CLUSTER (and
+        HOST) envelopes, with the matched subtree coming from the
+        pre-rendered per-host fragments by row-slice.  The hash-lookup
+        counts mirror the DOM branch level for level so the fixed query
+        charges stay comparable.
+        """
+        if len(path) == 1:
+            fragment, reused = arena.detail_fragment()
+            stats.bytes_from_cache += reused
+            writer.raw(fragment)
+            return
+        stats.hash_lookups += 1
+        host_fragment = arena.host_fragment(path[1])
+        if host_fragment is None:
+            raise QueryNotFound(path)
+        if len(path) == 2:
+            writer.raw(arena.open_tag)
+            writer.raw(host_fragment)
+            stats.bytes_from_cache += len(host_fragment)
+            writer.raw("</CLUSTER>\n")
+            return
+        stats.hash_lookups += 1
+        metric_line = arena.metric_line(path[1], path[2])
+        if metric_line is None:
+            raise QueryNotFound(path)
+        # a host owning a metric never self-closes, so its fragment's
+        # first line is exactly the HOST opening tag the shell needs
+        host_open = host_fragment[: host_fragment.index("\n") + 1]
+        writer.raw(arena.open_tag)
+        writer.raw(host_open)
+        writer.raw(metric_line)
+        writer.raw("</HOST>\n")
+        writer.raw("</CLUSTER>\n")
 
     def _empty_document(self, query: GmetadQuery) -> str:
         writer = XmlWriter()

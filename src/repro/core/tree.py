@@ -90,6 +90,14 @@ class GmetadConfig:
     #: pure performance change -- wire output, CPU charges and archive
     #: contents stay byte-identical to the tree path.
     columnar: bool = False
+    #: columnar serve fast path (``repro.serve``): answer detail and
+    #: ``/source/host`` path queries by splicing pre-rendered per-host
+    #: fragments from a per-source arena, invalidated per host on delta
+    #: updates -- no DOM materialization on the serve side.  Requires
+    #: ``columnar`` (sources without held columns fall back to the DOM
+    #: engine).  Off by default; replies stay byte-identical either way,
+    #: reused fragment bytes are charged at the memcpy rate.
+    columnar_serve: bool = False
     #: compact binary wire codec (``repro.wire.binfmt``): offer
     #: ``accept=bin1`` on every poll, answer binary to peers that offer
     #: it, and speak binary on the pub-sub data plane.  Per-link

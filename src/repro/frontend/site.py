@@ -24,10 +24,16 @@ from repro.frontend.html import (
 )
 from repro.frontend.views import (
     ClusterView,
+    HostRow,
     HostView,
     MetaView,
     _cluster_rows,
     _summary_row,
+)
+from repro.serve.views import (
+    has_live_columns,
+    host_metric_items,
+    host_statuses,
 )
 
 
@@ -78,7 +84,12 @@ def generate_gmetad_pages(
         snapshot = gmetad.datastore.sources[source_name]
         if snapshot.kind != "cluster" or snapshot.cluster is None:
             continue
-        snapshot.ensure_hosts()  # columnar shells materialize on read
+        if has_live_columns(snapshot):
+            pages += _columnar_cluster_pages(
+                snapshot.columns, directory, heartbeat_window
+            )
+            continue
+        snapshot.ensure_hosts()  # tree-built snapshots keep the DOM path
         cluster = snapshot.cluster
         if cluster.is_summary:
             continue
@@ -100,6 +111,40 @@ def generate_gmetad_pages(
             page_name = f"host-{_safe(cluster.name)}-{_safe(host.name)}.html"
             (directory / page_name).write_text(render_host_view(host_view))
             pages += 1
+    return pages
+
+
+def _columnar_cluster_pages(
+    cols, directory: pathlib.Path, heartbeat_window: float
+) -> int:
+    """Cluster + host pages by row-slice -- no DOM materialization.
+
+    Emits the same pages the DOM branch writes for the same state: the
+    cluster view's rows sort by host name (as ``_cluster_rows`` does)
+    and each host page's metric dict keeps row (= parse) order, which
+    is what the DOM's insertion-ordered metric dict iterates.
+    """
+    statuses = host_statuses(cols, heartbeat_window)
+    rows = [
+        HostRow(name=s.name, up=s.up, load_one=s.load_one, cpu_num=s.cpu_num)
+        for s in statuses
+    ]
+    rows.sort(key=lambda r: r.name)
+    cluster_view = ClusterView(name=cols.name, hosts=rows)
+    (directory / f"cluster-{_safe(cols.name)}.html").write_text(
+        render_cluster_view(cluster_view)
+    )
+    pages = 1
+    for h, status in enumerate(statuses):
+        host_view = HostView(
+            cluster=cols.name,
+            name=status.name,
+            up=status.up,
+            metrics=dict(host_metric_items(cols, h)),
+        )
+        page_name = f"host-{_safe(cols.name)}-{_safe(status.name)}.html"
+        (directory / page_name).write_text(render_host_view(host_view))
+        pages += 1
     return pages
 
 

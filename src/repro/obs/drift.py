@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Dict, List
 
 from repro.core.delta_summary import eager_summary
 from repro.obs.config import SELF_SOURCE
+from repro.serve.views import has_live_columns, transient_full_cluster
 from repro.wire.model import SummaryInfo
 from repro.wire.writer import XmlWriter
 
@@ -61,12 +62,20 @@ def audit_gmetad(gmetad: "GmetadBase") -> DriftReport:
     for name, snapshot in gmetad.datastore.sources.items():
         if name == SELF_SOURCE or snapshot.cluster is None:
             continue
-        snapshot.ensure_hosts()  # a columnar shell *has* a full form
-        if snapshot.cluster.is_summary:
-            continue  # no full form to re-fold
+        if has_live_columns(snapshot):
+            # audit off a throwaway materialization: the snapshot's
+            # lazy shell (and the serve path's zero-materialization
+            # invariant) stays untouched, while the eager re-fold still
+            # runs over an independently rebuilt element tree
+            full_cluster = transient_full_cluster(snapshot.columns)
+        else:
+            snapshot.ensure_hosts()  # a columnar shell *has* a full form
+            if snapshot.cluster.is_summary:
+                continue  # no full form to re-fold
+            full_cluster = snapshot.cluster
         report.checked += 1
         eager = eager_summary(
-            snapshot.cluster, gmetad.config.heartbeat_window
+            full_cluster, gmetad.config.heartbeat_window
         )
         incremental = snapshot.summary
         incremental_wire = summary_wire_form(incremental)

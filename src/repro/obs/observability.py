@@ -32,6 +32,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 BREAKER_STATE_CODES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
 
 
+def _serve_form(request: str) -> str:
+    """Classify a serve request for per-form stage timings.
+
+    "summary" and "full" are whole-tree dumps (with/without
+    ``filter=summary``); anything with a non-root path is "path".
+    """
+    path, _, params = request.partition("?")
+    if path.strip("/"):
+        return "path"
+    return "summary" if "filter=summary" in params else "full"
+
+
 class Observability:
     """Registry + tracing + in-band self-metrics for one gmetad."""
 
@@ -51,6 +63,12 @@ class Observability:
         #: binary-enabled daemons: a baseline daemon's self-cluster
         #: output must stay byte-identical to pre-codec builds
         self._codec_split = bool(getattr(gmetad.config, "binary_wire", False))
+        #: arena instruments (fragment hit/miss/invalidation gauges,
+        #: per-form serve timings) exist only on columnar-serve daemons
+        #: -- a baseline daemon's self-cluster must stay byte-identical
+        self._serve_split = bool(
+            getattr(gmetad.config, "columnar_serve", False)
+        )
         #: storage-tier instruments exist only when the tier is on, for
         #: the same reason; the tier also streams per-shard flush
         #: timings into this registry once attached
@@ -209,6 +227,10 @@ class Observability:
             )
         registry.counter("serve_bytes_cached", units="bytes").inc(cached_bytes)
         registry.histogram("stage_serve", units="s").observe(seconds)
+        if self._serve_split and outcome == "ok":
+            registry.histogram(
+                f"stage_serve_{_serve_form(request)}", units="s"
+            ).observe(seconds)
         now = self.gmetad.engine.now
         self.record_span(
             "serve", now, seconds, request=request, bytes=nbytes,
@@ -258,6 +280,21 @@ class Observability:
             )
             registry.gauge("daemon_frame_errors").set(
                 getattr(gmetad, "frame_errors", 0)
+            )
+        if self._serve_split:
+            arenas = getattr(gmetad, "_serve_arenas", {})
+            registry.gauge("serve_frag_hits").set(
+                sum(a.frag_hits for a in arenas.values())
+            )
+            registry.gauge("serve_frag_misses").set(
+                sum(a.frag_misses for a in arenas.values())
+            )
+            registry.gauge("serve_frag_invalidations").set(
+                sum(a.frag_invalidations for a in arenas.values())
+            )
+            # the count the fast path exists to hold at zero
+            registry.gauge("serve_materializations").set(
+                getattr(gmetad.datastore, "materializations", 0)
             )
         conditional_total = gmetad.polls_ingested + gmetad.polls_not_modified
         registry.gauge("conditional_poll_hit_ratio").set(

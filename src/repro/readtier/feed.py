@@ -38,6 +38,8 @@ from __future__ import annotations
 import json
 from typing import Dict
 
+from repro.serve.fragments import memoized_source_fragment
+
 #: Root of the hidden replication namespace in the pub-sub flat state.
 REPL_PREFIX = "__repl__"
 #: Datastore version triple key (the generation-barrier marker).
@@ -118,21 +120,16 @@ class ReplicationFeed:
 
     def _fragment(self, snapshot, form: str) -> str:
         """One source fragment, spliced from the serve cache when current."""
-        stamp = (
-            snapshot.detail_stamp if form == "full" else snapshot.summary_stamp
+        fragment, from_cache = memoized_source_fragment(
+            self._query_engine, snapshot, form
         )
-        cached = snapshot.frag_cache.get(form)
         gmetad = self.gmetad
-        if cached is not None and cached[0] == stamp:
+        if from_cache:
             self.fragments_cached += 1
             gmetad.charge(
-                gmetad.costs.serve_byte_cached * len(cached[1]), "serve"
+                gmetad.costs.serve_byte_cached * len(fragment), "serve"
             )
-            return cached[1]
-        fragment = self._query_engine._source_fragment(
-            snapshot, form == "summary"
-        )
-        snapshot.frag_cache[form] = (stamp, fragment)
-        self.fragments_serialized += 1
-        gmetad.charge(gmetad.costs.serve_byte * len(fragment), "serve")
+        else:
+            self.fragments_serialized += 1
+            gmetad.charge(gmetad.costs.serve_byte * len(fragment), "serve")
         return fragment

@@ -32,6 +32,7 @@ from repro.readtier.frontdoor import FrontDoor
 from repro.readtier.replica import ReadReplica
 from repro.sim.engine import Engine
 from repro.sim.resources import DEFAULT_CAPACITY, CostModel
+from repro.wire.binfmt import BinaryFrame, with_accept
 
 
 @dataclass
@@ -138,8 +139,14 @@ def viewer_paths(
         snapshot = daemon.datastore.sources[name]
         if snapshot.cluster is None:
             continue
-        snapshot.ensure_hosts()
-        for host in sorted(snapshot.cluster.hosts)[:per_source_hosts]:
+        if snapshot.columns is not None:
+            # host names ride in the columns; sampling the catalog must
+            # not force a DOM materialization on a columnar daemon
+            hosts = sorted(snapshot.columns.host_names)
+        else:
+            snapshot.ensure_hosts()
+            hosts = sorted(snapshot.cluster.hosts)
+        for host in hosts[:per_source_hosts]:
             paths.append(f"/{name}/{host}")
     return paths
 
@@ -174,6 +181,7 @@ class FleetWindow:
     not_modified: int = 0
     overloaded: int = 0
     timeouts: int = 0
+    binary: int = 0
     latencies: List[float] = field(default_factory=list)
 
     def percentile(self, fraction: float) -> float:
@@ -203,6 +211,7 @@ class ViewerFleet:
         aggregators: int = 64,
         seed: int = 99,
         request_timeout: float = 10.0,
+        accept_binary: bool = False,
     ) -> None:
         if clients < 1:
             raise ValueError("need at least one client")
@@ -215,6 +224,10 @@ class ViewerFleet:
         self.clients = clients
         self.per_client_qps = per_client_qps
         self.request_timeout = request_timeout
+        #: offer ``accept=bin1`` on every query: a columnar-serve
+        #: replica answers eligible detail queries with a GBF1 frame,
+        #: everything else falls back to XML transparently
+        self.accept_binary = accept_binary
         self.aggregators = min(aggregators, clients)
         self.hosts = [f"viewer-{i:03d}" for i in range(self.aggregators)]
         for host in self.hosts:
@@ -266,6 +279,8 @@ class ViewerFleet:
 
     def _fire(self, host: str) -> None:
         path = self.paths[self._picker.pick(self._rng)]
+        if self.accept_binary:
+            path = with_accept(path)
         window = self.window
         window.sent += 1
         started = self.engine.now
@@ -274,6 +289,8 @@ class ViewerFleet:
             if isinstance(payload, Overloaded):
                 window.overloaded += 1
                 return
+            if isinstance(payload, BinaryFrame):
+                window.binary += 1
             window.ok += 1
             window.latencies.append(self.engine.now - started)
 

@@ -59,6 +59,7 @@ from repro.readtier.feed import (
 )
 from repro.sim.engine import Engine
 from repro.sim.resources import DEFAULT_CAPACITY, CostModel, CpuAccount
+from repro.wire.binfmt import CODEC_BINARY, BinaryFrame, split_accept
 from repro.wire.conditional import (
     NotModified,
     TaggedXml,
@@ -107,13 +108,22 @@ class ReadReplica:
         self.cpu = CpuAccount(self.name, capacity)
         self.datastore = Datastore()
         self.version = getattr(ingest, "version", "2.5.4")
+        self.columnar_serve = bool(
+            getattr(self.config, "columnar_serve", False)
+        )
         self.query_engine = QueryEngine(
             self.datastore,
             grid_name=ingest.config.gridname,
             authority=ingest.config.authority_url,
             version=self.version,
             memoize=True,
+            columnar_serve=self.columnar_serve,
         )
+        #: per-source fragment arenas + shared intern pool
+        #: (config.columnar_serve); daemon-owned so fragments survive
+        #: snapshot replacement, exactly as on the ingest gmetad
+        self._serve_arenas: Dict[str, object] = {}
+        self._intern_pool = None
         self.serve_queue: Optional[ServeQueue] = (
             ServeQueue(self.config.serve_queue_limit)
             if self.config.serve_queue_limit > 0
@@ -145,6 +155,7 @@ class ReadReplica:
         self.queries_served = 0
         self.queries_shed = 0
         self.not_modified_served = 0
+        self.binary_served = 0
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -250,9 +261,12 @@ class ReadReplica:
             # splice the ingest daemon's exact bytes
             snapshot.frag_cache["full"] = (snapshot.detail_stamp, detail)
             snapshot.frag_cache["summary"] = (snapshot.summary_stamp, summary)
+            if self.columnar_serve and snapshot.kind == "cluster":
+                self._install_columns(snapshot)
             self.installs += 1
         for source in removals:
             if self.datastore.remove_source(source):
+                self._serve_arenas.pop(source, None)
                 self.removals += 1
         try:
             triple = tuple(int(part) for part in gen.split(":"))
@@ -265,6 +279,32 @@ class ReadReplica:
     def _abort_barrier(self) -> None:
         self.barrier_aborts += 1
         self.client.request_sync()
+
+    def _install_columns(self, snapshot: SourceSnapshot) -> None:
+        """Rebuild SoA columns + fragment arena for one installed source.
+
+        The feed ships text, so the replica re-derives the columnar
+        layout from the parsed cluster (the same conversion the ingest
+        daemon applies to tree-parsed salvage polls).  Unchanged hosts
+        keep their pre-rendered fragments across installs -- the arena's
+        delta diff sees the same layout and re-renders only movers.
+        """
+        cluster = snapshot.cluster
+        if cluster is None or cluster.is_summary or not cluster.hosts:
+            return
+        from repro.columnar import InternPool, columns_from_cluster
+        from repro.serve import FragmentArena
+
+        if self._intern_pool is None:
+            self._intern_pool = InternPool()
+        cols = columns_from_cluster(cluster, self._intern_pool)
+        arena = self._serve_arenas.get(snapshot.name)
+        if arena is None:
+            arena = FragmentArena()
+            self._serve_arenas[snapshot.name] = arena
+        arena.install(cols)
+        snapshot.columns = cols
+        snapshot.arena = arena
 
     def _build_snapshot(
         self, source: str, meta_raw: str, detail: str, summary: str
@@ -373,7 +413,17 @@ class ReadReplica:
         self.queries_served += 1
         seconds = self.charge(self.costs.tcp_connect, "network")
         base, presented = split_generation(str(request))
+        base, accept = split_accept(base)
+        wants_binary = accept == CODEC_BINARY and self.columnar_serve
         if presented is None:
+            if wants_binary:
+                binary = self.serve_binary(base)
+                if binary is not None:
+                    frame, serve_seconds = binary
+                    return Response(
+                        BinaryFrame(frame),
+                        service_seconds=seconds + serve_seconds,
+                    )
             xml, serve_seconds = self.serve_query(base)
             return Response(xml, service_seconds=seconds + serve_seconds)
         current = self.serve_generation(base)
@@ -386,7 +436,41 @@ class ReadReplica:
                 ),
                 service_seconds=seconds,
             )
+        if wants_binary:
+            binary = self.serve_binary(base)
+            if binary is not None:
+                frame, serve_seconds = binary
+                return Response(
+                    BinaryFrame(frame, generation=current),
+                    service_seconds=seconds + serve_seconds,
+                )
         xml, serve_seconds = self.serve_query(base)
         return Response(
             TaggedXml(xml, current), service_seconds=seconds + serve_seconds
         )
+
+    def serve_binary(self, request: str):
+        """A GBF1 frame for a ``/source`` detail query, or None.
+
+        Mirrors :meth:`repro.core.gmetad.Gmetad._serve_binary_detail`:
+        only unconditional single-segment cluster path queries with held
+        columns go binary; everything else falls back to the XML engine.
+        """
+        try:
+            query = GmetadQuery.parse(request)
+        except QueryError:
+            return None
+        if query.summary or len(query.path) != 1:
+            return None
+        from repro.serve import columnar_detail_frame
+
+        frame = columnar_detail_frame(
+            self.datastore.source(query.path[0]), self.version
+        )
+        if frame is None:
+            return None
+        seconds = self.charge(self.costs.query_fixed, "query")
+        seconds += self.charge(self.costs.hash_insert, "query")
+        seconds += self.charge(self.costs.serve_byte * len(frame), "serve")
+        self.binary_served += 1
+        return frame, seconds

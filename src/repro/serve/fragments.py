@@ -1,0 +1,90 @@
+"""Shared per-source fragment logic for the serving paths.
+
+Two pieces of serve-side logic had drifted into near-duplicate copies:
+
+- the *hostless-shell synthesis* for a cluster snapshot installed
+  without an attached rollup (``QueryEngine._source_fragment`` and
+  ``Gmetad.serve_binary`` each built their own shell element);
+- the *stamp/frag-cache splice* deciding whether a source's serialized
+  fragment can be reused (``QueryEngine._write_tree`` and
+  ``ReplicationFeed._fragment`` each compared stamps and probed
+  ``frag_cache`` themselves).
+
+Both live here now; the callers keep their own CPU-charging and stats
+accounting, which is the part that legitimately differs per caller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.wire.model import ClusterElement
+
+
+def summary_cluster_element(snapshot) -> ClusterElement:
+    """The element a cluster source's summary form serializes from.
+
+    Normally the installed cluster element itself (it carries the
+    rollup).  A snapshot installed without an attached rollup --
+    shouldn't happen via ``Gmetad.ingest``, but the engines stay total
+    -- gets a synthesized hostless shell carrying the snapshot-level
+    summary; the shell deliberately omits OWNER/URL, matching what the
+    serializers always emitted for this case.
+    """
+    cluster = snapshot.cluster
+    if cluster.summary is None:
+        return ClusterElement(
+            name=cluster.name,
+            localtime=cluster.localtime,
+            summary=snapshot.summary,
+        )
+    return cluster
+
+
+def memoized_source_fragment(
+    query_engine, snapshot, form: str, stats=None
+) -> Tuple[str, bool]:
+    """Splice one source's fragment from its cache, or serialize it.
+
+    ``form`` is ``"full"`` or ``"summary"``.  Returns
+    ``(fragment, from_cache)``: the cache hits when the stored stamp
+    still matches the snapshot's serialization stamp for that form
+    (:class:`~repro.core.datastore.Datastore` bumps stamps on every
+    content change).  On a miss the freshly serialized fragment is
+    stored back under the current stamp.
+    """
+    summary = form == "summary"
+    stamp = snapshot.summary_stamp if summary else snapshot.detail_stamp
+    cached: Optional[Tuple[int, str]] = snapshot.frag_cache.get(form)
+    if cached is not None and cached[0] == stamp:
+        return cached[1], True
+    fragment = query_engine._source_fragment(snapshot, summary, stats)
+    snapshot.frag_cache[form] = (stamp, fragment)
+    return fragment, False
+
+
+def columnar_detail_frame(snapshot, version: str) -> Optional[bytes]:
+    """A GBF1 CLUSTER_DOC frame for one cluster source's held columns.
+
+    The no-XML serving path shared by the ingest daemon and the read
+    replicas: a ``bin1``-capable viewer asking for ``/source`` gets the
+    columns re-framed, never serialized to text.  Returns None (caller
+    falls back to the XML engine) for sources without columns or when
+    the encoder declines.
+    """
+    if (
+        snapshot is None
+        or snapshot.kind != "cluster"
+        or snapshot.columns is None
+    ):
+        return None
+    from repro.columnar.layout import ColumnarDocument
+    from repro.wire.binfmt import FrameError, encode_cluster_document
+
+    cdoc = ColumnarDocument(
+        version=version, source="gmetad", clusters=[snapshot.columns]
+    )
+    try:
+        return encode_cluster_document(cdoc)
+    except FrameError:
+        return None

@@ -1,0 +1,186 @@
+"""Render Ganglia XML fragments straight from ColumnarCluster arrays.
+
+Every function here must produce the *exact* bytes
+:class:`~repro.wire.writer.XmlWriter` would for the materialized tree --
+payload lengths drive the simulation's transfer times and CPU charges,
+and the columnar-serve equivalence suite diffs replies byte-for-byte.
+The formatting choke points are therefore shared, not reimplemented:
+numeric attributes go through :func:`~repro.wire.writer._fmt_num`
+(including its ``-0`` normalization and its ValueError on NaN) and
+string attributes through :func:`~repro.wire.escape.escape_attr`.
+
+What makes this faster than materialize-then-serialize is memoization
+keyed on the columnar layout: numeric attribute texts are cached per
+float value (TN/TMAX/DMAX draw from tiny value sets), escaped strings
+are cached per intern-pool id, and per-host metric sort orders are
+cached per name-id segment (hosts of one cluster share a layout).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.wire.escape import escape_attr
+from repro.wire.writer import _fmt_num
+
+#: memo bound: numeric texts per formatter (REPORTED/LOCALTIME move every
+#: poll, so an unbounded cache would grow for the life of the daemon)
+_FMT_CACHE_LIMIT = 1 << 16
+#: memo bound: distinct per-host metric layouts
+_ORDER_CACHE_LIMIT = 4096
+
+
+class NumFormatter:
+    """Memoized :func:`_fmt_num`.
+
+    NaN never caches (it is unequal to itself, so the dict probe always
+    misses) and raises the same ValueError the writer's formatter does.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: Dict[float, str] = {}
+
+    def __call__(self, value: float) -> str:
+        cache = self._cache
+        try:
+            return cache[value]
+        except KeyError:
+            text = _fmt_num(value)
+            if len(cache) >= _FMT_CACHE_LIMIT:
+                cache.clear()
+            cache[value] = text
+            return text
+
+
+class EscapedPool:
+    """``escape_attr(pool.strings[i])`` memoized parallel to the pool.
+
+    Pool strings are append-only, so the escaped list extends lazily and
+    never invalidates.
+    """
+
+    __slots__ = ("_pool", "_escaped")
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+        self._escaped: List[str] = []
+
+    def __getitem__(self, i: int) -> str:
+        escaped = self._escaped
+        if i >= len(escaped):
+            strings = self._pool.strings
+            escaped.extend(escape_attr(s) for s in strings[len(escaped):])
+        return escaped[i]
+
+
+def metric_order(cols, start: int, end: int, cache: Optional[dict] = None) -> List[int]:
+    """Relative row order serializing host rows sorted by metric name.
+
+    Mirrors the writer's ``sorted(host.metrics)`` over the dict the tree
+    builder keys by name (rows are deduplicated per host, so names are
+    unique within a segment).
+    """
+    seg = cols.name_ids[start:end]
+    key = seg.tobytes() if cache is not None else None
+    if cache is not None:
+        order = cache.get(key)
+        if order is not None:
+            return order
+    strings = cols.pool.strings
+    order = sorted(range(end - start), key=lambda j: strings[seg[j]])
+    if cache is not None:
+        if len(cache) >= _ORDER_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = order
+    return order
+
+
+def render_metric_row(
+    cols, r: int, fmt: NumFormatter, esc: EscapedPool
+) -> str:
+    """One METRIC element, byte-identical to :meth:`XmlWriter.metric`.
+
+    TYPE and SLOPE are written as raw pool strings: their ids were
+    validated against the DTD vocabulary at intern time, so the pool
+    text *is* the enum value the writer emits (unescaped by both).
+    """
+    pool = cols.pool
+    units_id = cols.units_ids[r]
+    units = "" if units_id == pool.empty_id else f' UNITS="{esc[units_id]}"'
+    return (
+        f'<METRIC NAME="{esc[cols.name_ids[r]]}" VAL="{escape_attr(cols.vals_raw[r])}"'
+        f' TYPE="{pool.strings[cols.type_ids[r]]}"{units}'
+        f' TN="{fmt(cols.metric_tn[r])}" TMAX="{fmt(cols.metric_tmax[r])}"'
+        f' DMAX="{fmt(cols.metric_dmax[r])}" SLOPE="{pool.strings[cols.slope_ids[r]]}"'
+        f' SOURCE="{esc[cols.source_ids[r]]}"/>\n'
+    )
+
+
+def render_host(
+    cols,
+    h: int,
+    fmt: NumFormatter,
+    esc: EscapedPool,
+    order_cache: Optional[dict] = None,
+) -> str:
+    """One HOST element with its METRIC children, as the writer emits it.
+
+    LOCATION is carried in the columns but never serialized -- same as
+    :meth:`XmlWriter.host`.
+    """
+    starts = cols.host_row_start
+    start = int(starts[h])
+    end = int(starts[h + 1])
+    ip = cols.host_ip[h]
+    ip_part = f' IP="{escape_attr(ip)}"' if ip else ""
+    head = (
+        f'<HOST NAME="{escape_attr(cols.host_names[h])}"{ip_part}'
+        f' REPORTED="{fmt(cols.host_reported[h])}" TN="{fmt(cols.host_tn[h])}"'
+        f' TMAX="{fmt(cols.host_tmax[h])}" DMAX="{fmt(cols.host_dmax[h])}"'
+    )
+    if start == end:
+        return head + "/>\n"
+    parts = [head + ">\n"]
+    append = parts.append
+    for j in metric_order(cols, start, end, order_cache):
+        append(render_metric_row(cols, start + j, fmt, esc))
+    append("</HOST>\n")
+    return "".join(parts)
+
+
+def cluster_open_tag(cols) -> str:
+    """The CLUSTER opening tag for one poll's columns."""
+    parts = [f'<CLUSTER NAME="{escape_attr(cols.name)}"']
+    if cols.owner:
+        parts.append(f' OWNER="{escape_attr(cols.owner)}"')
+    parts.append(f' LOCALTIME="{_fmt_num(cols.localtime)}"')
+    if cols.url:
+        parts.append(f' URL="{escape_attr(cols.url)}"')
+    parts.append(">\n")
+    return "".join(parts)
+
+
+def render_cluster(
+    cols,
+    fmt: Optional[NumFormatter] = None,
+    esc: Optional[EscapedPool] = None,
+    order_cache: Optional[dict] = None,
+) -> str:
+    """A full CLUSTER fragment (hosts sorted by name) from the columns.
+
+    One-shot entry point for consumers without an arena (e.g. rendering
+    a decoded binary frame to XML without materializing a DOM).
+    """
+    fmt = fmt or NumFormatter()
+    esc = esc or EscapedPool(cols.pool)
+    if order_cache is None:
+        order_cache = {}
+    names = cols.host_names
+    parts = [cluster_open_tag(cols)]
+    append = parts.append
+    for h in sorted(range(len(names)), key=names.__getitem__):
+        append(render_host(cols, h, fmt, esc, order_cache))
+    append("</CLUSTER>\n")
+    return "".join(parts)

@@ -13,6 +13,11 @@ from typing import List, Optional
 from repro.analysis.loadstats import busiest_hosts
 from repro.core.gmetad_base import GmetadBase
 from repro.gmond.agent import GmondAgent
+from repro.serve.views import (
+    busiest_from_columns,
+    has_live_columns,
+    host_statuses,
+)
 from repro.wire.model import ClusterElement
 
 
@@ -55,6 +60,45 @@ def _cluster_status_lines(
     return lines
 
 
+def _columnar_status_lines(
+    cols,
+    heartbeat_window: float,
+    show_hosts: bool,
+) -> List[str]:
+    """The exact ``_cluster_status_lines`` report, by row-slice.
+
+    Serving a status report must not force a columnar daemon to
+    materialize the whole cluster DOM; every figure here comes from
+    :mod:`repro.serve.views` accessors over the held columns.
+    """
+    statuses = host_statuses(cols, heartbeat_window)
+    up = sum(1 for s in statuses if s.up)
+    down = len(statuses) - up
+    total_cpus = sum(s.cpu_num for s in statuses if s.up and s.cpu_num is not None)
+    loads = [s.load_one for s in statuses if s.up and s.load_one is not None]
+    mean_load = (sum(loads) / len(loads)) if loads else 0.0
+    lines = [
+        f"CLUSTER {cols.name} -- {up} up, {down} down, "
+        f"{total_cpus} CPUs, mean load {mean_load:.2f}"
+    ]
+    if show_hosts:
+        for status in sorted(statuses, key=lambda s: s.name):
+            state = "up  " if status.up else "DOWN"
+            load_text = (
+                f"{status.load_one:5.2f}"
+                if status.load_one is not None
+                else "  ?  "
+            )
+            lines.append(f"  {state} {status.name:24s} load {load_text}")
+        top = busiest_from_columns(
+            cols, count=3, heartbeat_window=heartbeat_window
+        )
+        if top:
+            hot = ", ".join(f"{n}({v:.2f})" for n, v in top)
+            lines.append(f"  busiest: {hot}")
+    return lines
+
+
 def gstat_from_agent(
     agent: GmondAgent, show_hosts: bool = True
 ) -> str:
@@ -81,7 +125,18 @@ def gstat_from_gmetad(
             lines.append(f"SOURCE {name} -- unknown")
             continue
         flag = "" if snapshot.up else "  [UNREACHABLE, stale data]"
-        snapshot.ensure_hosts()  # columnar shells materialize on read
+        if snapshot.kind == "cluster" and has_live_columns(snapshot):
+            lines.extend(
+                _columnar_status_lines(
+                    snapshot.columns,
+                    gmetad.config.heartbeat_window,
+                    show_hosts,
+                )
+            )
+            if flag:
+                lines[-1] += flag
+            continue
+        snapshot.ensure_hosts()  # tree-built snapshots keep the DOM path
         if snapshot.kind == "cluster" and snapshot.cluster is not None:
             lines.extend(
                 _cluster_status_lines(

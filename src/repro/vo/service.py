@@ -18,6 +18,7 @@ from typing import List, Tuple
 
 from repro.core.gmetad_base import GmetadBase
 from repro.core.summarize import merge_summaries, summarize_cluster
+from repro.serve.views import has_live_columns
 from repro.vo.policy import VoPolicy
 from repro.wire.model import ClusterElement, SummaryInfo
 from repro.wire.writer import XmlWriter
@@ -44,6 +45,21 @@ class VoDirectory:
         if cluster_name not in vo.slices:
             raise VoError(f"VO {vo_name!r} has no grant on {cluster_name!r}")
         snapshot = self.gmetad.datastore.source(cluster_name)
+        if snapshot is not None and has_live_columns(snapshot):
+            # columnar shell: materialize only the admitted hosts by
+            # row-slice instead of forcing the whole-cluster DOM
+            cols = snapshot.columns
+            source = snapshot.cluster
+            filtered = ClusterElement(
+                name=source.name,
+                owner=source.owner,
+                localtime=source.localtime,
+                url=source.url,
+            )
+            for h, host_name in enumerate(cols.host_names):
+                if vo.admits(cluster_name, host_name):
+                    filtered.hosts[host_name] = cols.materialize_host(h)
+            return filtered
         if snapshot is not None:
             snapshot.ensure_hosts()  # shell is summary-form until built
         if snapshot is None or snapshot.cluster is None or snapshot.cluster.is_summary:

@@ -63,6 +63,7 @@ from repro.wire.model import (
     MetricSummary,
     SummaryInfo,
 )
+from repro.wire.escape import escape_attr
 from repro.wire.writer import _fmt_num, write_document
 
 MAGIC = b"\x8fGBF"
@@ -856,8 +857,25 @@ def decode_to_xml(data: bytes, pool=None) -> str:
     The byte-equivalence proof of the codec: for any payload our
     writer produced, ``decode_to_xml(encode(parse(xml)))`` must equal
     ``xml`` (pinned by the round-trip suites).
+
+    CLUSTER_DOC frames render straight from the columns
+    (:func:`repro.serve.render.render_cluster`) without materializing a
+    DOM tree first -- the text is byte-identical either way, so only
+    consumers that hold onto the element model pay for building it.
     """
     kind, document = decode_document(data, pool)
     if kind == CLUSTER_DOC:
-        document = materialize_document(document)
+        # local import: repro.serve imports the writer's formatting
+        # helpers, and the wire package must stay importable on its own
+        from repro.serve.render import render_cluster
+
+        parts = [
+            '<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>\n',
+            f'<GANGLIA_XML VERSION="{escape_attr(str(document.version))}"'
+            f' SOURCE="{escape_attr(str(document.source))}">\n',
+        ]
+        for cols in sorted(document.clusters, key=lambda c: c.name):
+            parts.append(render_cluster(cols))
+        parts.append("</GANGLIA_XML>\n")
+        return "".join(parts)
     return write_document(document)
